@@ -1,0 +1,269 @@
+// Package bbsched is a reproduction of "Scheduling Beyond CPUs for HPC"
+// (Fan, Lan, Rich, Allcock, Papka, Austin, Paul — HPDC 2019): BBSched, a
+// multi-resource HPC batch-scheduling plugin that selects which window
+// jobs to dispatch by solving a multi-objective optimization problem over
+// node, burst-buffer (and, optionally, local-SSD) utilization with a
+// genetic algorithm, then picking from the resulting Pareto set with a
+// utilization trade-off rule.
+//
+// This root package is the public API: a thin facade over the
+// implementation packages under internal/. The typical flow is
+//
+//	system := bbsched.ScaleSystem(bbsched.Theta(), 32)
+//	workload := bbsched.Generate(bbsched.GenConfig{System: system, Jobs: 1000, Seed: 1})
+//	result, err := bbsched.Run(bbsched.SimConfig{
+//	    Workload: workload,
+//	    Method:   bbsched.New(),               // BBSched with paper defaults
+//	    Plugin:   bbsched.DefaultPluginConfig(), // w=20, starvation bound 50
+//	})
+//
+// Lower-level entry points expose the pieces directly: ClusterConfig /
+// NewCluster model the machine, SelectionProblem + SolveGA /
+// SolveExhaustive solve one window instance, and Decide applies the
+// §3.2.4 decision rule to any Pareto front.
+package bbsched
+
+import (
+	"bbsched/internal/cluster"
+	"bbsched/internal/core"
+	"bbsched/internal/job"
+	"bbsched/internal/metrics"
+	"bbsched/internal/moo"
+	"bbsched/internal/queue"
+	"bbsched/internal/rng"
+	"bbsched/internal/sched"
+	"bbsched/internal/sim"
+	"bbsched/internal/trace"
+)
+
+// Job model.
+type (
+	// Job is a batch job with multi-resource demands.
+	Job = job.Job
+	// Demand is a job's requested resources (nodes, burst buffer GB,
+	// local SSD GB per node).
+	Demand = job.Demand
+	// Resource indexes one demand dimension.
+	Resource = job.Resource
+)
+
+// Demand dimensions.
+const (
+	Nodes             = job.Nodes
+	BurstBufferGB     = job.BurstBufferGB
+	LocalSSDGBPerNode = job.LocalSSDGBPerNode
+)
+
+// NewDemand builds a demand vector; NewJob a validated job.
+var (
+	NewDemand = job.NewDemand
+	NewJob    = job.New
+)
+
+// Machine model.
+type (
+	// ClusterConfig describes a machine (nodes, burst buffer, SSD classes).
+	ClusterConfig = cluster.Config
+	// SSDClass is one group of nodes with identical local SSD capacity.
+	SSDClass = cluster.SSDClass
+	// Cluster is live machine state.
+	Cluster = cluster.Cluster
+	// Snapshot is a copyable view of free resources.
+	Snapshot = cluster.Snapshot
+)
+
+// NewCluster builds a machine from its config.
+var NewCluster = cluster.New
+
+// MOO solver.
+type (
+	// GAConfig holds the genetic algorithm parameters (G, P, p_m).
+	GAConfig = moo.GAConfig
+	// Solution is an evaluated candidate selection.
+	Solution = moo.Solution
+	// Problem is a pseudo-boolean multi-objective maximization problem.
+	Problem = moo.Problem
+)
+
+var (
+	// DefaultGAConfig returns the paper's solver defaults (G=500, P=20,
+	// p_m=0.05%).
+	DefaultGAConfig = moo.DefaultGAConfig
+	// SolveGA runs the multi-objective genetic algorithm.
+	SolveGA = moo.SolveGA
+	// SolveExhaustive enumerates 2^w solutions for an exact front.
+	SolveExhaustive = moo.SolveExhaustive
+	// GenerationalDistance measures front approximation quality.
+	GenerationalDistance = moo.GenerationalDistance
+	// Dominates tests Pareto dominance under maximization.
+	Dominates = moo.Dominates
+)
+
+// Scheduling methods and the window-selection problem.
+type (
+	// Method selects which window jobs to start now.
+	Method = sched.Method
+	// MethodContext carries one scheduling invocation's inputs.
+	MethodContext = sched.Context
+	// Objective identifies one optimization objective.
+	Objective = sched.Objective
+	// SelectionProblem is the §3.2.1 window job-selection MOO problem.
+	SelectionProblem = sched.SelectionProblem
+	// Totals carries machine capacities for normalization.
+	Totals = sched.Totals
+	// Baseline is the Slurm-style naive method.
+	Baseline = sched.Baseline
+	// Weighted maximizes a weighted utilization sum.
+	Weighted = sched.Weighted
+	// Constrained maximizes one resource under the others' constraints.
+	Constrained = sched.Constrained
+	// BinPacking is the Tetris-style alignment heuristic.
+	BinPacking = sched.BinPacking
+)
+
+// Objectives.
+const (
+	NodeUtil    = sched.NodeUtil
+	BBUtil      = sched.BBUtil
+	SSDUtil     = sched.SSDUtil
+	SSDWasteNeg = sched.SSDWasteNeg
+)
+
+var (
+	// NewSelectionProblem builds the window-selection problem.
+	NewSelectionProblem = sched.NewSelectionProblem
+	// TwoObjectives is the §3.2 node + burst-buffer objective set.
+	TwoObjectives = sched.TwoObjectives
+	// FourObjectives adds the §5 SSD objectives.
+	FourObjectives = sched.FourObjectives
+	// TotalsOf derives Totals from a cluster config.
+	TotalsOf = sched.TotalsOf
+	// NewWeighted builds a two-objective weighted method.
+	NewWeighted = sched.NewWeighted
+)
+
+// BBSched itself.
+type (
+	// BBSched is the paper's method: MOO solve + decision rule.
+	BBSched = core.BBSched
+	// PluginConfig configures the §3.1 scheduling window.
+	PluginConfig = core.PluginConfig
+	// Plugin wraps any Method with window semantics.
+	Plugin = core.Plugin
+	// Adaptive wraps BBSched with online trade-off-factor tuning
+	// (§3.2.4's adaptive decision making).
+	Adaptive = core.Adaptive
+	// WindowPolicy sizes the window dynamically (§3.1).
+	WindowPolicy = core.WindowPolicy
+	// FixedWindow is the paper's static window size.
+	FixedWindow = core.FixedWindow
+	// AdaptiveWindow scales the window with queue length.
+	AdaptiveWindow = core.AdaptiveWindow
+)
+
+var (
+	// New returns two-objective BBSched with paper defaults.
+	New = core.New
+	// NewFourObjective returns the §5 four-objective variant.
+	NewFourObjective = core.NewFourObjective
+	// Decide applies the §3.2.4 decision rule to a Pareto front.
+	Decide = core.Decide
+	// DefaultPluginConfig returns w=20, starvation bound 50.
+	DefaultPluginConfig = core.DefaultPluginConfig
+	// NewPlugin wraps a method with window semantics.
+	NewPlugin = core.NewPlugin
+	// NewAdaptive wraps BBSched with the default adaptive controller.
+	NewAdaptive = core.NewAdaptive
+	// NewAdaptiveWindow returns the default dynamic window policy.
+	NewAdaptiveWindow = core.NewAdaptiveWindow
+)
+
+// Queue and base policies.
+type (
+	// Queue is the base-policy-ordered waiting queue.
+	Queue = queue.Queue
+	// FCFS orders jobs by arrival (Cori / Slurm default).
+	FCFS = queue.FCFS
+	// WFP is ALCF's utility policy (Theta / Cobalt).
+	WFP = queue.WFP
+	// Multifactor approximates Slurm's multifactor priority plugin.
+	Multifactor = queue.Multifactor
+)
+
+// NewQueue builds an empty waiting queue.
+var NewQueue = queue.New
+
+// Workloads.
+type (
+	// SystemModel couples a machine with its workload character.
+	SystemModel = trace.SystemModel
+	// Workload is a job trace targeting a system.
+	Workload = trace.Workload
+	// GenConfig parameterizes the workload generator.
+	GenConfig = trace.GenConfig
+	// SSDMix is a §5 local-SSD request mix.
+	SSDMix = trace.SSDMix
+	// SWFOptions controls Standard Workload Format import.
+	SWFOptions = trace.SWFOptions
+)
+
+var (
+	// Cori and Theta return the Table 2 system models.
+	Cori  = trace.Cori
+	Theta = trace.Theta
+	// ScaleSystem shrinks a system model for laptop-scale runs.
+	ScaleSystem = trace.Scale
+	// WithSSD splits a system's nodes into 128/256 GB SSD classes.
+	WithSSD = trace.WithSSD
+	// Generate synthesizes a workload.
+	Generate = trace.Generate
+	// ExpandBB applies the S1–S4 burst-buffer expansion.
+	ExpandBB = trace.ExpandBB
+	// AddSSD applies the S5–S7 local-SSD mixes.
+	AddSSD = trace.AddSSD
+	// WorkloadMatrix returns the ten §4 workloads.
+	WorkloadMatrix = trace.Matrix
+	// ReadTraceCSV and WriteTraceCSV persist workloads.
+	ReadTraceCSV  = trace.ReadCSV
+	WriteTraceCSV = trace.WriteCSV
+	// ReadSWF and WriteSWF exchange Standard Workload Format logs.
+	ReadSWF  = trace.ReadSWF
+	WriteSWF = trace.WriteSWF
+	// BBFloors calibrates the S1-S4 expansion floors for a workload.
+	BBFloors = trace.BBFloors
+	// WithStageOut adds Slurm-style stage-out phases to BB jobs.
+	WithStageOut = trace.WithStageOut
+	// WithPersistentBB reserves a fraction of the pool persistently.
+	WithPersistentBB = trace.WithPersistentBB
+)
+
+// S5, S6, S7 are the §5 SSD request mixes.
+var (
+	S5 = trace.S5
+	S6 = trace.S6
+	S7 = trace.S7
+)
+
+// Simulation.
+type (
+	// SimConfig parameterizes one trace-driven simulation run.
+	SimConfig = sim.Config
+	// SimResult is a finished run's metrics.
+	SimResult = sim.Result
+	// Report is the §4.2 metric set.
+	Report = metrics.Report
+	// EventRecord is one line of the simulation event log.
+	EventRecord = sim.EventRecord
+)
+
+// Run simulates a workload under a scheduling method.
+var Run = sim.Run
+
+// ReadEventLog parses a JSONL simulation event log.
+var ReadEventLog = sim.ReadEventLog
+
+// HypervolumeMC estimates N-dimensional front hypervolume by sampling.
+var HypervolumeMC = moo.HypervolumeMC
+
+// NewRand returns a deterministic random stream for solver calls.
+func NewRand(seed uint64) *rng.Stream { return rng.New(seed) }

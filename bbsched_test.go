@@ -1,0 +1,117 @@
+package bbsched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bbsched"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the package doc
+// shows: model a system, generate a workload, run BBSched, read metrics.
+func TestFacadeEndToEnd(t *testing.T) {
+	system := bbsched.ScaleSystem(bbsched.Theta(), 64)
+	workload := bbsched.Generate(bbsched.GenConfig{System: system, Jobs: 80, Seed: 1})
+
+	method := bbsched.New()
+	method.GA = bbsched.GAConfig{Generations: 60, Population: 12, MutationProb: 0.01}
+
+	res, err := bbsched.Run(bbsched.SimConfig{
+		Workload: workload,
+		Method:   method,
+		Plugin:   bbsched.DefaultPluginConfig(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJobs != 80 {
+		t.Fatalf("total jobs = %d", res.TotalJobs)
+	}
+	if res.NodeUsage <= 0 || res.NodeUsage > 1 {
+		t.Fatalf("node usage = %v", res.NodeUsage)
+	}
+}
+
+// TestFacadeWindowSolve exercises the lower-level window API.
+func TestFacadeWindowSolve(t *testing.T) {
+	machine, err := bbsched.NewCluster(bbsched.ClusterConfig{Name: "m", Nodes: 100, BurstBufferGB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var window []*bbsched.Job
+	for i, d := range []bbsched.Demand{
+		bbsched.NewDemand(80, 20, 0),
+		bbsched.NewDemand(10, 85, 0),
+		bbsched.NewDemand(40, 5, 0),
+		bbsched.NewDemand(10, 0, 0),
+		bbsched.NewDemand(20, 0, 0),
+	} {
+		j, err := bbsched.NewJob(i+1, int64(i), 100, 100, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		window = append(window, j)
+	}
+	p := bbsched.NewSelectionProblem(window, machine.Snapshot(), bbsched.TwoObjectives())
+	front, err := bbsched.SolveExhaustive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := bbsched.Decide(front, bbsched.TwoObjectives(), bbsched.TotalsOf(machine.Config()), 2)
+	objs := front[pick].Objectives
+	if objs[0] != 80 || objs[1] != 90 {
+		t.Fatalf("decision rule picked %v, want the paper's (80, 90)", objs)
+	}
+}
+
+// TestFacadeExtensions exercises the beyond-the-paper API surface:
+// adaptive controller, dynamic window, stage-out, persistent reservations,
+// SWF, and the event log, end to end in one simulation.
+func TestFacadeExtensions(t *testing.T) {
+	system := bbsched.WithPersistentBB(bbsched.ScaleSystem(bbsched.Theta(), 64), 0.1)
+	base := bbsched.Generate(bbsched.GenConfig{System: system, Jobs: 60, Seed: 2})
+	_, heavy := bbsched.BBFloors(base)
+	w := bbsched.ExpandBB(base, "ext-S4", 0.5, heavy, 3)
+	w = bbsched.WithStageOut(w, 25)
+
+	inner := bbsched.New()
+	inner.GA = bbsched.GAConfig{Generations: 40, Population: 10, MutationProb: 0.01}
+	var events bytes.Buffer
+	res, err := bbsched.Run(bbsched.SimConfig{
+		Workload: w,
+		Method:   bbsched.NewAdaptive(inner),
+		Plugin: bbsched.PluginConfig{
+			WindowPolicy:    bbsched.NewAdaptiveWindow(),
+			StarvationBound: 50,
+		},
+		Seed:     1,
+		EventLog: &events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "BBSched_Adaptive" {
+		t.Fatalf("method = %s", res.Method)
+	}
+	recs, err := bbsched.ReadEventLog(&events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 120 { // 60 submits + 60 starts at minimum
+		t.Fatalf("event log has %d records", len(recs))
+	}
+
+	// SWF round-trips through the facade too.
+	var swf bytes.Buffer
+	if err := bbsched.WriteSWF(&swf, base.Jobs, 64); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bbsched.ReadSWF(&swf, bbsched.SWFOptions{CoresPerNode: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(base.Jobs) {
+		t.Fatalf("swf round trip: %d jobs", len(back))
+	}
+}

@@ -1,0 +1,186 @@
+// Command bbsim runs one trace-driven scheduling simulation and prints the
+// §4.2 metrics.
+//
+// The trace comes either from a CSV file written by tracegen (-trace) or
+// from the built-in generator (-system/-jobs/-variant as in tracegen).
+//
+// Usage:
+//
+//	bbsim -system theta -scale 32 -jobs 500 -variant S4 -method BBSched
+//	bbsim -trace theta-s4.csv -system theta -method Constrained_CPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bbsched/internal/core"
+	"bbsched/internal/experiments"
+	"bbsched/internal/moo"
+	"bbsched/internal/sched"
+	"bbsched/internal/sim"
+	"bbsched/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile  = flag.String("trace", "", "CSV trace file (optional; otherwise generated)")
+		system     = flag.String("system", "theta", "system model: cori or theta")
+		scale      = flag.Int("scale", 32, "machine scale divisor")
+		jobs       = flag.Int("jobs", 500, "generated job count (ignored with -trace)")
+		variant    = flag.String("variant", "original", "original, S1..S7")
+		seed       = flag.Uint64("seed", 42, "seed")
+		methodName = flag.String("method", "BBSched", "scheduling method (see -methods)")
+		window     = flag.Int("window", 20, "window size")
+		starve     = flag.Int("starvation", 50, "starvation bound (0 = off)")
+		gens       = flag.Int("generations", 500, "GA generations")
+		pop        = flag.Int("population", 20, "GA population")
+		noBackfill = flag.Bool("no-backfill", false, "disable EASY backfilling")
+		adaptive   = flag.Bool("adaptive", false, "wrap BBSched with the adaptive trade-off controller")
+		dynWindow  = flag.Bool("dynamic-window", false, "size the window from queue length instead of -window")
+		stageOut   = flag.Float64("bb-drain-gbps", 0, "add stage-out phases at this drain bandwidth (0 = off)")
+		eventLog   = flag.String("eventlog", "", "write a JSONL event log to this file")
+		listM      = flag.Bool("methods", false, "list method names and exit")
+	)
+	flag.Parse()
+
+	ga := moo.GAConfig{Generations: *gens, Population: *pop, MutationProb: 0.0005}
+	roster := map[string]sched.Method{}
+	for _, m := range append(experiments.Methods(ga), experiments.SSDMethods(ga)...) {
+		roster[m.Name()] = m
+	}
+	if *listM {
+		for _, m := range experiments.Methods(ga) {
+			fmt.Println(m.Name())
+		}
+		fmt.Println("Constrained_SSD")
+		return
+	}
+	method, ok := roster[*methodName]
+	if !ok {
+		fail(fmt.Errorf("unknown method %q", *methodName))
+	}
+	if *adaptive {
+		bb, isBB := method.(*core.BBSched)
+		if !isBB {
+			fail(fmt.Errorf("-adaptive requires a BBSched method, got %s", method.Name()))
+		}
+		method = core.NewAdaptive(bb)
+	}
+
+	w, err := loadWorkload(*traceFile, *system, *jobs, *seed, *scale, *variant)
+	if err != nil {
+		fail(err)
+	}
+	if *stageOut > 0 {
+		w = trace.WithStageOut(w, *stageOut)
+	}
+	plugin := core.PluginConfig{WindowSize: *window, StarvationBound: *starve}
+	if *dynWindow {
+		plugin.WindowPolicy = core.NewAdaptiveWindow()
+	}
+	cfg := sim.Config{
+		Workload:        w,
+		Method:          method,
+		Plugin:          plugin,
+		DisableBackfill: *noBackfill,
+		Seed:            *seed,
+	}
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		cfg.EventLog = f
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	printResult(res)
+}
+
+func loadWorkload(traceFile, system string, jobs int, seed uint64, scale int, variant string) (trace.Workload, error) {
+	if traceFile == "" {
+		return buildGenerated(system, jobs, seed, scale, variant)
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	defer f.Close()
+	js, err := trace.ReadCSV(f)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	sys, err := systemModel(system, scale)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	if strings.ToUpper(variant)[0] == 'S' && variant >= "S5" {
+		sys = trace.WithSSD(sys)
+	}
+	return trace.Workload{Name: traceFile, System: sys, Jobs: js}, nil
+}
+
+func systemModel(system string, scale int) (trace.SystemModel, error) {
+	switch strings.ToLower(system) {
+	case "cori":
+		return trace.Scale(trace.Cori(), scale), nil
+	case "theta":
+		return trace.Scale(trace.Theta(), scale), nil
+	}
+	return trace.SystemModel{}, fmt.Errorf("unknown system %q", system)
+}
+
+func buildGenerated(system string, jobs int, seed uint64, scale int, variant string) (trace.Workload, error) {
+	sys, err := systemModel(system, scale)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	base := trace.Generate(trace.GenConfig{System: sys, Jobs: jobs, Seed: seed})
+	base.Name = sys.Cluster.Name + "-Original"
+	floor5, floor20 := trace.BBFloors(base)
+	switch strings.ToUpper(variant) {
+	case "ORIGINAL", "":
+		return base, nil
+	case "S1":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S1", 0.50, floor5, seed+1), nil
+	case "S2":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2), nil
+	case "S3":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S3", 0.50, floor20, seed+3), nil
+	case "S4":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S4", 0.75, floor20, seed+4), nil
+	case "S5", "S6", "S7":
+		mix := map[string]trace.SSDMix{"S5": trace.S5, "S6": trace.S6, "S7": trace.S7}[strings.ToUpper(variant)]
+		s2 := trace.ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2)
+		return trace.AddSSD(s2, sys.Cluster.Name+"-"+strings.ToUpper(variant), mix, seed+5), nil
+	}
+	return trace.Workload{}, fmt.Errorf("unknown variant %q", variant)
+}
+
+func printResult(r *sim.Result) {
+	fmt.Printf("workload:          %s\n", r.Workload)
+	fmt.Printf("method:            %s\n", r.Method)
+	fmt.Printf("jobs:              %d total, %d measured\n", r.TotalJobs, r.MeasuredJobs)
+	fmt.Printf("node usage:        %.2f%%\n", r.NodeUsage*100)
+	fmt.Printf("bb usage:          %.2f%%\n", r.BBUsage*100)
+	if r.SSDUsage > 0 {
+		fmt.Printf("ssd usage:         %.2f%%\n", r.SSDUsage*100)
+		fmt.Printf("wasted ssd:        %.2f%%\n", r.WastedSSDFrac*100)
+	}
+	fmt.Printf("avg wait:          %.0fs\n", r.AvgWaitSec)
+	fmt.Printf("avg slowdown:      %.2f\n", r.AvgSlowdown)
+	fmt.Printf("makespan:          %ds\n", r.MakespanSec)
+	fmt.Printf("sched invocations: %d (avg %v, max %v per decision)\n",
+		r.SchedInvocations, r.AvgDecisionTime, r.MaxDecisionTime)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bbsim:", err)
+	os.Exit(1)
+}

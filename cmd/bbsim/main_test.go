@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbsched/internal/trace"
+)
+
+func TestBuildGeneratedVariants(t *testing.T) {
+	for _, variant := range []string{"original", "s1", "S4", "s6"} {
+		w, err := buildGenerated("theta", 80, 1, 32, variant)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+	}
+	if _, err := buildGenerated("theta", 10, 1, 32, "S99"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := buildGenerated("mira", 10, 1, 32, "original"); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestLoadWorkloadFromCSV(t *testing.T) {
+	w, err := buildGenerated("theta", 40, 3, 32, "original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, w.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, err := loadWorkload(path, "theta", 0, 3, 32, "original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Jobs) != 40 {
+		t.Fatalf("loaded %d jobs", len(loaded.Jobs))
+	}
+	if loaded.System.Cluster.Nodes != w.System.Cluster.Nodes {
+		t.Fatal("system model mismatch")
+	}
+}
+
+func TestLoadWorkloadMissingFile(t *testing.T) {
+	if _, err := loadWorkload("/nonexistent/trace.csv", "theta", 0, 32, 32, "original"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

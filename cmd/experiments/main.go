@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run fig6            # one artifact
+//	experiments -run all             # everything, in paper order
+//	experiments -list                # available IDs
+//
+// Scale knobs (-jobs, -scale-cori, -scale-theta, -generations) trade
+// fidelity for runtime; defaults regenerate the full matrix in minutes on
+// a laptop. See EXPERIMENTS.md for the parameters used in the recorded
+// results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bbsched/internal/experiments"
+)
+
+func main() {
+	var (
+		run        = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jobs       = flag.Int("jobs", 0, "jobs per trace (default 400)")
+		seed       = flag.Uint64("seed", 0, "experiment seed (default 42)")
+		scaleCori  = flag.Int("scale-cori", 0, "Cori scale divisor (default 64; 1 = full size)")
+		scaleTheta = flag.Int("scale-theta", 0, "Theta scale divisor (default 32; 1 = full size)")
+		gens       = flag.Int("generations", 0, "GA generations (default 500)")
+		pop        = flag.Int("population", 0, "GA population (default 20)")
+		window     = flag.Int("window", 0, "scheduling window size (default 20)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-10s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	o := experiments.Defaults()
+	if *jobs > 0 {
+		o.Jobs = *jobs
+	}
+	if *seed > 0 {
+		o.Seed = *seed
+	}
+	if *scaleCori > 0 {
+		o.ScaleCori = *scaleCori
+	}
+	if *scaleTheta > 0 {
+		o.ScaleTheta = *scaleTheta
+	}
+	if *gens > 0 {
+		o.GA.Generations = *gens
+	}
+	if *pop > 0 {
+		o.GA.Population = *pop
+	}
+	if *window > 0 {
+		o.Window = *window
+	}
+
+	r := experiments.NewRunner(o)
+	if *run == "all" {
+		if err := r.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	out, err := r.Run(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,90 @@
+// Command tracegen generates synthetic Cori-like or Theta-like workload
+// traces (optionally with the paper's S1–S4 burst-buffer expansions or
+// S5–S7 local-SSD mixes) and writes them as CSV.
+//
+// Usage:
+//
+//	tracegen -system theta -jobs 5000 -variant S4 -o theta-s4.csv
+//	tracegen -system cori -scale 64 -variant S6 -o cori-s6.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bbsched/internal/trace"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "theta", "system model: cori or theta")
+		jobs    = flag.Int("jobs", 1000, "number of jobs")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		scale   = flag.Int("scale", 1, "machine scale divisor (1 = full size)")
+		variant = flag.String("variant", "original", "original, S1..S4 (burst buffer), S5..S7 (local SSD)")
+		deps    = flag.Float64("deps", 0, "fraction of jobs given a dependency")
+		out     = flag.String("o", "-", "output file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	w, err := build(*system, *jobs, *seed, *scale, strings.ToUpper(*variant), *deps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	var dst io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.WriteCSV(dst, w.Jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	st := trace.ComputeStats(w.Jobs)
+	fmt.Fprintf(os.Stderr, "%s: %d jobs, %d with BB requests (%.1f TB aggregate), horizon %ds\n",
+		w.Name, st.Jobs, st.BBJobs, float64(st.TotalBBGB)/1000, st.HorizonSec)
+}
+
+func build(system string, jobs int, seed uint64, scale int, variant string, deps float64) (trace.Workload, error) {
+	var sys trace.SystemModel
+	switch strings.ToLower(system) {
+	case "cori":
+		sys = trace.Cori()
+	case "theta":
+		sys = trace.Theta()
+	default:
+		return trace.Workload{}, fmt.Errorf("unknown system %q (want cori or theta)", system)
+	}
+	sys = trace.Scale(sys, scale)
+	base := trace.Generate(trace.GenConfig{System: sys, Jobs: jobs, Seed: seed, DependencyFraction: deps})
+	base.Name = sys.Cluster.Name + "-Original"
+
+	floor5, floor20 := trace.BBFloors(base)
+	switch variant {
+	case "ORIGINAL", "":
+		return base, nil
+	case "S1":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S1", 0.50, floor5, seed+1), nil
+	case "S2":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2), nil
+	case "S3":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S3", 0.50, floor20, seed+3), nil
+	case "S4":
+		return trace.ExpandBB(base, sys.Cluster.Name+"-S4", 0.75, floor20, seed+4), nil
+	case "S5", "S6", "S7":
+		mix := map[string]trace.SSDMix{"S5": trace.S5, "S6": trace.S6, "S7": trace.S7}[variant]
+		s2 := trace.ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2)
+		return trace.AddSSD(s2, sys.Cluster.Name+"-"+variant, mix, seed+5), nil
+	default:
+		return trace.Workload{}, fmt.Errorf("unknown variant %q", variant)
+	}
+}

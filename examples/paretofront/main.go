@@ -1,0 +1,60 @@
+// Pareto exploration: how the genetic solver's front compares to the
+// exact (exhaustive) front on a real scheduling window, and how solution
+// quality responds to the G and P parameters — the analysis behind
+// Figs. 2 and 4.
+//
+// Run with: go run ./examples/paretofront
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/moo"
+	"bbsched/internal/rng"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+func main() {
+	system := trace.Scale(trace.Theta(), 32)
+	// A burst-buffer-heavy (S4-like) window: node and BB demands compete,
+	// so the exact Pareto front has genuine trade-off points.
+	base := trace.Generate(trace.GenConfig{System: system, Jobs: 16, Seed: 11})
+	_, heavy := trace.BBFloors(base)
+	w := trace.ExpandBB(base, "window", 0.75, heavy, 13)
+	machine := cluster.MustNew(system.Cluster)
+
+	problem := sched.NewSelectionProblem(w.Jobs, machine.Snapshot(), sched.TwoObjectives())
+
+	// Exact reference front via 2^16 enumeration.
+	t0 := time.Now()
+	ref, err := moo.SolveExhaustive(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := time.Since(t0)
+	fmt.Printf("exhaustive: %d Pareto points in %v\n", len(ref), exact)
+
+	// GA fronts at increasing effort.
+	for _, g := range []int{50, 200, 500} {
+		cfg := moo.DefaultGAConfig()
+		cfg.Generations = g
+		t0 = time.Now()
+		front, err := moo.SolveGA(problem, cfg, rng.New(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GA G=%-4d: %2d points, GD=%.2f, %v\n",
+			g, len(front), moo.GenerationalDistance(front, ref), time.Since(t0))
+	}
+
+	fmt.Println("\nexact front (nodes, burst-buffer GB):")
+	for _, s := range ref {
+		fmt.Printf("  (%6.0f, %8.0f)\n", s.Objectives[0], s.Objectives[1])
+	}
+	fmt.Println("\nGD shrinks toward zero as G grows while the GA stays orders of")
+	fmt.Println("magnitude cheaper than enumeration — the trade-off Fig. 4 tunes.")
+}

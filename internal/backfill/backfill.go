@@ -1,0 +1,133 @@
+// Package backfill implements multi-resource EASY backfilling (§2.1,
+// [30]): lower-priority jobs may start ahead of the queue head as long as
+// they do not delay the head's earliest possible start time, computed from
+// the running jobs' expected (user-estimated) completion times.
+//
+// Unlike classic CPU-only EASY, the shadow-time computation here is
+// multi-resource and SSD-class aware: the head's reservation is found by
+// replaying expected releases into a resource snapshot until the head's
+// full demand vector (nodes per SSD class, burst buffer) fits.
+package backfill
+
+import (
+	"sort"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+)
+
+// Running describes one running job's held resources and when the
+// scheduler expects them back (start time + walltime estimate — actual
+// runtimes are unknowable at planning time).
+type Running struct {
+	// ReleaseTime is the expected completion time in seconds.
+	ReleaseTime int64
+	// NodesByClass is the per-SSD-class node count held.
+	NodesByClass []int
+	// BB is the burst buffer held in GB.
+	BB int64
+}
+
+// Plan returns the waiting jobs to start now, in start order. waiting must
+// be in base-priority order with dependency-blocked jobs already filtered
+// out; snap is the machine's current free state (not mutated).
+//
+// The plan is EASY: jobs start in priority order while they fit; the first
+// job that does not fit becomes the reservation head, and subsequent jobs
+// start only if they fit now and either complete before the head's shadow
+// time or fit inside the extra resources left at the shadow time after
+// the head's reservation.
+func Plan(snap cluster.Snapshot, running []Running, waiting []*job.Job, now int64) []*job.Job {
+	if len(waiting) == 0 {
+		return nil
+	}
+	free := snap.Clone()
+	releases := append([]Running(nil), running...)
+	sort.Slice(releases, func(i, j int) bool { return releases[i].ReleaseTime < releases[j].ReleaseTime })
+
+	var started []*job.Job
+	i := 0
+	// Phase 1: start heads in priority order while they fit outright.
+	for ; i < len(waiting); i++ {
+		j := waiting[i]
+		placed, err := free.Alloc(j.Demand)
+		if err != nil {
+			break
+		}
+		started = append(started, j)
+		end := now + j.WalltimeEst
+		if j.StageOutSec > 0 {
+			// Stage-out: nodes come back at the walltime estimate, the
+			// burst buffer only after the drain completes.
+			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass})
+			releases = insertRelease(releases, Running{ReleaseTime: end + j.StageOutSec, BB: j.Demand.BB()})
+		} else {
+			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass, BB: j.Demand.BB()})
+		}
+	}
+	if i >= len(waiting) {
+		return started
+	}
+
+	// Phase 2: reserve for the head, then backfill behind the reservation.
+	head := waiting[i]
+	shadow, leftover, ok := reservation(free, releases, head.Demand)
+	if !ok {
+		// The head cannot fit even once everything drains — it is bigger
+		// than the machine. Workload validation prevents this; be safe.
+		return started
+	}
+	for _, j := range waiting[i+1:] {
+		if !free.CanFit(j.Demand) {
+			continue
+		}
+		// A staging-out job holds burst buffer past its walltime; count
+		// the job as "done" only once everything is released (conservative
+		// for the node dimension, safe for the head's reservation).
+		endsBeforeShadow := now+j.WalltimeEst+j.StageOutSec <= shadow
+		if !endsBeforeShadow && !leftover.CanFit(j.Demand) {
+			continue
+		}
+		if _, err := free.Alloc(j.Demand); err != nil {
+			continue
+		}
+		if !endsBeforeShadow {
+			// Runs past the shadow: consume the head's leftover too.
+			if _, err := leftover.Alloc(j.Demand); err != nil {
+				// CanFit above makes this unreachable; keep state exact.
+				continue
+			}
+		}
+		started = append(started, j)
+	}
+	return started
+}
+
+// reservation computes the head job's shadow time — the earliest instant
+// the head fits as running jobs release — and the leftover free resources
+// at that instant after setting the head's reservation aside.
+func reservation(free cluster.Snapshot, releases []Running, head job.Demand) (shadow int64, leftover cluster.Snapshot, ok bool) {
+	work := free.Clone()
+	for _, r := range releases {
+		for c, n := range r.NodesByClass {
+			work.FreeByClass[c] += n
+		}
+		work.FreeBB += r.BB
+		if work.CanFit(head) {
+			if _, err := work.Alloc(head); err != nil {
+				return 0, cluster.Snapshot{}, false
+			}
+			return r.ReleaseTime, work, true
+		}
+	}
+	return 0, cluster.Snapshot{}, false
+}
+
+// insertRelease keeps releases sorted by time.
+func insertRelease(releases []Running, r Running) []Running {
+	pos := sort.Search(len(releases), func(i int) bool { return releases[i].ReleaseTime > r.ReleaseTime })
+	releases = append(releases, Running{})
+	copy(releases[pos+1:], releases[pos:])
+	releases[pos] = r
+	return releases
+}

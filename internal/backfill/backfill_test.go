@@ -1,0 +1,330 @@
+package backfill
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+	"bbsched/internal/rng"
+)
+
+func snap(nodes int, bb int64) cluster.Snapshot {
+	return cluster.MustNew(cluster.Config{Name: "t", Nodes: nodes, BurstBufferGB: bb}).Snapshot()
+}
+
+func mkJob(id int, nodes int, bb int64, walltime int64) *job.Job {
+	return job.MustNew(id, 0, walltime, walltime, job.NewDemand(nodes, bb, 0))
+}
+
+// running builds a Running entry for a single-class machine.
+func running(release int64, nodes int, bb int64) Running {
+	return Running{ReleaseTime: release, NodesByClass: []int{nodes}, BB: bb}
+}
+
+func TestEmptyWaiting(t *testing.T) {
+	if got := Plan(snap(10, 10), nil, nil, 0); got != nil {
+		t.Fatalf("Plan on empty queue = %v", got)
+	}
+}
+
+func TestHeadsStartWhileTheyFit(t *testing.T) {
+	waiting := []*job.Job{mkJob(1, 4, 0, 100), mkJob(2, 4, 0, 100), mkJob(3, 4, 0, 100)}
+	got := Plan(snap(10, 0), nil, waiting, 0)
+	// 4+4 fit; third (4) does not (2 free) and nothing can release.
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("started %v", ids(got))
+	}
+}
+
+func TestBackfillShortJobBehindReservation(t *testing.T) {
+	// 10 nodes; 8 busy until t=100. Head needs 10 → shadow at 100.
+	// A 2-node job with walltime 50 ends before the shadow: backfills.
+	// A 2-node job with walltime 200 would delay the head: skipped.
+	free := snap(10, 0).Clone()
+	if _, err := free.Alloc(job.NewDemand(8, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	run := []Running{running(100, 8, 0)}
+	head := mkJob(1, 10, 0, 500)
+	short := mkJob(2, 2, 0, 50)
+	long := mkJob(3, 2, 0, 200)
+	got := Plan(free, run, []*job.Job{head, short, long}, 0)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("backfilled %v, want [2]", ids(got))
+	}
+}
+
+func TestBackfillIntoShadowLeftover(t *testing.T) {
+	// 10 nodes; 8 busy until t=100. Head needs 6: shadow at 100 with
+	// leftover 10-6 = 4 nodes. A long 2-node job fits the leftover and
+	// the current free 2 nodes: backfills even though it outlives the
+	// shadow.
+	free := snap(10, 0).Clone()
+	if _, err := free.Alloc(job.NewDemand(8, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	run := []Running{running(100, 8, 0)}
+	head := mkJob(1, 6, 0, 500)
+	long := mkJob(2, 2, 0, 10000)
+	got := Plan(free, run, []*job.Job{head, long}, 0)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("backfilled %v, want [2]", ids(got))
+	}
+	// A 5-node long job exceeds the leftover: must not start.
+	free2 := snap(10, 0).Clone()
+	free2.Alloc(job.NewDemand(5, 0, 0))
+	run2 := []Running{running(100, 5, 0)}
+	head2 := mkJob(1, 6, 0, 500)
+	big := mkJob(2, 5, 0, 10000)
+	if got := Plan(free2, run2, []*job.Job{head2, big}, 0); len(got) != 0 {
+		t.Fatalf("5-node long job delayed the head: %v", ids(got))
+	}
+}
+
+func TestBackfillRespectsBurstBuffer(t *testing.T) {
+	// Plenty of nodes but BB contested: the backfill candidate must fit
+	// the BB dimension now.
+	free := snap(10, 100).Clone()
+	free.Alloc(job.NewDemand(2, 90, 0))
+	run := []Running{running(100, 2, 90)}
+	head := mkJob(1, 9, 50, 500) // blocked on nodes? 8 free, needs 9
+	cand := mkJob(2, 1, 20, 10)  // ends before shadow but BB 20 > 10 free
+	got := Plan(free, run, []*job.Job{head, cand}, 0)
+	if len(got) != 0 {
+		t.Fatalf("BB-infeasible candidate started: %v", ids(got))
+	}
+}
+
+func TestMultipleBackfillsConsumeResources(t *testing.T) {
+	// Backfills must account for one another, not just the head.
+	free := snap(10, 0).Clone()
+	free.Alloc(job.NewDemand(6, 0, 0))
+	run := []Running{running(100, 6, 0)}
+	head := mkJob(1, 8, 0, 500)
+	c1 := mkJob(2, 3, 0, 50)
+	c2 := mkJob(3, 3, 0, 50) // only 1 node left after c1
+	got := Plan(free, run, []*job.Job{head, c1, c2}, 0)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("backfilled %v, want [2] only", ids(got))
+	}
+}
+
+func TestShadowAccumulatesReleases(t *testing.T) {
+	// Head needs 9; releases at t=50 (3 nodes) and t=120 (4 nodes) on top
+	// of 3 free → shadow at 120. A 60s 2-node candidate at t=0 ends at 60
+	// ≤ 120: backfills.
+	free := snap(10, 0).Clone()
+	free.Alloc(job.NewDemand(3, 0, 0))
+	free.Alloc(job.NewDemand(4, 0, 0))
+	run := []Running{running(50, 3, 0), running(120, 4, 0)}
+	head := mkJob(1, 9, 0, 500)
+	cand := mkJob(2, 2, 0, 60)
+	got := Plan(free, run, []*job.Job{head, cand}, 0)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("backfilled %v, want [2]", ids(got))
+	}
+	// At walltime 130 the candidate outlives the shadow and the leftover
+	// at shadow is 10-9 = 1 node < 2: skipped.
+	cand2 := mkJob(3, 2, 0, 130)
+	if got := Plan(free, run, []*job.Job{head, cand2}, 0); len(got) != 0 {
+		t.Fatalf("shadow-violating candidate started: %v", ids(got))
+	}
+}
+
+func TestStartedHeadsExtendReleases(t *testing.T) {
+	// A phase-1 head start becomes a release that defines the next head's
+	// shadow. 10 nodes, all free. J1 takes 10 for 100s. J2 (head) needs
+	// 10 → shadow 100. J3 (1 node, 50s)… cannot fit now (0 free): no
+	// backfill. Only J1 starts.
+	head1 := mkJob(1, 10, 0, 100)
+	head2 := mkJob(2, 10, 0, 100)
+	c := mkJob(3, 1, 0, 50)
+	got := Plan(snap(10, 0), nil, []*job.Job{head1, head2, c}, 0)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("started %v, want [1]", ids(got))
+	}
+}
+
+func TestSSDClassAwareBackfill(t *testing.T) {
+	cfg := cluster.Config{
+		Name: "ssd", Nodes: 4, BurstBufferGB: 0,
+		SSDClasses: []cluster.SSDClass{{CapacityGB: 128, Count: 2}, {CapacityGB: 256, Count: 2}},
+	}
+	cl := cluster.MustNew(cfg)
+	// Occupy both 256 GB nodes until t=100.
+	occ := job.MustNew(9, 0, 100, 100, job.NewDemand(2, 0, 200))
+	alloc, err := cl.Allocate(occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := []Running{{ReleaseTime: 100, NodesByClass: alloc.NodesByClass, BB: 0}}
+	// Head needs one 256 GB node: blocked now, shadow at 100.
+	head := job.MustNew(1, 0, 500, 500, job.NewDemand(1, 0, 200))
+	// Candidate: small-SSD job ending before shadow → backfills onto the
+	// free 128 GB nodes.
+	cand := job.MustNew(2, 0, 50, 50, job.NewDemand(2, 0, 64))
+	got := Plan(cl.Snapshot(), run, []*job.Job{head, cand}, 0)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("backfilled %v, want [2]", ids(got))
+	}
+	// A large-SSD candidate cannot fit now even though node counts allow:
+	cand2 := job.MustNew(3, 0, 50, 50, job.NewDemand(1, 0, 250))
+	if got := Plan(cl.Snapshot(), run, []*job.Job{head, cand2}, 0); len(got) != 0 {
+		t.Fatalf("SSD-infeasible candidate started: %v", ids(got))
+	}
+}
+
+// TestPlanNeverOversubscribes drives random states through Plan and checks
+// the combined started set fits the initial snapshot.
+func TestPlanNeverOversubscribes(t *testing.T) {
+	r := rng.New(7)
+	f := func(seed uint16) bool {
+		st := r.SplitIndex(uint64(seed))
+		cl := cluster.MustNew(cluster.Config{Name: "p", Nodes: 32, BurstBufferGB: 200})
+		var run []Running
+		for i := 0; i < st.Intn(5); i++ {
+			d := job.NewDemand(1+st.Intn(8), st.Int63n(50), 0)
+			j := job.MustNew(1000+i, 0, 100, 100, d)
+			if a, err := cl.Allocate(j); err == nil {
+				run = append(run, Running{ReleaseTime: 10 + st.Int63n(500), NodesByClass: a.NodesByClass, BB: d.BB()})
+			}
+		}
+		n := 1 + st.Intn(10)
+		waiting := make([]*job.Job, n)
+		for i := range waiting {
+			waiting[i] = job.MustNew(i, 0, 1+st.Int63n(400), 1+st.Int63n(400), job.NewDemand(1+st.Intn(20), st.Int63n(150), 0))
+		}
+		started := Plan(cl.Snapshot(), run, waiting, 0)
+		scratch := cl.Snapshot()
+		for _, j := range started {
+			if _, err := scratch.Alloc(j.Demand); err != nil {
+				return false
+			}
+		}
+		// No duplicates.
+		seen := map[int]bool{}
+		for _, j := range started {
+			if seen[j.ID] {
+				return false
+			}
+			seen[j.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackfillNeverDelaysHead property: simulate the releases and verify
+// the head can still start at its shadow time after the backfills.
+func TestBackfillNeverDelaysHead(t *testing.T) {
+	r := rng.New(13)
+	f := func(seed uint16) bool {
+		st := r.SplitIndex(uint64(seed))
+		cl := cluster.MustNew(cluster.Config{Name: "p", Nodes: 24, BurstBufferGB: 100})
+		var run []Running
+		for i := 0; i < 1+st.Intn(4); i++ {
+			d := job.NewDemand(2+st.Intn(8), st.Int63n(30), 0)
+			j := job.MustNew(1000+i, 0, 100, 100, d)
+			if a, err := cl.Allocate(j); err == nil {
+				run = append(run, Running{ReleaseTime: 50 + st.Int63n(300), NodesByClass: a.NodesByClass, BB: d.BB()})
+			}
+		}
+		waiting := make([]*job.Job, 6)
+		for i := range waiting {
+			waiting[i] = job.MustNew(i, 0, 1+st.Int63n(400), 1+st.Int63n(400), job.NewDemand(1+st.Intn(20), st.Int63n(60), 0))
+		}
+		started := Plan(cl.Snapshot(), run, waiting, 0)
+		startedSet := map[int]bool{}
+		for _, j := range started {
+			startedSet[j.ID] = true
+		}
+		// Identify the head (first waiting job not started) and split the
+		// started jobs into priority starts (before the head, phase 1)
+		// and backfills (after the head, phase 2).
+		var head *job.Job
+		var priorityStarts, backfills []*job.Job
+		for _, j := range waiting {
+			switch {
+			case head == nil && !startedSet[j.ID]:
+				head = j
+			case startedSet[j.ID] && head == nil:
+				priorityStarts = append(priorityStarts, j)
+			case startedSet[j.ID]:
+				backfills = append(backfills, j)
+			}
+		}
+		if head == nil {
+			return true // everything started; nothing to delay
+		}
+		// Baseline: free state and releases with only priority starts.
+		free0 := cl.Snapshot()
+		releases0 := append([]Running(nil), run...)
+		for _, j := range priorityStarts {
+			placed, err := free0.Alloc(j.Demand)
+			if err != nil {
+				return false
+			}
+			releases0 = append(releases0, Running{ReleaseTime: j.WalltimeEst, NodesByClass: placed.NodesByClass, BB: j.Demand.BB()})
+		}
+		shadowBefore, ok := shadowOf(free0, releases0, head)
+		if !ok {
+			return true // head bigger than machine; out of scope here
+		}
+		// With backfills added.
+		free1 := free0.Clone()
+		releases1 := append([]Running(nil), releases0...)
+		for _, j := range backfills {
+			placed, err := free1.Alloc(j.Demand)
+			if err != nil {
+				return false
+			}
+			releases1 = append(releases1, Running{ReleaseTime: j.WalltimeEst, NodesByClass: placed.NodesByClass, BB: j.Demand.BB()})
+		}
+		shadowAfter, ok := shadowOf(free1, releases1, head)
+		if !ok {
+			return false // head must still fit eventually
+		}
+		return shadowAfter <= shadowBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shadowOf computes the earliest time head fits as releases return.
+func shadowOf(free cluster.Snapshot, run []Running, head *job.Job) (int64, bool) {
+	work := free.Clone()
+	if work.CanFit(head.Demand) {
+		return 0, true
+	}
+	// Sort releases by time.
+	rs := append([]Running(nil), run...)
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[j].ReleaseTime < rs[i].ReleaseTime {
+				rs[i], rs[j] = rs[j], rs[i]
+			}
+		}
+	}
+	for _, r := range rs {
+		for c, n := range r.NodesByClass {
+			work.FreeByClass[c] += n
+		}
+		work.FreeBB += r.BB
+		if work.CanFit(head.Demand) {
+			return r.ReleaseTime, true
+		}
+	}
+	return 0, false
+}
+
+func ids(jobs []*job.Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+// Package cluster models the schedulable state of an HPC machine: a pool of
+// compute nodes, a shared burst-buffer pool, and optionally heterogeneous
+// per-node local SSDs (the §5 case study: half the nodes carry 128 GB SSDs,
+// half 256 GB).
+//
+// Nodes of equal SSD capacity are interchangeable, so the cluster tracks
+// node *classes* (capacity, count) instead of individual nodes; this keeps
+// feasibility checks O(#classes) even for 12,076-node systems and lets
+// schedulers clone the whole free-state in a few words when evaluating
+// candidate job sets.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bbsched/internal/job"
+)
+
+// SSDClass describes one group of identical nodes.
+type SSDClass struct {
+	// CapacityGB is the local SSD capacity of every node in this class.
+	CapacityGB int64
+	// Count is the number of nodes in the class.
+	Count int
+}
+
+// Config describes a machine.
+type Config struct {
+	// Name labels the system in logs and experiment output.
+	Name string
+	// Nodes is the total compute-node count.
+	Nodes int
+	// BurstBufferGB is the shared burst-buffer pool size in GB.
+	BurstBufferGB int64
+	// SSDClasses partitions the nodes by local SSD capacity. Empty means
+	// the machine has no local SSDs (all nodes form one class of capacity
+	// zero). If non-empty, class counts must sum to Nodes.
+	SSDClasses []SSDClass
+}
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster %q: non-positive node count %d", c.Name, c.Nodes)
+	}
+	if c.BurstBufferGB < 0 {
+		return fmt.Errorf("cluster %q: negative burst buffer %d", c.Name, c.BurstBufferGB)
+	}
+	if len(c.SSDClasses) == 0 {
+		return nil
+	}
+	total := 0
+	for _, cl := range c.SSDClasses {
+		if cl.CapacityGB < 0 {
+			return fmt.Errorf("cluster %q: negative SSD capacity %d", c.Name, cl.CapacityGB)
+		}
+		if cl.Count <= 0 {
+			return fmt.Errorf("cluster %q: non-positive class count %d", c.Name, cl.Count)
+		}
+		total += cl.Count
+	}
+	if total != c.Nodes {
+		return fmt.Errorf("cluster %q: SSD class counts sum to %d, want %d", c.Name, total, c.Nodes)
+	}
+	return nil
+}
+
+// normClasses returns the node classes sorted by ascending SSD capacity,
+// synthesizing a single zero-capacity class for SSD-less machines.
+func (c Config) normClasses() []SSDClass {
+	if len(c.SSDClasses) == 0 {
+		return []SSDClass{{CapacityGB: 0, Count: c.Nodes}}
+	}
+	out := append([]SSDClass(nil), c.SSDClasses...)
+	sort.Slice(out, func(i, j int) bool { return out[i].CapacityGB < out[j].CapacityGB })
+	return out
+}
+
+// Allocation records the resources a running job holds.
+type Allocation struct {
+	// JobID identifies the owner.
+	JobID int
+	// NodesByClass[i] is the number of nodes taken from class i.
+	NodesByClass []int
+	// BB is the shared burst buffer held, in GB.
+	BB int64
+	// WastedSSD is Σ over assigned nodes of (node SSD capacity − requested
+	// per-node SSD), the per-job contribution to objective f4 (§5).
+	WastedSSD int64
+}
+
+// TotalNodes returns the allocation's node count.
+func (a Allocation) TotalNodes() int {
+	n := 0
+	for _, c := range a.NodesByClass {
+		n += c
+	}
+	return n
+}
+
+// ErrNoFit is returned when a demand cannot be satisfied right now.
+var ErrNoFit = errors.New("cluster: demand does not fit free resources")
+
+// Cluster is the live machine state. It is not safe for concurrent use;
+// the discrete-event simulator drives it from a single goroutine.
+type Cluster struct {
+	cfg     Config
+	classes []SSDClass // normalized, ascending capacity
+	free    Snapshot
+	allocs  map[int]Allocation
+}
+
+// New constructs a cluster, or returns the config validation error.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	classes := cfg.normClasses()
+	free := Snapshot{
+		FreeBB:        cfg.BurstBufferGB,
+		FreeByClass:   make([]int, len(classes)),
+		classCapacity: make([]int64, len(classes)),
+	}
+	for i, cl := range classes {
+		free.FreeByClass[i] = cl.Count
+		free.classCapacity[i] = cl.CapacityGB
+	}
+	return &Cluster{cfg: cfg, classes: classes, free: free, allocs: make(map[int]Allocation)}, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed experiment setups.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the machine description.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// TotalNodes returns the machine's node count.
+func (c *Cluster) TotalNodes() int { return c.cfg.Nodes }
+
+// TotalBB returns the machine's burst-buffer pool size in GB.
+func (c *Cluster) TotalBB() int64 { return c.cfg.BurstBufferGB }
+
+// FreeNodes returns the currently idle node count.
+func (c *Cluster) FreeNodes() int { return c.free.FreeNodes() }
+
+// FreeBB returns the currently unallocated burst buffer in GB.
+func (c *Cluster) FreeBB() int64 { return c.free.FreeBB }
+
+// UsedNodes returns the node count currently allocated.
+func (c *Cluster) UsedNodes() int { return c.cfg.Nodes - c.FreeNodes() }
+
+// UsedBB returns the burst buffer currently allocated, in GB.
+func (c *Cluster) UsedBB() int64 { return c.cfg.BurstBufferGB - c.free.FreeBB }
+
+// RunningJobs returns the number of live allocations.
+func (c *Cluster) RunningJobs() int { return len(c.allocs) }
+
+// Snapshot returns a copy of the free state that schedulers may mutate
+// freely while evaluating candidate job sets.
+func (c *Cluster) Snapshot() Snapshot { return c.free.Clone() }
+
+// CanFit reports whether the demand fits the currently free resources.
+func (c *Cluster) CanFit(d job.Demand) bool {
+	s := c.free.Clone()
+	_, err := s.Alloc(d)
+	return err == nil
+}
+
+// Allocate assigns resources for j, recording the allocation. It fails with
+// ErrNoFit if the demand does not fit, and rejects double allocation.
+func (c *Cluster) Allocate(j *job.Job) (Allocation, error) {
+	if _, dup := c.allocs[j.ID]; dup {
+		return Allocation{}, fmt.Errorf("cluster: job %d already allocated", j.ID)
+	}
+	placed, err := c.free.Alloc(j.Demand)
+	if err != nil {
+		return Allocation{}, err
+	}
+	a := Allocation{JobID: j.ID, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), WastedSSD: placed.WastedSSD}
+	c.allocs[j.ID] = a
+	return a, nil
+}
+
+// Release returns all of job jobID's remaining resources to the free pool.
+func (c *Cluster) Release(jobID int) error {
+	a, ok := c.allocs[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %d has no allocation", jobID)
+	}
+	delete(c.allocs, jobID)
+	for i, n := range a.NodesByClass {
+		c.free.FreeByClass[i] += n
+	}
+	c.free.FreeBB += a.BB
+	return nil
+}
+
+// ReleaseNodes returns only job jobID's compute nodes, keeping its burst
+// buffer held. Models Slurm-style stage-out: data drains from the burst
+// buffer to the parallel file system after the job's nodes are freed, so
+// the BB allocation outlives the node allocation. Release (or a second
+// ReleaseNodes + Release) finishes the job later. Idempotent on nodes.
+func (c *Cluster) ReleaseNodes(jobID int) error {
+	a, ok := c.allocs[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %d has no allocation", jobID)
+	}
+	for i, n := range a.NodesByClass {
+		c.free.FreeByClass[i] += n
+		a.NodesByClass[i] = 0
+	}
+	c.allocs[jobID] = a
+	return nil
+}
+
+// ReserveBB permanently allocates amount GB of burst buffer outside any
+// job — Cori's persistent reservations (§4.1: one-third of the pool has
+// job-independent lifetime). The reservation is keyed by ownerID (must not
+// collide with job IDs) and can be released like a job.
+func (c *Cluster) ReserveBB(ownerID int, amount int64) error {
+	if amount < 0 {
+		return fmt.Errorf("cluster: negative reservation %d", amount)
+	}
+	if _, dup := c.allocs[ownerID]; dup {
+		return fmt.Errorf("cluster: reservation owner %d already allocated", ownerID)
+	}
+	if amount > c.free.FreeBB {
+		return ErrNoFit
+	}
+	c.free.FreeBB -= amount
+	c.allocs[ownerID] = Allocation{JobID: ownerID, NodesByClass: make([]int, len(c.classes)), BB: amount}
+	return nil
+}
+
+// CheckInvariants verifies conservation: free + allocated equals machine
+// totals in every dimension. Tests call it after random workloads.
+func (c *Cluster) CheckInvariants() error {
+	usedByClass := make([]int, len(c.classes))
+	var usedBB int64
+	for _, a := range c.allocs {
+		for i, n := range a.NodesByClass {
+			usedByClass[i] += n
+		}
+		usedBB += a.BB
+	}
+	for i, cl := range c.classes {
+		if c.free.FreeByClass[i]+usedByClass[i] != cl.Count {
+			return fmt.Errorf("class %d: free %d + used %d != total %d",
+				i, c.free.FreeByClass[i], usedByClass[i], cl.Count)
+		}
+		if c.free.FreeByClass[i] < 0 {
+			return fmt.Errorf("class %d: negative free count", i)
+		}
+	}
+	if c.free.FreeBB+usedBB != c.cfg.BurstBufferGB {
+		return fmt.Errorf("bb: free %d + used %d != total %d", c.free.FreeBB, usedBB, c.cfg.BurstBufferGB)
+	}
+	if c.free.FreeBB < 0 {
+		return errors.New("bb: negative free")
+	}
+	return nil
+}
+
+// Placement describes where a demand landed within a Snapshot.
+type Placement struct {
+	// NodesByClass[i] is the node count taken from class i.
+	NodesByClass []int
+	// WastedSSD is the assigned-minus-requested SSD volume in GB.
+	WastedSSD int64
+}
+
+// Snapshot is a copyable view of free resources. Schedulers use it to test
+// "what if we started this job set" without touching live cluster state.
+type Snapshot struct {
+	// FreeBB is the unallocated burst buffer in GB.
+	FreeBB int64
+	// FreeByClass is the free node count per class (ascending capacity).
+	FreeByClass []int
+	// classCapacity mirrors the class SSD capacities.
+	classCapacity []int64
+}
+
+// Clone returns an independent copy.
+func (s Snapshot) Clone() Snapshot {
+	c := s
+	c.FreeByClass = append([]int(nil), s.FreeByClass...)
+	// classCapacity is immutable after construction; sharing it is safe.
+	return c
+}
+
+// FreeNodes returns the snapshot's total free node count.
+func (s Snapshot) FreeNodes() int {
+	n := 0
+	for _, c := range s.FreeByClass {
+		n += c
+	}
+	return n
+}
+
+// ClassCapacity returns the SSD capacity of class i in GB.
+func (s Snapshot) ClassCapacity(i int) int64 { return s.classCapacity[i] }
+
+// NumClasses returns the number of node classes.
+func (s Snapshot) NumClasses() int { return len(s.FreeByClass) }
+
+// Alloc consumes the demand from the snapshot, choosing nodes from the
+// smallest eligible SSD class first (the paper's §5 placement rule, which
+// keeps big-SSD nodes for big requests and so mitigates wasted SSD). It
+// returns the placement, or ErrNoFit leaving the snapshot unchanged.
+func (s *Snapshot) Alloc(d job.Demand) (Placement, error) {
+	need := d.NodeCount()
+	if need <= 0 {
+		return Placement{}, fmt.Errorf("cluster: demand requests %d nodes", need)
+	}
+	if d.BB() > s.FreeBB {
+		return Placement{}, ErrNoFit
+	}
+	placed := make([]int, len(s.FreeByClass))
+	var wasted int64
+	remaining := need
+	for i := range s.FreeByClass {
+		if s.classCapacity[i] < d.SSDPerNode() {
+			continue // nodes in this class are too small for the request
+		}
+		take := min(remaining, s.FreeByClass[i])
+		placed[i] = take
+		wasted += int64(take) * (s.classCapacity[i] - d.SSDPerNode())
+		remaining -= take
+		if remaining == 0 {
+			break
+		}
+	}
+	if remaining > 0 {
+		return Placement{}, ErrNoFit
+	}
+	for i, n := range placed {
+		s.FreeByClass[i] -= n
+	}
+	s.FreeBB -= d.BB()
+	return Placement{NodesByClass: placed, WastedSSD: wasted}, nil
+}
+
+// CanFit reports whether the demand would fit without mutating the snapshot.
+func (s Snapshot) CanFit(d job.Demand) bool {
+	c := s.Clone()
+	_, err := c.Alloc(d)
+	return err == nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

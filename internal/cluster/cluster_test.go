@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bbsched/internal/job"
+	"bbsched/internal/rng"
+)
+
+func simpleCfg() Config {
+	return Config{Name: "test", Nodes: 100, BurstBufferGB: 1000}
+}
+
+func ssdCfg() Config {
+	return Config{
+		Name: "ssd", Nodes: 10, BurstBufferGB: 100,
+		SSDClasses: []SSDClass{{CapacityGB: 256, Count: 5}, {CapacityGB: 128, Count: 5}},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"simple", simpleCfg(), true},
+		{"ssd", ssdCfg(), true},
+		{"zero nodes", Config{Nodes: 0}, false},
+		{"negative bb", Config{Nodes: 1, BurstBufferGB: -1}, false},
+		{"class mismatch", Config{Nodes: 10, SSDClasses: []SSDClass{{128, 3}}}, false},
+		{"negative capacity", Config{Nodes: 1, SSDClasses: []SSDClass{{-1, 1}}}, false},
+		{"zero class count", Config{Nodes: 1, SSDClasses: []SSDClass{{128, 0}}}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	c := MustNew(simpleCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(40, 600, 0))
+	a, err := c.Allocate(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalNodes() != 40 || a.BB != 600 {
+		t.Fatalf("allocation = %+v", a)
+	}
+	if c.FreeNodes() != 60 || c.FreeBB() != 400 {
+		t.Fatalf("free = %d nodes, %d bb", c.FreeNodes(), c.FreeBB())
+	}
+	if c.UsedNodes() != 40 || c.UsedBB() != 600 {
+		t.Fatalf("used = %d nodes, %d bb", c.UsedNodes(), c.UsedBB())
+	}
+	if err := c.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 100 || c.FreeBB() != 1000 {
+		t.Fatal("release did not restore resources")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleAllocateRejected(t *testing.T) {
+	c := MustNew(simpleCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(1, 0, 0))
+	if _, err := c.Allocate(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(j); err == nil {
+		t.Fatal("double allocation accepted")
+	}
+}
+
+func TestReleaseUnknownRejected(t *testing.T) {
+	c := MustNew(simpleCfg())
+	if err := c.Release(42); err == nil {
+		t.Fatal("release of unknown job accepted")
+	}
+}
+
+func TestNoFitNodes(t *testing.T) {
+	c := MustNew(simpleCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(101, 0, 0))
+	if _, err := c.Allocate(j); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("err = %v, want ErrNoFit", err)
+	}
+	if c.FreeNodes() != 100 {
+		t.Fatal("failed allocation leaked nodes")
+	}
+}
+
+func TestNoFitBB(t *testing.T) {
+	c := MustNew(simpleCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(1, 1001, 0))
+	if _, err := c.Allocate(j); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("err = %v, want ErrNoFit", err)
+	}
+	if c.FreeBB() != 1000 {
+		t.Fatal("failed allocation leaked burst buffer")
+	}
+}
+
+func TestSSDPlacementPrefersSmallClass(t *testing.T) {
+	c := MustNew(ssdCfg())
+	// A small-SSD request must land on 128 GB nodes first.
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(3, 0, 64))
+	a, err := c.Allocate(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classes are normalized ascending: index 0 is the 128 GB class.
+	if a.NodesByClass[0] != 3 || a.NodesByClass[1] != 0 {
+		t.Fatalf("placement = %v, want all nodes from 128GB class", a.NodesByClass)
+	}
+	if a.WastedSSD != 3*(128-64) {
+		t.Fatalf("wasted SSD = %d, want %d", a.WastedSSD, 3*(128-64))
+	}
+}
+
+func TestSSDPlacementSpillsToLargeClass(t *testing.T) {
+	c := MustNew(ssdCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(7, 0, 100))
+	a, err := c.Allocate(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NodesByClass[0] != 5 || a.NodesByClass[1] != 2 {
+		t.Fatalf("placement = %v, want [5 2]", a.NodesByClass)
+	}
+	wantWaste := int64(5*(128-100) + 2*(256-100))
+	if a.WastedSSD != wantWaste {
+		t.Fatalf("wasted SSD = %d, want %d", a.WastedSSD, wantWaste)
+	}
+}
+
+func TestSSDLargeRequestNeedsLargeNodes(t *testing.T) {
+	c := MustNew(ssdCfg())
+	// >128 GB per node: only the five 256 GB nodes qualify.
+	ok := job.MustNew(1, 0, 10, 10, job.NewDemand(5, 0, 200))
+	if _, err := c.Allocate(ok); err != nil {
+		t.Fatal(err)
+	}
+	toobig := job.MustNew(2, 0, 10, 10, job.NewDemand(1, 0, 200))
+	if _, err := c.Allocate(toobig); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("err = %v, want ErrNoFit (256GB class exhausted)", err)
+	}
+	// But a small request still fits on the remaining 128 GB nodes.
+	small := job.MustNew(3, 0, 10, 10, job.NewDemand(5, 0, 64))
+	if _, err := c.Allocate(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	c := MustNew(simpleCfg())
+	s := c.Snapshot()
+	if _, err := s.Alloc(job.NewDemand(50, 500, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 100 || c.FreeBB() != 1000 {
+		t.Fatal("snapshot allocation mutated live cluster")
+	}
+	if s.FreeNodes() != 50 || s.FreeBB != 500 {
+		t.Fatal("snapshot not mutated")
+	}
+}
+
+func TestSnapshotCanFitPure(t *testing.T) {
+	c := MustNew(simpleCfg())
+	s := c.Snapshot()
+	d := job.NewDemand(10, 10, 0)
+	before := s.FreeNodes()
+	if !s.CanFit(d) {
+		t.Fatal("CanFit false for fitting demand")
+	}
+	if s.FreeNodes() != before {
+		t.Fatal("CanFit mutated snapshot")
+	}
+}
+
+func TestSnapshotAllocFailureLeavesStateIntact(t *testing.T) {
+	c := MustNew(ssdCfg())
+	s := c.Snapshot()
+	// 8 nodes needing >128GB SSD: only 5 such nodes exist → must fail cleanly.
+	if _, err := s.Alloc(job.NewDemand(8, 0, 200)); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("err = %v, want ErrNoFit", err)
+	}
+	if s.FreeNodes() != 10 || s.FreeBB != 100 {
+		t.Fatal("failed snapshot alloc mutated state")
+	}
+}
+
+func TestZeroNodeDemandRejected(t *testing.T) {
+	c := MustNew(simpleCfg())
+	s := c.Snapshot()
+	if _, err := s.Alloc(job.Demand{}); err == nil {
+		t.Fatal("zero-node demand accepted")
+	}
+}
+
+// TestConservationProperty allocates and releases random jobs and checks the
+// conservation invariant plus full recovery after draining.
+func TestConservationProperty(t *testing.T) {
+	r := rng.New(1234)
+	f := func(seed uint16) bool {
+		s := r.SplitIndex(uint64(seed))
+		c := MustNew(Config{
+			Name: "prop", Nodes: 64, BurstBufferGB: 512,
+			SSDClasses: []SSDClass{{128, 32}, {256, 32}},
+		})
+		live := []int{}
+		nextID := 0
+		for step := 0; step < 200; step++ {
+			if len(live) > 0 && s.Bool(0.4) {
+				idx := s.Intn(len(live))
+				if err := c.Release(live[idx]); err != nil {
+					t.Logf("release: %v", err)
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			} else {
+				var ssd int64
+				if s.Bool(0.5) {
+					ssd = s.Int63n(257)
+				}
+				d := job.NewDemand(1+s.Intn(32), s.Int63n(300), ssd)
+				j := job.MustNew(nextID, 0, 10, 10, d)
+				nextID++
+				if _, err := c.Allocate(j); err == nil {
+					live = append(live, j.ID)
+				} else if !errors.Is(err, ErrNoFit) {
+					t.Logf("allocate: %v", err)
+					return false
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		for _, id := range live {
+			if err := c.Release(id); err != nil {
+				return false
+			}
+		}
+		return c.FreeNodes() == 64 && c.FreeBB() == 512 && c.RunningJobs() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanFitMatchesAllocate(t *testing.T) {
+	r := rng.New(77)
+	c := MustNew(ssdCfg())
+	// Partially fill.
+	c.Allocate(job.MustNew(0, 0, 10, 10, job.NewDemand(4, 40, 128)))
+	for i := 1; i < 300; i++ {
+		var ssd int64
+		if r.Bool(0.5) {
+			ssd = r.Int63n(300)
+		}
+		d := job.NewDemand(1+r.Intn(12), r.Int63n(120), ssd)
+		fit := c.CanFit(d)
+		j := job.MustNew(i, 0, 10, 10, d)
+		_, err := c.Allocate(j)
+		if fit != (err == nil) {
+			t.Fatalf("CanFit=%v but Allocate err=%v for %v", fit, err, d)
+		}
+		if err == nil {
+			c.Release(i)
+		}
+	}
+}

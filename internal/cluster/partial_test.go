@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"bbsched/internal/job"
+)
+
+func TestReleaseNodesKeepsBB(t *testing.T) {
+	c := MustNew(simpleCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(40, 600, 0))
+	if _, err := c.Allocate(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseNodes(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 100 {
+		t.Fatalf("free nodes = %d, want all back", c.FreeNodes())
+	}
+	if c.FreeBB() != 400 {
+		t.Fatalf("free bb = %d, want 400 (still held)", c.FreeBB())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Finish the job: BB comes back.
+	if err := c.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeBB() != 1000 || c.RunningJobs() != 0 {
+		t.Fatal("full release did not restore BB")
+	}
+}
+
+func TestReleaseNodesIdempotentOnNodes(t *testing.T) {
+	c := MustNew(simpleCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(10, 100, 0))
+	c.Allocate(j)
+	c.ReleaseNodes(1)
+	if err := c.ReleaseNodes(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 100 {
+		t.Fatalf("double ReleaseNodes corrupted node count: %d", c.FreeNodes())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseNodesUnknownJob(t *testing.T) {
+	c := MustNew(simpleCfg())
+	if err := c.ReleaseNodes(7); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+func TestReleaseNodesSSDClasses(t *testing.T) {
+	c := MustNew(ssdCfg())
+	j := job.MustNew(1, 0, 10, 10, job.NewDemand(7, 50, 100))
+	if _, err := c.Allocate(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseNodes(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 10 {
+		t.Fatalf("free nodes = %d", c.FreeNodes())
+	}
+	// Another SSD job can use the released nodes while BB is held.
+	j2 := job.MustNew(2, 0, 10, 10, job.NewDemand(7, 0, 100))
+	if _, err := c.Allocate(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveBB(t *testing.T) {
+	c := MustNew(simpleCfg())
+	if err := c.ReserveBB(-1, 300); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeBB() != 700 || c.FreeNodes() != 100 {
+		t.Fatalf("after reservation: %d bb, %d nodes", c.FreeBB(), c.FreeNodes())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Over-reservation fails cleanly.
+	if err := c.ReserveBB(-2, 800); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("over-reservation err = %v", err)
+	}
+	// Duplicate owner rejected.
+	if err := c.ReserveBB(-1, 10); err == nil {
+		t.Fatal("duplicate reservation owner accepted")
+	}
+	// Negative amount rejected.
+	if err := c.ReserveBB(-3, -5); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+	// Reservations release like jobs.
+	if err := c.Release(-1); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeBB() != 1000 {
+		t.Fatal("reservation release did not restore BB")
+	}
+}
+
+func TestReserveBBConstrainsJobs(t *testing.T) {
+	c := MustNew(simpleCfg())
+	c.ReserveBB(-1, 900)
+	big := job.MustNew(1, 0, 10, 10, job.NewDemand(1, 200, 0))
+	if _, err := c.Allocate(big); !errors.Is(err, ErrNoFit) {
+		t.Fatalf("err = %v, want ErrNoFit under reservation", err)
+	}
+	small := job.MustNew(2, 0, 10, 10, job.NewDemand(1, 100, 0))
+	if _, err := c.Allocate(small); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package core implements BBSched, the paper's contribution: a
+// multi-resource scheduling plugin that formulates window job selection as
+// a multi-objective optimization problem (§3.2.1), solves it with a
+// multi-objective genetic algorithm (§3.2.2), and picks the dispatched
+// solution from the resulting Pareto set with the §3.2.4 decision rule.
+//
+// The package has two layers:
+//
+//   - BBSched, a sched.Method: MOO solve + decision rule over one window.
+//   - Plugin, the window-based scheduling pass of §3.1 that wraps any
+//     sched.Method (BBSched or a §4.3 comparison method) behind a base
+//     scheduler's job ordering, with dependency gating and the starvation
+//     bound.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+	"bbsched/internal/moo"
+	"bbsched/internal/queue"
+	"bbsched/internal/rng"
+	"bbsched/internal/sched"
+)
+
+// BBSched selects window jobs by Pareto optimization. It implements
+// sched.Method.
+type BBSched struct {
+	// Objectives lists the maximized objectives; Objectives[0] must be
+	// sched.NodeUtil (the decision rule anchors on node utilization).
+	Objectives []sched.Objective
+	// GA configures the MOO solver (§3.2.3 defaults: G=500, P=20,
+	// p_m=0.05%).
+	GA moo.GAConfig
+	// TradeoffFactor is the decision rule's replacement threshold: the
+	// preferred max-node-utilization solution is swapped for another
+	// Pareto solution whose summed gain on the non-node objectives
+	// exceeds TradeoffFactor times the node-utilization loss. The paper
+	// uses 2 for the two-objective problem and 4 for four objectives.
+	TradeoffFactor float64
+}
+
+// New returns BBSched with the paper's §4.3 defaults for the two-objective
+// CPU + burst-buffer problem.
+func New() *BBSched {
+	return &BBSched{Objectives: sched.TwoObjectives(), GA: moo.DefaultGAConfig(), TradeoffFactor: 2}
+}
+
+// NewFourObjective returns BBSched configured for the §5 case study:
+// node, burst buffer, SSD utilization and negated SSD waste, with the 4×
+// trade-off rule.
+func NewFourObjective() *BBSched {
+	return &BBSched{Objectives: sched.FourObjectives(), GA: moo.DefaultGAConfig(), TradeoffFactor: 4}
+}
+
+// Name implements sched.Method.
+func (b *BBSched) Name() string { return "BBSched" }
+
+func (b *BBSched) validate() error {
+	if len(b.Objectives) == 0 {
+		return errors.New("core: BBSched with no objectives")
+	}
+	if b.Objectives[0] != sched.NodeUtil {
+		return fmt.Errorf("core: BBSched objective 0 is %s, must be node_util", b.Objectives[0])
+	}
+	if b.TradeoffFactor < 0 {
+		return fmt.Errorf("core: negative trade-off factor %v", b.TradeoffFactor)
+	}
+	return nil
+}
+
+// ParetoFront solves the window-selection MOO problem and returns the
+// Pareto set, for decision support and the Fig. 2/4 experiments.
+func (b *BBSched) ParetoFront(ctx *sched.Context) ([]moo.Solution, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	if len(ctx.Window) == 0 {
+		return nil, nil
+	}
+	p := sched.NewSelectionProblem(ctx.Window, ctx.Snap, b.Objectives)
+	return moo.SolveGA(p, b.GA, ctx.Rand)
+}
+
+// Select implements sched.Method: solve the MOO problem, then apply the
+// decision rule to the Pareto set.
+func (b *BBSched) Select(ctx *sched.Context) ([]int, error) {
+	front, err := b.ParetoFront(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(front) == 0 {
+		return nil, nil
+	}
+	pick := Decide(front, b.Objectives, ctx.Totals, b.TradeoffFactor)
+	return sched.Selected(front[pick].Bits), nil
+}
+
+// Decide implements the §3.2.4 (and §5) decision rule over a Pareto front:
+//
+//  1. Prefer the solution maximizing node utilization; among ties, the one
+//     selecting jobs nearest the front of the window (preserving base
+//     order).
+//  2. Replace it with another Pareto solution if that solution's summed
+//     normalized improvement on all non-node objectives exceeds factor ×
+//     the normalized node-utilization loss; among several such solutions
+//     take the one with the maximum improvement.
+//
+// Objective values are normalized by machine totals so "2× the loss" means
+// percentage points against percentage points, as in the paper's example.
+// It returns an index into front and panics on an empty front.
+func Decide(front []moo.Solution, objectives []sched.Objective, totals sched.Totals, factor float64) int {
+	if len(front) == 0 {
+		panic("core: decision over empty Pareto front")
+	}
+	denom := make([]float64, len(objectives))
+	for k, o := range objectives {
+		switch o {
+		case sched.NodeUtil:
+			denom[k] = float64(totals.Nodes)
+		case sched.BBUtil:
+			denom[k] = float64(totals.BBGB)
+		case sched.SSDUtil, sched.SSDWasteNeg:
+			denom[k] = float64(totals.SSDGB)
+		}
+		if denom[k] == 0 {
+			denom[k] = 1
+		}
+	}
+	norm := func(i, k int) float64 { return front[i].Objectives[k] / denom[k] }
+
+	// Step 1: max node utilization, ties toward front-of-window selections.
+	pref := 0
+	for i := 1; i < len(front); i++ {
+		ni, np := norm(i, 0), norm(pref, 0)
+		switch {
+		case ni > np:
+			pref = i
+		case ni == np && frontOfWindowLess(front[pref].Bits, front[i].Bits):
+			pref = i
+		}
+	}
+
+	// Step 2: trade-off replacement.
+	best := pref
+	bestGain := 0.0
+	for i := range front {
+		if i == pref {
+			continue
+		}
+		loss := norm(pref, 0) - norm(i, 0)
+		gain := 0.0
+		for k := 1; k < len(objectives); k++ {
+			gain += norm(i, k) - norm(pref, k)
+		}
+		if loss < 0 {
+			// Cannot happen within a Pareto front unless node utilization
+			// ties; such a solution never loses, treat as zero loss.
+			loss = 0
+		}
+		if gain > factor*loss && gain > bestGain {
+			best, bestGain = i, gain
+		}
+	}
+	return best
+}
+
+// frontOfWindowLess reports whether selection b selects jobs strictly
+// nearer the window front than a (first differing position selected by b
+// but not a).
+func frontOfWindowLess(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return b[i]
+		}
+	}
+	return false
+}
+
+// PluginConfig parameterizes the window-based scheduling pass of §3.1.
+type PluginConfig struct {
+	// WindowSize is w, the number of queue-front jobs optimized over.
+	// Paper default 20.
+	WindowSize int
+	// StarvationBound forces a job to be dispatched once it has sat in
+	// the window for this many scheduling iterations (paper example: 50).
+	// Zero disables forcing.
+	StarvationBound int
+	// WindowPolicy, when non-nil, sizes the window dynamically from the
+	// queue length instead of the static WindowSize (§3.1's dynamic
+	// adjustment option).
+	WindowPolicy WindowPolicy
+}
+
+// DefaultPluginConfig returns the paper's defaults: w=20, bound=50.
+func DefaultPluginConfig() PluginConfig {
+	return PluginConfig{WindowSize: 20, StarvationBound: 50}
+}
+
+// Validate checks the configuration.
+func (c PluginConfig) Validate() error {
+	if c.WindowSize <= 0 && c.WindowPolicy == nil {
+		return fmt.Errorf("core: window size %d without a window policy", c.WindowSize)
+	}
+	if c.StarvationBound < 0 {
+		return fmt.Errorf("core: negative starvation bound %d", c.StarvationBound)
+	}
+	if c.WindowPolicy != nil && c.WindowPolicy.Size(1) < 1 {
+		return fmt.Errorf("core: window policy %s returns a non-positive size", c.WindowPolicy.Name())
+	}
+	return nil
+}
+
+// Plugin performs window-based scheduling passes: it extracts the window
+// from the base-ordered queue, force-starts starved jobs, and delegates
+// the remaining selection to the wrapped method. The same Plugin wraps
+// BBSched and every §4.3 comparison method, so all methods see identical
+// window semantics (§4.3: "we use the same window size for all methods").
+type Plugin struct {
+	cfg    PluginConfig
+	method sched.Method
+}
+
+// NewPlugin wraps method with window semantics.
+func NewPlugin(cfg PluginConfig, method sched.Method) (*Plugin, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if method == nil {
+		return nil, errors.New("core: nil method")
+	}
+	return &Plugin{cfg: cfg, method: method}, nil
+}
+
+// Method returns the wrapped selection method.
+func (p *Plugin) Method() sched.Method { return p.method }
+
+// Config returns the plugin configuration.
+func (p *Plugin) Config() PluginConfig { return p.cfg }
+
+// DecideContext is one scheduling invocation's inputs.
+type DecideContext struct {
+	// Now is the simulation time in seconds.
+	Now int64
+	// Queue is the waiting queue under the base policy.
+	Queue *queue.Queue
+	// Snap is the machine's current free resources.
+	Snap cluster.Snapshot
+	// Totals provides machine capacities for normalization.
+	Totals sched.Totals
+	// DepsDone reports whether a job ID has finished (dependency gating).
+	DepsDone func(id int) bool
+	// Rand is the invocation's deterministic stream.
+	Rand *rng.Stream
+}
+
+// Decide runs one scheduling pass and returns the jobs to start, in start
+// order. It mutates only jobs' WindowAge (incremented for window jobs left
+// behind); resource allocation is the caller's job.
+func (p *Plugin) Decide(ctx DecideContext) ([]*job.Job, error) {
+	size := p.cfg.WindowSize
+	if p.cfg.WindowPolicy != nil {
+		size = p.cfg.WindowPolicy.Size(ctx.Queue.Len())
+	}
+	window := ctx.Queue.Window(ctx.Now, size, ctx.DepsDone)
+	if len(window) == 0 {
+		return nil, nil
+	}
+	scratch := ctx.Snap.Clone()
+
+	// Starvation forcing (§3.1): jobs over the bound must be selected.
+	// They are dispatched first, in window (base-priority) order, when
+	// they fit; a starved job that does not fit cannot be started by any
+	// selection, so it stays and keeps aging.
+	var started []*job.Job
+	var rest []*job.Job
+	for _, j := range window {
+		if p.cfg.StarvationBound > 0 && j.WindowAge >= p.cfg.StarvationBound {
+			if _, err := scratch.Alloc(j.Demand); err == nil {
+				started = append(started, j)
+				continue
+			}
+		}
+		rest = append(rest, j)
+	}
+
+	mctx := &sched.Context{Now: ctx.Now, Window: rest, Snap: scratch, Totals: ctx.Totals, Rand: ctx.Rand}
+	idx, err := p.method.Select(mctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s selection: %w", p.method.Name(), err)
+	}
+	chosen := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		if i < 0 || i >= len(rest) {
+			return nil, fmt.Errorf("core: %s selected out-of-range index %d", p.method.Name(), i)
+		}
+		if chosen[i] {
+			return nil, fmt.Errorf("core: %s selected index %d twice", p.method.Name(), i)
+		}
+		chosen[i] = true
+		started = append(started, rest[i])
+	}
+
+	// Verify the combined selection actually fits (methods work against a
+	// snapshot that already excludes the forced jobs, so this holds unless
+	// a method is buggy — fail loudly rather than oversubscribe).
+	verify := ctx.Snap.Clone()
+	for _, j := range started {
+		if _, err := verify.Alloc(j.Demand); err != nil {
+			return nil, fmt.Errorf("core: %s over-selected: job %d does not fit: %w", p.method.Name(), j.ID, err)
+		}
+	}
+
+	// Age the window jobs left behind.
+	for i, j := range rest {
+		if !chosen[i] {
+			j.WindowAge++
+		}
+	}
+	return started, nil
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in -short mode")
+	}
+	o := fastOptions()
+	o.Jobs = 50
+	out, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"baseline_reference", "bbsched_factor_2x", "bbsched_adaptive_factor",
+		"window_adaptive", "starvation_off", "backfill_off", "stageout_20GBps",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ablations output missing %q", frag)
+		}
+	}
+	// 11 variants + header + title.
+	if got := strings.Count(strings.TrimSpace(out), "\n"); got != 12 {
+		t.Errorf("ablation rows = %d, want 12:\n%s", got, out)
+	}
+}

@@ -1,0 +1,254 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4, §5) on top of the simulator: workload matrix runs,
+// solver-scaling and parameter-selection studies, wait-time breakdowns,
+// Kiviat summaries, the window-size sensitivity table, the four-objective
+// SSD case study, and the scheduling-overhead measurements.
+//
+// Each experiment renders a plain-text table whose rows correspond to the
+// paper's plotted series, so paper-vs-measured comparisons (EXPERIMENTS.md)
+// are one diff away.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"bbsched/internal/core"
+	"bbsched/internal/metrics"
+	"bbsched/internal/moo"
+	"bbsched/internal/sched"
+	"bbsched/internal/sim"
+	"bbsched/internal/trace"
+)
+
+// Options configures an experiment run. The zero value is unusable; start
+// from Defaults().
+type Options struct {
+	// Jobs is the per-trace job count. The paper replays months of logs;
+	// the default (400) keeps the full matrix regenerable in minutes while
+	// preserving sustained queue contention.
+	Jobs int
+	// Seed drives workload generation and the solvers.
+	Seed uint64
+	// ScaleCori and ScaleTheta divide the machine sizes (see
+	// trace.Scale); full-size runs set both to 1.
+	ScaleCori, ScaleTheta int
+	// GA is the solver configuration shared by all optimization methods.
+	GA moo.GAConfig
+	// Window and Starvation configure the scheduling window (§3.1).
+	Window, Starvation int
+	// Parallelism bounds concurrent simulation runs (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Defaults returns the paper's parameters on scaled systems.
+func Defaults() Options {
+	return Options{
+		Jobs:       400,
+		Seed:       42,
+		ScaleCori:  64,
+		ScaleTheta: 32,
+		GA:         moo.DefaultGAConfig(),
+		Window:     20,
+		Starvation: 50,
+	}
+}
+
+func (o Options) systems() (cori, theta trace.SystemModel) {
+	return trace.Scale(trace.Cori(), o.ScaleCori), trace.Scale(trace.Theta(), o.ScaleTheta)
+}
+
+func (o Options) plugin() core.PluginConfig {
+	return core.PluginConfig{WindowSize: o.Window, StarvationBound: o.Starvation}
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// buckets scales the paper's breakdown boundaries to a (possibly scaled)
+// system: node-size bounds as machine fractions matching Theta's 8 / 128 /
+// 1024 of 4392; burst-buffer bounds as fractions of the maximum request
+// matching 100 TB / 200 TB of 285 TB.
+func buckets(sys trace.SystemModel) metrics.Buckets {
+	n := float64(sys.Cluster.Nodes)
+	frac := func(f float64) int {
+		v := int(f * n)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	maxBB := float64(sys.MaxBBRequestGB)
+	return metrics.Buckets{
+		SizeBounds:    []int{frac(8.0 / 4392), frac(128.0 / 4392), frac(1024.0 / 4392)},
+		BBBoundsGB:    []int64{int64(maxBB * 100 / 285), int64(maxBB * 200 / 285)},
+		RuntimeBounds: []int64{3600, 4 * 3600, 12 * 3600},
+	}
+}
+
+// Methods returns the eight §4.3 comparison methods in the paper's order.
+func Methods(ga moo.GAConfig) []sched.Method {
+	return []sched.Method{
+		sched.Baseline{},
+		sched.NewWeighted("Weighted", 0.5, 0.5, ga),
+		sched.NewWeighted("Weighted_CPU", 0.8, 0.2, ga),
+		sched.NewWeighted("Weighted_BB", 0.2, 0.8, ga),
+		&sched.Constrained{MethodName: "Constrained_CPU", Target: sched.NodeUtil, GA: ga},
+		&sched.Constrained{MethodName: "Constrained_BB", Target: sched.BBUtil, GA: ga},
+		sched.BinPacking{},
+		bbsched2(ga),
+	}
+}
+
+// SSDMethods returns the seven §5 case-study methods.
+func SSDMethods(ga moo.GAConfig) []sched.Method {
+	equal := []float64{0.25, 0.25, 0.25, 0.25}
+	return []sched.Method{
+		sched.Baseline{},
+		&sched.Weighted{MethodName: "Weighted", Objectives: sched.FourObjectives(), Weights: equal, GA: ga},
+		&sched.Constrained{MethodName: "Constrained_CPU", Target: sched.NodeUtil, GA: ga},
+		&sched.Constrained{MethodName: "Constrained_BB", Target: sched.BBUtil, GA: ga},
+		&sched.Constrained{MethodName: "Constrained_SSD", Target: sched.SSDUtil, GA: ga},
+		sched.BinPacking{},
+		bbsched4(ga),
+	}
+}
+
+func bbsched2(ga moo.GAConfig) *core.BBSched {
+	b := core.New()
+	b.GA = ga
+	return b
+}
+
+func bbsched4(ga moo.GAConfig) *core.BBSched {
+	b := core.NewFourObjective()
+	b.GA = ga
+	return b
+}
+
+// Matrix holds the full §4 (or §5) result grid.
+type Matrix struct {
+	// Workloads and MethodNames preserve presentation order.
+	Workloads   []string
+	MethodNames []string
+	// Results maps workload → method → result.
+	Results map[string]map[string]*sim.Result
+}
+
+// Get returns the result for (workload, method); nil if missing.
+func (m *Matrix) Get(workload, method string) *sim.Result {
+	if row, ok := m.Results[workload]; ok {
+		return row[method]
+	}
+	return nil
+}
+
+// runMatrix simulates every workload under every method, in parallel.
+func runMatrix(o Options, workloads []trace.Workload, methods func() []sched.Method) (*Matrix, error) {
+	m := &Matrix{Results: make(map[string]map[string]*sim.Result)}
+	type task struct {
+		w      trace.Workload
+		method sched.Method
+	}
+	var tasks []task
+	for _, w := range workloads {
+		m.Workloads = append(m.Workloads, w.Name)
+		m.Results[w.Name] = make(map[string]*sim.Result)
+		// Fresh method instances per workload keep runs independent.
+		for _, method := range methods() {
+			tasks = append(tasks, task{w: w, method: method})
+		}
+	}
+	for _, method := range methods() {
+		m.MethodNames = append(m.MethodNames, method.Name())
+	}
+
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		first error
+		sem   = make(chan struct{}, o.parallelism())
+	)
+	for _, tk := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(tk task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := sim.Run(sim.Config{
+				Workload: tk.w,
+				Method:   tk.method,
+				Plugin:   o.plugin(),
+				Seed:     o.Seed,
+				Buckets:  buckets(tk.w.System),
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("experiments: %s/%s: %w", tk.w.Name, tk.method.Name(), err)
+				}
+				return
+			}
+			m.Results[tk.w.Name][tk.method.Name()] = res
+		}(tk)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return m, nil
+}
+
+// SectionFourMatrix runs the ten §4 workloads under the eight methods.
+func SectionFourMatrix(o Options) (*Matrix, error) {
+	cori, theta := o.systems()
+	return runMatrix(o, trace.Matrix(cori, theta, o.Jobs, o.Seed), func() []sched.Method { return Methods(o.GA) })
+}
+
+// SectionFiveMatrix runs the six §5 SSD workloads under the seven methods.
+func SectionFiveMatrix(o Options) (*Matrix, error) {
+	cori, theta := o.systems()
+	return runMatrix(o, trace.SSDMatrix(cori, theta, o.Jobs, o.Seed), func() []sched.Method { return SSDMethods(o.GA) })
+}
+
+// table renders rows as a fixed-width text table.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.2f%%", v*100) }
+func secs(v float64) string { return fmt.Sprintf("%.0fs", v) }
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string   { return fmt.Sprintf("%.4f", v) }

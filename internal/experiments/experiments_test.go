@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bbsched/internal/moo"
+)
+
+// fastOptions keeps experiment tests quick: tiny traces, light GA.
+func fastOptions() Options {
+	o := Defaults()
+	o.Jobs = 60
+	o.GA = moo.GAConfig{Generations: 60, Population: 12, MutationProb: 0.01}
+	return o
+}
+
+func TestTable1ReproducesPaperRows(t *testing.T) {
+	o := Defaults() // full GA so the optimizers find the exact optima
+	out, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []string{
+		"Baseline", "J1", // naive picks J1 (J4 arrives via backfill in the full pipeline)
+		"Constrained_CPU",
+		"Weighted_CPU",
+		"Bin_Packing",
+		"BBSched",
+		"Pareto_Set",
+	}
+	for _, c := range checks {
+		if !strings.Contains(out, c) {
+			t.Errorf("Table1 output missing %q:\n%s", c, out)
+		}
+	}
+	// The Pareto set must contain both paper solutions: (100,20), (80,90).
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "90%") {
+		t.Errorf("Table1 Pareto set incomplete:\n%s", out)
+	}
+	// BBSched's decision rule picks solution 3 (J2-J5).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "BBSched") && !strings.Contains(line, "J2,J3,J4,J5") {
+			t.Errorf("BBSched row should select J2-J5: %q", line)
+		}
+	}
+}
+
+func TestMethodsRoster(t *testing.T) {
+	ms := Methods(moo.DefaultGAConfig())
+	if len(ms) != 8 {
+		t.Fatalf("§4.3 methods = %d, want 8", len(ms))
+	}
+	want := []string{"Baseline", "Weighted", "Weighted_CPU", "Weighted_BB",
+		"Constrained_CPU", "Constrained_BB", "Bin_Packing", "BBSched"}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Errorf("method %d = %s, want %s", i, m.Name(), want[i])
+		}
+	}
+	ssd := SSDMethods(moo.DefaultGAConfig())
+	if len(ssd) != 7 {
+		t.Fatalf("§5 methods = %d, want 7", len(ssd))
+	}
+	foundSSD := false
+	for _, m := range ssd {
+		if m.Name() == "Constrained_SSD" {
+			foundSSD = true
+		}
+	}
+	if !foundSSD {
+		t.Error("§5 roster missing Constrained_SSD")
+	}
+}
+
+func TestSectionFourMatrixSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	o := fastOptions()
+	m, err := SectionFourMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workloads) != 10 {
+		t.Fatalf("workloads = %d, want 10", len(m.Workloads))
+	}
+	if len(m.MethodNames) != 8 {
+		t.Fatalf("methods = %d, want 8", len(m.MethodNames))
+	}
+	for _, w := range m.Workloads {
+		for _, meth := range m.MethodNames {
+			r := m.Get(w, meth)
+			if r == nil {
+				t.Fatalf("missing result %s/%s", w, meth)
+			}
+			if r.NodeUsage <= 0 || r.NodeUsage > 1.0001 {
+				t.Errorf("%s/%s NodeUsage = %v", w, meth, r.NodeUsage)
+			}
+		}
+	}
+	// Figures over the matrix render and mention every method.
+	for _, render := range []func(*Matrix) string{Fig6, Fig7, Fig8, Fig12, Fig13} {
+		out := render(m)
+		for _, meth := range m.MethodNames {
+			if !strings.Contains(out, meth) {
+				t.Errorf("figure output missing %s:\n%s", meth, out[:200])
+			}
+		}
+	}
+	// Breakdowns for the Theta S4 workload.
+	var thetaS4 string
+	for _, w := range m.Workloads {
+		if strings.Contains(w, "Theta") && strings.HasSuffix(w, "-S4") {
+			thetaS4 = w
+		}
+	}
+	bd := Breakdowns(m, thetaS4)
+	for _, frag := range []string{"Fig 9", "Fig 10", "Fig 11", "no BB"} {
+		if !strings.Contains(bd, frag) {
+			t.Errorf("breakdowns missing %q", frag)
+		}
+	}
+}
+
+func TestSectionFiveMatrixSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	o := fastOptions()
+	m, err := SectionFiveMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workloads) != 6 {
+		t.Fatalf("workloads = %d, want 6", len(m.Workloads))
+	}
+	if len(m.MethodNames) != 7 {
+		t.Fatalf("methods = %d, want 7", len(m.MethodNames))
+	}
+	out := Fig14(m)
+	if !strings.Contains(out, "Constrained_SSD") || !strings.Contains(out, "area") {
+		t.Errorf("Fig14 output incomplete:\n%s", out[:300])
+	}
+}
+
+func TestFig5Renders(t *testing.T) {
+	o := fastOptions()
+	out, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"-Original", "-S1", "-S4", "aggregate"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig5 output missing %q", frag)
+		}
+	}
+}
+
+func TestFig2SolverScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver scaling in -short mode")
+	}
+	o := fastOptions()
+	out, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + title + 20 window sizes.
+	if len(lines) != 22 {
+		t.Fatalf("Fig2 rows = %d, want 22:\n%s", len(lines), out)
+	}
+}
+
+func TestFig4ParameterSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter selection in -short mode")
+	}
+	o := fastOptions()
+	out, err := Fig4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 populations × 11 generation settings.
+	if got := strings.Count(out, "\n") - 2; got != 33 {
+		t.Fatalf("Fig4 rows = %d, want 33", got)
+	}
+	for _, p := range []string{"20", "30", "50"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("Fig4 missing P=%s", p)
+		}
+	}
+}
+
+func TestTable3WindowSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("window sensitivity in -short mode")
+	}
+	o := fastOptions()
+	out, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two S4 workloads × three window sizes.
+	if got := strings.Count(out, "\n") - 2; got != 6 {
+		t.Fatalf("Table3 rows = %d, want 6:\n%s", got, out)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead in -short mode")
+	}
+	o := fastOptions()
+	out, err := Overhead(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "BBSched_G2000") || !strings.Contains(out, "Bin_Packing") {
+		t.Errorf("overhead output incomplete:\n%s", out)
+	}
+}
+
+func TestRunnerRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registry size = %d, want 15", len(ids))
+	}
+	if ids[0] != "table1" || ids[len(ids)-1] != "ablations" {
+		t.Fatalf("registry order wrong: %v", ids)
+	}
+	for _, id := range ids {
+		if Describe(id) == "" {
+			t.Errorf("no description for %s", id)
+		}
+	}
+	r := NewRunner(fastOptions())
+	if _, err := r.Run("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunnerReusesMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix reuse in -short mode")
+	}
+	r := NewRunner(fastOptions())
+	if _, err := r.Run("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	m1 := r.matrix4
+	if _, err := r.Run("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if r.matrix4 != m1 {
+		t.Fatal("matrix recomputed between figures")
+	}
+}
+
+func TestRunnerTable1ViaRegistry(t *testing.T) {
+	r := NewRunner(fastOptions())
+	out, err := r.Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Pareto_Set") {
+		t.Fatal("registry table1 output wrong")
+	}
+}
+
+func TestRunAllWritesSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run-all in -short mode")
+	}
+	o := fastOptions()
+	o.Jobs = 40
+	var buf bytes.Buffer
+	if err := NewRunner(o).RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "### "+id) {
+			t.Errorf("RunAll missing section %s", id)
+		}
+	}
+}
+
+func TestBucketsScaleWithSystem(t *testing.T) {
+	_, theta := Defaults().systems()
+	b := buckets(theta)
+	if len(b.SizeBounds) != 3 || b.SizeBounds[0] < 1 {
+		t.Fatalf("size bounds = %v", b.SizeBounds)
+	}
+	if b.SizeBounds[0] >= b.SizeBounds[1] || b.SizeBounds[1] >= b.SizeBounds[2] {
+		t.Fatalf("size bounds not increasing: %v", b.SizeBounds)
+	}
+	if b.BBBoundsGB[0] >= b.BBBoundsGB[1] {
+		t.Fatalf("bb bounds not increasing: %v", b.BBBoundsGB)
+	}
+}

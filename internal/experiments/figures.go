@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bbsched/internal/metrics"
+	"bbsched/internal/trace"
+)
+
+// Fig5 renders the burst-buffer request histograms of all ten §4 workloads
+// (Fig. 5): bins scaled to the system (the paper uses 10 TB on full-size
+// machines) with the aggregate requested volume in the caption.
+func Fig5(o Options) (string, error) {
+	cori, theta := o.systems()
+	var b strings.Builder
+	for _, w := range trace.Matrix(cori, theta, o.Jobs, o.Seed) {
+		bin := w.System.MaxBBRequestGB / 20
+		if bin < 1 {
+			bin = 1
+		}
+		h := trace.BBHistogram(w.Jobs, bin)
+		fmt.Fprintf(&b, "== %s (aggregate %.1f TB over %d BB jobs, bin %d GB)\n",
+			w.Name, float64(h.TotalGB)/1000, h.NumJobs(), bin)
+		b.WriteString(h.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Fig6 renders node usage per method per workload (Fig. 6).
+func Fig6(m *Matrix) string {
+	return matrixTable("Fig 6: node usage", m, func(w, method string) string {
+		return pct(m.Get(w, method).NodeUsage)
+	})
+}
+
+// Fig7 renders burst-buffer usage (Fig. 7).
+func Fig7(m *Matrix) string {
+	return matrixTable("Fig 7: burst buffer usage", m, func(w, method string) string {
+		return pct(m.Get(w, method).BBUsage)
+	})
+}
+
+// Fig8 renders average job wait time (Fig. 8).
+func Fig8(m *Matrix) string {
+	return matrixTable("Fig 8: average job wait time", m, func(w, method string) string {
+		return secs(m.Get(w, method).AvgWaitSec)
+	})
+}
+
+// Fig12 renders average bounded slowdown (Fig. 12).
+func Fig12(m *Matrix) string {
+	return matrixTable("Fig 12: average slowdown", m, func(w, method string) string {
+		return f2(m.Get(w, method).AvgSlowdown)
+	})
+}
+
+func matrixTable(title string, m *Matrix, cell func(w, method string) string) string {
+	header := append([]string{"workload"}, m.MethodNames...)
+	rows := make([][]string, 0, len(m.Workloads))
+	for _, w := range m.Workloads {
+		row := []string{w}
+		for _, method := range m.MethodNames {
+			row = append(row, cell(w, method))
+		}
+		rows = append(rows, row)
+	}
+	return title + "\n" + table(header, rows)
+}
+
+// Fig13 renders the Kiviat radar values of Fig. 13: per workload, each
+// method's four metrics (node util, BB util, reciprocal wait, reciprocal
+// slowdown) normalized to [0,1] across methods, plus the polygon area.
+func Fig13(m *Matrix) string {
+	var b strings.Builder
+	b.WriteString("Fig 13: Kiviat metrics (normalized 0-1; area = overall)\n")
+	for _, w := range m.Workloads {
+		axes := [][]float64{{}, {}, {}, {}}
+		for _, method := range m.MethodNames {
+			r := m.Get(w, method)
+			axes[0] = append(axes[0], r.NodeUsage)
+			axes[1] = append(axes[1], r.BBUsage)
+			axes[2] = append(axes[2], metrics.Reciprocal(r.AvgWaitSec))
+			axes[3] = append(axes[3], metrics.Reciprocal(r.AvgSlowdown))
+		}
+		for i := range axes {
+			axes[i] = metrics.Normalize01(axes[i])
+		}
+		rows := make([][]string, len(m.MethodNames))
+		for i, method := range m.MethodNames {
+			radii := []float64{axes[0][i], axes[1][i], axes[2][i], axes[3][i]}
+			rows[i] = []string{method, f2(radii[0]), f2(radii[1]), f2(radii[2]), f2(radii[3]), f2(metrics.KiviatArea(radii))}
+		}
+		fmt.Fprintf(&b, "-- %s\n", w)
+		b.WriteString(table([]string{"method", "node_util", "bb_util", "1/wait", "1/slowdown", "area"}, rows))
+	}
+	return b.String()
+}
+
+// Fig14 renders the §5 Kiviat values (Fig. 14): six axes per method on the
+// SSD workloads, adding SSD utilization and reciprocal wasted SSD.
+func Fig14(m *Matrix) string {
+	var b strings.Builder
+	b.WriteString("Fig 14: SSD case-study Kiviat metrics (normalized 0-1; area = overall)\n")
+	for _, w := range m.Workloads {
+		axes := make([][]float64, 6)
+		for _, method := range m.MethodNames {
+			r := m.Get(w, method)
+			axes[0] = append(axes[0], r.NodeUsage)
+			axes[1] = append(axes[1], r.BBUsage)
+			axes[2] = append(axes[2], r.SSDUsage)
+			axes[3] = append(axes[3], metrics.Reciprocal(r.WastedSSDFrac))
+			axes[4] = append(axes[4], metrics.Reciprocal(r.AvgWaitSec))
+			axes[5] = append(axes[5], metrics.Reciprocal(r.AvgSlowdown))
+		}
+		for i := range axes {
+			axes[i] = metrics.Normalize01(axes[i])
+		}
+		rows := make([][]string, len(m.MethodNames))
+		for i, method := range m.MethodNames {
+			radii := make([]float64, 6)
+			for k := range axes {
+				radii[k] = axes[k][i]
+			}
+			rows[i] = []string{method, f2(radii[0]), f2(radii[1]), f2(radii[2]), f2(radii[3]), f2(radii[4]), f2(radii[5]), f2(metrics.KiviatArea(radii))}
+		}
+		fmt.Fprintf(&b, "-- %s\n", w)
+		b.WriteString(table([]string{"method", "node", "bb", "ssd", "1/waste", "1/wait", "1/slowdown", "area"}, rows))
+	}
+	return b.String()
+}
+
+// Breakdowns renders Figs. 9–11 for one workload (the paper uses
+// Theta-S4): average wait times by job size, by burst-buffer request, and
+// by runtime, per method.
+func Breakdowns(m *Matrix, workload string) string {
+	var b strings.Builder
+	sections := []struct {
+		title string
+		pick  func(r *metrics.Report) []metrics.BucketStat
+	}{
+		{"Fig 9: avg wait by job size, " + workload, func(r *metrics.Report) []metrics.BucketStat { return r.WaitBySize }},
+		{"Fig 10: avg wait by BB request, " + workload, func(r *metrics.Report) []metrics.BucketStat { return r.WaitByBB }},
+		{"Fig 11: avg wait by runtime, " + workload, func(r *metrics.Report) []metrics.BucketStat { return r.WaitByRuntime }},
+	}
+	for _, sec := range sections {
+		ref := m.Get(workload, m.MethodNames[0])
+		if ref == nil {
+			return fmt.Sprintf("workload %s missing from matrix", workload)
+		}
+		labels := labelsOf(sec.pick(&ref.Report))
+		header := append([]string{"method"}, labels...)
+		rows := make([][]string, 0, len(m.MethodNames))
+		for _, method := range m.MethodNames {
+			r := m.Get(workload, method)
+			row := []string{method}
+			for _, bs := range sec.pick(&r.Report) {
+				row = append(row, fmt.Sprintf("%s(n=%d)", secs(bs.AvgWaitSec), bs.Jobs))
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(sec.title + "\n")
+		b.WriteString(table(header, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func labelsOf(stats []metrics.BucketStat) []string {
+	out := make([]string, len(stats))
+	for i, s := range stats {
+		out[i] = s.Label
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Runner executes experiments by paper-artifact ID, reusing the §4 and §5
+// matrices across the figures that share them.
+type Runner struct {
+	opts Options
+
+	matrix4 *Matrix
+	matrix5 *Matrix
+}
+
+// NewRunner returns a Runner over the given options.
+func NewRunner(o Options) *Runner { return &Runner{opts: o} }
+
+// IDs returns the available experiment IDs in presentation order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return registryOrder[ids[a]] < registryOrder[ids[b]] })
+	return ids
+}
+
+// Describe returns a one-line description for an experiment ID.
+func Describe(id string) string { return registry[id].desc }
+
+var registry = map[string]struct {
+	desc string
+	run  func(r *Runner) (string, error)
+}{
+	"table1": {"Table 1: illustrative example decisions", func(r *Runner) (string, error) { return Table1(r.opts) }},
+	"fig2":   {"Fig 2: solver time-to-solution vs window size", func(r *Runner) (string, error) { return Fig2(r.opts) }},
+	"fig4":   {"Fig 4: GD and time vs G and P", func(r *Runner) (string, error) { return Fig4(r.opts) }},
+	"fig5":   {"Fig 5: burst-buffer request histograms", func(r *Runner) (string, error) { return Fig5(r.opts) }},
+	"fig6":   {"Fig 6: node usage matrix", func(r *Runner) (string, error) { return r.withMatrix4(Fig6) }},
+	"fig7":   {"Fig 7: burst-buffer usage matrix", func(r *Runner) (string, error) { return r.withMatrix4(Fig7) }},
+	"fig8":   {"Fig 8: average wait time matrix", func(r *Runner) (string, error) { return r.withMatrix4(Fig8) }},
+	"fig9":   {"Figs 9-11: wait-time breakdowns on Theta-S4", func(r *Runner) (string, error) { return r.breakdowns() }},
+	"fig12":  {"Fig 12: average slowdown matrix", func(r *Runner) (string, error) { return r.withMatrix4(Fig12) }},
+	"fig13":  {"Fig 13: Kiviat overall comparison", func(r *Runner) (string, error) { return r.withMatrix4(Fig13) }},
+	"table3": {"Table 3: window-size sensitivity", func(r *Runner) (string, error) { return Table3(r.opts) }},
+	"fig14":  {"Fig 14: SSD case-study Kiviat comparison", func(r *Runner) (string, error) { return r.withMatrix5(Fig14) }},
+	"overhead": {"§4.4: per-decision scheduling overhead", func(r *Runner) (string, error) {
+		return Overhead(r.opts)
+	}},
+	"replicate": {"multi-seed Theta-S4 comparison (mean±std)", func(r *Runner) (string, error) {
+		return ReplicateS4(r.opts, []uint64{r.opts.Seed, r.opts.Seed + 101, r.opts.Seed + 202})
+	}},
+	"ablations": {"design-choice ablations on Theta-S4", func(r *Runner) (string, error) {
+		return Ablations(r.opts)
+	}},
+}
+
+// registryOrder fixes presentation order for IDs().
+var registryOrder = map[string]int{
+	"table1": 0, "fig2": 1, "fig4": 2, "fig5": 3, "fig6": 4, "fig7": 5,
+	"fig8": 6, "fig9": 7, "fig12": 8, "fig13": 9, "table3": 10, "fig14": 11,
+	"overhead": 12, "replicate": 13, "ablations": 14,
+}
+
+// Run executes one experiment by ID.
+func (r *Runner) Run(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.run(r)
+}
+
+// RunAll executes every experiment, writing each section to w.
+func (r *Runner) RunAll(w io.Writer) error {
+	for _, id := range IDs() {
+		out, err := r.Run(id)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "### %s — %s\n%s\n", id, Describe(id), out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) section4() (*Matrix, error) {
+	if r.matrix4 == nil {
+		m, err := SectionFourMatrix(r.opts)
+		if err != nil {
+			return nil, err
+		}
+		r.matrix4 = m
+	}
+	return r.matrix4, nil
+}
+
+func (r *Runner) section5() (*Matrix, error) {
+	if r.matrix5 == nil {
+		m, err := SectionFiveMatrix(r.opts)
+		if err != nil {
+			return nil, err
+		}
+		r.matrix5 = m
+	}
+	return r.matrix5, nil
+}
+
+func (r *Runner) withMatrix4(f func(*Matrix) string) (string, error) {
+	m, err := r.section4()
+	if err != nil {
+		return "", err
+	}
+	return f(m), nil
+}
+
+func (r *Runner) withMatrix5(f func(*Matrix) string) (string, error) {
+	m, err := r.section5()
+	if err != nil {
+		return "", err
+	}
+	return f(m), nil
+}
+
+func (r *Runner) breakdowns() (string, error) {
+	m, err := r.section4()
+	if err != nil {
+		return "", err
+	}
+	// The paper presents Theta-S4 as representative.
+	for _, w := range m.Workloads {
+		if strings.Contains(w, "Theta") && strings.HasSuffix(w, "-S4") {
+			return Breakdowns(m, w), nil
+		}
+	}
+	return "", fmt.Errorf("experiments: no Theta S4 workload in matrix")
+}

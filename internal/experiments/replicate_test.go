@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bbsched/internal/trace"
+)
+
+func TestNewStat(t *testing.T) {
+	s := NewStat([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Fatalf("stat = %+v", s)
+	}
+	if math.Abs(s.Std-1) > 1e-12 {
+		t.Fatalf("std = %v, want 1", s.Std)
+	}
+	single := NewStat([]float64{5})
+	if single.Mean != 5 || single.Std != 0 {
+		t.Fatalf("single-sample stat = %+v", single)
+	}
+	if empty := NewStat(nil); empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty stat = %+v", empty)
+	}
+	if got := NewStat([]float64{1, 2}).String(); !strings.Contains(got, "±") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestReplicateRejectsNoSeeds(t *testing.T) {
+	if _, err := Replicate(fastOptions(), nil, nil); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+}
+
+func TestReplicateSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication in -short mode")
+	}
+	o := fastOptions()
+	o.Jobs = 50
+	_, theta := o.systems()
+	rows, err := Replicate(o, func(seed uint64) trace.Workload {
+		w := trace.Generate(trace.GenConfig{System: theta, Jobs: o.Jobs, Seed: seed})
+		w.Name = "Theta-rep"
+		return w
+	}, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 methods", len(rows))
+	}
+	for _, r := range rows {
+		if r.NodeUsage.N != 2 {
+			t.Fatalf("%s: N = %d, want 2", r.Method, r.NodeUsage.N)
+		}
+		if r.NodeUsage.Mean <= 0 || r.NodeUsage.Mean > 1 {
+			t.Fatalf("%s: node usage mean = %v", r.Method, r.NodeUsage.Mean)
+		}
+	}
+}
+
+func TestReplicateS4Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication in -short mode")
+	}
+	o := fastOptions()
+	o.Jobs = 40
+	out, err := ReplicateS4(o, []uint64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "BBSched") || !strings.Contains(out, "±") {
+		t.Fatalf("output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,300 @@
+// Package job defines the batch-job model shared by every subsystem: jobs
+// with multi-resource demands (compute nodes, shared burst buffer, per-node
+// local SSD), user runtime estimates, dependencies, and a lifecycle state
+// machine (Queued → InWindow → Running → Finished).
+//
+// Units follow the paper: node counts are integers, burst buffer and local
+// SSD are gibibyte-granular int64 values (GB in the paper's notation), and
+// all times are integer seconds on the simulation clock.
+package job
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Resource identifies one schedulable resource dimension.
+type Resource int
+
+const (
+	// Nodes is the number of compute nodes a job needs.
+	Nodes Resource = iota
+	// BurstBufferGB is the shared burst-buffer demand in GB.
+	BurstBufferGB
+	// LocalSSDGBPerNode is the per-node local SSD demand in GB (§5).
+	LocalSSDGBPerNode
+	// NumResources is the dimensionality of a Demand vector.
+	NumResources
+)
+
+// String returns the resource's short name.
+func (r Resource) String() string {
+	switch r {
+	case Nodes:
+		return "nodes"
+	case BurstBufferGB:
+		return "bb_gb"
+	case LocalSSDGBPerNode:
+		return "ssd_gb_per_node"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Demand is a job's requested amount of every schedulable resource.
+// The zero Demand requests nothing.
+type Demand [NumResources]int64
+
+// NewDemand builds a Demand from the three canonical dimensions.
+func NewDemand(nodes int, bbGB, ssdPerNodeGB int64) Demand {
+	var d Demand
+	d[Nodes] = int64(nodes)
+	d[BurstBufferGB] = bbGB
+	d[LocalSSDGBPerNode] = ssdPerNodeGB
+	return d
+}
+
+// NodeCount returns the node dimension as an int.
+func (d Demand) NodeCount() int { return int(d[Nodes]) }
+
+// BB returns the shared burst-buffer demand in GB.
+func (d Demand) BB() int64 { return d[BurstBufferGB] }
+
+// SSDPerNode returns the per-node local SSD demand in GB.
+func (d Demand) SSDPerNode() int64 { return d[LocalSSDGBPerNode] }
+
+// TotalSSD returns the aggregate local SSD demand (per-node demand times
+// node count), the quantity objective f3 of the paper maximizes.
+func (d Demand) TotalSSD() int64 { return d[LocalSSDGBPerNode] * d[Nodes] }
+
+// Add returns d + o element-wise.
+func (d Demand) Add(o Demand) Demand {
+	for i := range d {
+		d[i] += o[i]
+	}
+	return d
+}
+
+// Validate reports whether every dimension is non-negative and at least one
+// node is requested.
+func (d Demand) Validate() error {
+	for i, v := range d {
+		if v < 0 {
+			return fmt.Errorf("demand %s is negative: %d", Resource(i), v)
+		}
+	}
+	if d[Nodes] == 0 {
+		return errors.New("demand requests zero nodes")
+	}
+	return nil
+}
+
+// State is a job's lifecycle state.
+type State int
+
+const (
+	// Queued means the job is waiting and not yet visible to the optimizer.
+	Queued State = iota
+	// InWindow means the job is in the scheduling window (§3.1).
+	InWindow
+	// Running means the job holds an allocation.
+	Running
+	// Finished means the job has completed and released its resources.
+	Finished
+)
+
+// String returns the state's name.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case InWindow:
+		return "in-window"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// validTransitions enumerates the legal state machine edges.
+var validTransitions = map[State][]State{
+	Queued:   {InWindow, Running}, // Running directly when backfilled
+	InWindow: {Running, Queued},
+	Running:  {Finished},
+}
+
+// Job is a batch job. Static fields describe the submission; mutable fields
+// are owned by the simulator/scheduler and guarded by the simulation's
+// single-threaded event loop.
+type Job struct {
+	// ID is unique within a workload and dense from 0 when generated.
+	ID int
+	// User is the submitting user (informational, used by fairness ablations).
+	User string
+	// SubmitTime is the submission instant in seconds.
+	SubmitTime int64
+	// Runtime is the job's actual runtime in seconds, known only to the
+	// simulator (the scheduler sees WalltimeEst).
+	Runtime int64
+	// WalltimeEst is the user-provided runtime estimate in seconds;
+	// always >= Runtime is NOT guaranteed (users under-estimate too), but
+	// EASY backfilling plans with this value, as production schedulers do.
+	WalltimeEst int64
+	// Demand is the job's multi-resource request.
+	Demand Demand
+	// StageOutSec is how long the job's burst-buffer allocation persists
+	// after the job ends, draining data to the parallel file system
+	// (Slurm-style stage-out, [24]). Zero means the burst buffer releases
+	// with the nodes.
+	StageOutSec int64
+	// Deps lists job IDs that must finish before this job may enter the
+	// scheduling window (§3.1).
+	Deps []int
+
+	// State is the current lifecycle state.
+	State State
+	// StartTime and EndTime are set by the simulator once known.
+	StartTime, EndTime int64
+	// WindowAge counts scheduler iterations this job has spent in the
+	// window without being selected; the starvation bound forces selection
+	// once it passes the configured limit (§3.1).
+	WindowAge int
+}
+
+// New constructs a validated job.
+func New(id int, submit, runtime, walltime int64, d Demand) (*Job, error) {
+	j := &Job{ID: id, SubmitTime: submit, Runtime: runtime, WalltimeEst: walltime, Demand: d, StartTime: -1, EndTime: -1}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// MustNew is New but panics on invalid input; for tests and literals.
+func MustNew(id int, submit, runtime, walltime int64, d Demand) *Job {
+	j, err := New(id, submit, runtime, walltime, d)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// Validate checks submission-time invariants.
+func (j *Job) Validate() error {
+	if j.SubmitTime < 0 {
+		return fmt.Errorf("job %d: negative submit time %d", j.ID, j.SubmitTime)
+	}
+	if j.Runtime <= 0 {
+		return fmt.Errorf("job %d: non-positive runtime %d", j.ID, j.Runtime)
+	}
+	if j.WalltimeEst <= 0 {
+		return fmt.Errorf("job %d: non-positive walltime estimate %d", j.ID, j.WalltimeEst)
+	}
+	if err := j.Demand.Validate(); err != nil {
+		return fmt.Errorf("job %d: %w", j.ID, err)
+	}
+	if j.StageOutSec < 0 {
+		return fmt.Errorf("job %d: negative stage-out %d", j.ID, j.StageOutSec)
+	}
+	if j.StageOutSec > 0 && j.Demand.BB() == 0 {
+		return fmt.Errorf("job %d: stage-out without a burst-buffer request", j.ID)
+	}
+	for _, d := range j.Deps {
+		if d == j.ID {
+			return fmt.Errorf("job %d: depends on itself", j.ID)
+		}
+	}
+	return nil
+}
+
+// Transition moves the job to state next, enforcing the lifecycle machine.
+func (j *Job) Transition(next State) error {
+	for _, ok := range validTransitions[j.State] {
+		if ok == next {
+			j.State = next
+			return nil
+		}
+	}
+	return fmt.Errorf("job %d: illegal transition %s -> %s", j.ID, j.State, next)
+}
+
+// WaitTime returns the queued interval (start - submit); it panics if the
+// job has not started, so metrics code cannot silently read garbage.
+func (j *Job) WaitTime() int64 {
+	if j.StartTime < 0 {
+		panic(fmt.Sprintf("job %d: WaitTime before start", j.ID))
+	}
+	return j.StartTime - j.SubmitTime
+}
+
+// Slowdown returns (wait + runtime) / runtime, the responsiveness metric of
+// §4.2. The denominator is floored at minRuntime seconds (bounded slowdown)
+// so abnormally short jobs do not dominate the average.
+func (j *Job) Slowdown(minRuntime int64) float64 {
+	r := j.Runtime
+	if r < minRuntime {
+		r = minRuntime
+	}
+	return float64(j.WaitTime()+j.Runtime) / float64(r)
+}
+
+// Clone returns a deep copy (Deps included). The simulator clones workloads
+// so that repeated runs over the same trace never share mutable state.
+func (j *Job) Clone() *Job {
+	c := *j
+	if j.Deps != nil {
+		c.Deps = append([]int(nil), j.Deps...)
+	}
+	return &c
+}
+
+// CloneAll deep-copies a workload.
+func CloneAll(jobs []*Job) []*Job {
+	out := make([]*Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Clone()
+	}
+	return out
+}
+
+// SortBySubmit orders jobs by submission time (stable; ties by ID).
+func SortBySubmit(jobs []*Job) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].SubmitTime != jobs[b].SubmitTime {
+			return jobs[a].SubmitTime < jobs[b].SubmitTime
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// ValidateWorkload checks a whole trace: unique IDs, valid jobs, and
+// dependencies that reference existing jobs submitted no later than the
+// dependent job.
+func ValidateWorkload(jobs []*Job) error {
+	byID := make(map[int]*Job, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if _, dup := byID[j.ID]; dup {
+			return fmt.Errorf("duplicate job id %d", j.ID)
+		}
+		byID[j.ID] = j
+	}
+	for _, j := range jobs {
+		for _, dep := range j.Deps {
+			d, ok := byID[dep]
+			if !ok {
+				return fmt.Errorf("job %d depends on unknown job %d", j.ID, dep)
+			}
+			if d.SubmitTime > j.SubmitTime {
+				return fmt.Errorf("job %d depends on job %d submitted later", j.ID, dep)
+			}
+		}
+	}
+	return nil
+}

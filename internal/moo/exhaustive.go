@@ -1,0 +1,77 @@
+package moo
+
+import "fmt"
+
+// MaxExhaustiveDim bounds SolveExhaustive: 2^w candidate enumeration
+// becomes impractical beyond ~2^26 even at nanoseconds per evaluation,
+// which is exactly the point Fig. 2 makes.
+const MaxExhaustiveDim = 26
+
+// SolveExhaustive enumerates all 2^w bit vectors, evaluates each, and
+// returns the exact Pareto front of the feasible solutions, keeping one
+// representative selection per distinct objective vector (many selections
+// tie in objective space; the front is a set of objective points, so one
+// witness each suffices and bounds memory). It is the reference solver for
+// generational-distance measurements (Fig. 4) and the exhaustive curve in
+// Fig. 2.
+func SolveExhaustive(p Problem) ([]Solution, error) {
+	dim := p.Dim()
+	if dim <= 0 {
+		return nil, fmt.Errorf("moo: problem dimension %d", dim)
+	}
+	if dim > MaxExhaustiveDim {
+		return nil, fmt.Errorf("moo: exhaustive search over 2^%d solutions exceeds the %d-bit cap", dim, MaxExhaustiveDim)
+	}
+
+	bits := make([]bool, dim)
+	// incumbent front maintained incrementally: a new feasible solution is
+	// added if no incumbent dominates it; incumbents it dominates are
+	// evicted. This keeps memory proportional to the front, not 2^w.
+	var front []Solution
+	total := uint64(1) << uint(dim)
+	for mask := uint64(0); mask < total; mask++ {
+		for i := 0; i < dim; i++ {
+			bits[i] = mask&(1<<uint(i)) != 0
+		}
+		objs, ok := p.Evaluate(bits)
+		if !ok {
+			continue
+		}
+		dominated := false
+		keep := front[:0]
+		for _, f := range front {
+			if Dominates(f.Objectives, objs) || equalObjs(f.Objectives, objs) {
+				dominated = true
+			}
+			if !dominated && Dominates(objs, f.Objectives) {
+				continue // evicted by the newcomer
+			}
+			keep = append(keep, f)
+			if dominated {
+				// Nothing below can be evicted once we know the newcomer
+				// loses: dominance is transitive and front members are
+				// mutually non-dominated.
+				keep = front
+				break
+			}
+		}
+		front = keep
+		if dominated {
+			continue
+		}
+		sol := Solution{Bits: append([]bool(nil), bits...), Objectives: append([]float64(nil), objs...)}
+		front = append(front, sol)
+	}
+	front = DedupeByBits(ParetoFilter(front))
+	SortLexicographic(front)
+	return front, nil
+}
+
+func equalObjs(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

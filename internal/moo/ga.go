@@ -1,0 +1,288 @@
+package moo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bbsched/internal/rng"
+)
+
+// GAConfig holds the solver parameters of §3.2.3.
+type GAConfig struct {
+	// Generations is G, the evolution iteration count. Paper default 500.
+	Generations int
+	// Population is P, the constant population size. Paper default 20.
+	Population int
+	// MutationProb is p_m, the per-gene bit-flip probability applied to
+	// children. Paper default 0.0005 (0.05%).
+	MutationProb float64
+	// Parallelism > 1 evaluates each generation's children concurrently,
+	// the acceleration §3.2.2 notes. Zero or one evaluates serially.
+	Parallelism int
+	// Archive, when true, additionally accumulates every feasible
+	// evaluated solution into the returned front instead of reporting only
+	// the final generation's Set 1. Off by default (paper behaviour);
+	// exposed for the ablation benches.
+	Archive bool
+	// Selection picks the survivor policy: AgeBased (paper default) or
+	// Crowding (NSGA-II style, for the selection ablation).
+	Selection SelectionPolicy
+}
+
+// DefaultGAConfig returns the paper's §4.3 defaults: G=500, P=20,
+// p_m=0.05%.
+func DefaultGAConfig() GAConfig {
+	return GAConfig{Generations: 500, Population: 20, MutationProb: 0.0005}
+}
+
+func (c GAConfig) validate(p Problem) error {
+	if c.Generations < 0 {
+		return fmt.Errorf("moo: negative generation count %d", c.Generations)
+	}
+	if c.Population < 2 {
+		return fmt.Errorf("moo: population %d too small (need >= 2)", c.Population)
+	}
+	if c.MutationProb < 0 || c.MutationProb > 1 {
+		return fmt.Errorf("moo: mutation probability %v out of [0,1]", c.MutationProb)
+	}
+	if p.Dim() <= 0 {
+		return fmt.Errorf("moo: problem dimension %d", p.Dim())
+	}
+	return nil
+}
+
+// SolveGA runs the paper's multi-objective genetic algorithm and returns
+// the Pareto set of the final generation (deduplicated by bit vector,
+// lexicographically sorted). The stream makes runs reproducible.
+//
+// Evolution per generation: P children are bred by single-point crossover
+// of uniformly chosen parents, each child's genes flip with probability
+// p_m, infeasible children are repaired (or discarded if the problem does
+// not implement Repairer), and selection forms the next generation from
+// parents ∪ children: all of Set 1 (the pool's Pareto front) first —
+// trimmed preferring newer chromosomes if it exceeds P — then Set 2 filled
+// in age order (newest first).
+func SolveGA(p Problem, cfg GAConfig, s *rng.Stream) ([]Solution, error) {
+	if err := cfg.validate(p); err != nil {
+		return nil, err
+	}
+	dim := p.Dim()
+
+	var archive []Solution
+	record := func(sols []Solution) {
+		if cfg.Archive {
+			for _, x := range sols {
+				archive = append(archive, x.Clone())
+			}
+		}
+	}
+
+	pop := initialPopulation(p, cfg, s)
+	if len(pop) == 0 {
+		// Not even the empty selection is feasible: the problem is
+		// over-constrained (used resources already exceed capacity).
+		return nil, fmt.Errorf("moo: no feasible initial solution for %d-dim problem", dim)
+	}
+	record(pop)
+
+	for g := 0; g < cfg.Generations; g++ {
+		children := breed(p, cfg, pop, s)
+		record(children)
+		pool := append(pop, children...)
+		if cfg.Selection == Crowding {
+			pop = selectCrowding(pool, cfg.Population)
+		} else {
+			pop = selectNext(pool, cfg.Population)
+		}
+		for i := range pop {
+			pop[i].Age++
+		}
+	}
+
+	front := ParetoFilter(pop)
+	if cfg.Archive {
+		front = ParetoFilter(append(front, archive...))
+	}
+	front = DedupeByBits(front)
+	out := make([]Solution, len(front))
+	for i, f := range front {
+		out[i] = f.Clone()
+	}
+	SortLexicographic(out)
+	return out, nil
+}
+
+// initialPopulation draws random bit vectors, repairing or discarding
+// infeasible ones; the all-zero solution (select nothing) is always
+// feasible for resource-allocation problems, so it seeds the population
+// when random draws fail.
+func initialPopulation(p Problem, cfg GAConfig, s *rng.Stream) []Solution {
+	pop := make([]Solution, 0, cfg.Population)
+	for tries := 0; len(pop) < cfg.Population && tries < cfg.Population*8; tries++ {
+		bits := make([]bool, p.Dim())
+		for i := range bits {
+			bits[i] = s.Bool(0.5)
+		}
+		if sol, ok := makeFeasible(p, bits, s); ok {
+			pop = append(pop, sol)
+		}
+	}
+	if len(pop) < cfg.Population {
+		zero := make([]bool, p.Dim())
+		if objs, ok := p.Evaluate(zero); ok {
+			for len(pop) < cfg.Population {
+				pop = append(pop, Solution{Bits: append([]bool(nil), zero...), Objectives: append([]float64(nil), objs...)})
+			}
+		}
+	}
+	return pop
+}
+
+// makeFeasible evaluates bits, invoking Repair once if available and
+// needed. It returns the evaluated solution and whether it is feasible.
+func makeFeasible(p Problem, bits []bool, s *rng.Stream) (Solution, bool) {
+	objs, ok := p.Evaluate(bits)
+	if !ok {
+		r, can := p.(Repairer)
+		if !can {
+			return Solution{}, false
+		}
+		r.Repair(bits, s.Intn)
+		objs, ok = p.Evaluate(bits)
+		if !ok {
+			return Solution{}, false
+		}
+	}
+	sol := Solution{Bits: bits, Objectives: objs}
+	sol.Key() // populate the genotype digest once, while we own the value
+	return sol, true
+}
+
+// breed produces up to cfg.Population feasible children via crossover and
+// mutation, evaluating in parallel when configured.
+func breed(p Problem, cfg GAConfig, pop []Solution, s *rng.Stream) []Solution {
+	dim := p.Dim()
+	// Generate raw children serially (RNG is not concurrent-safe)…
+	raw := make([][]bool, 0, cfg.Population)
+	for len(raw) < cfg.Population {
+		a := pop[s.Intn(len(pop))].Bits
+		b := pop[s.Intn(len(pop))].Bits
+		cut := 1 + s.Intn(maxIntGA(1, dim-1)) // crossover position in [1, dim-1]
+		c1 := make([]bool, dim)
+		c2 := make([]bool, dim)
+		copy(c1, a[:cut])
+		copy(c1[cut:], b[cut:])
+		copy(c2, b[:cut])
+		copy(c2[cut:], a[cut:])
+		for _, c := range [][]bool{c1, c2} {
+			for i := range c {
+				if s.Bool(cfg.MutationProb) {
+					c[i] = !c[i]
+				}
+			}
+			raw = append(raw, c)
+			if len(raw) == cfg.Population {
+				break
+			}
+		}
+	}
+
+	// …then evaluate/repair, optionally in parallel. Each worker gets its
+	// own split stream so results do not depend on scheduling order.
+	children := make([]Solution, len(raw))
+	feasible := make([]bool, len(raw))
+	eval := func(i int) {
+		ws := s.SplitIndex(uint64(i))
+		if sol, ok := makeFeasible(p, raw[i], ws); ok {
+			children[i] = sol
+			feasible[i] = true
+		}
+	}
+	if cfg.Parallelism > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Parallelism)
+		for i := range raw {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				eval(i)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range raw {
+			eval(i)
+		}
+	}
+
+	out := children[:0]
+	for i := range children {
+		if feasible[i] {
+			out = append(out, children[i])
+		}
+	}
+	return out
+}
+
+// selectNext implements the paper's age-based selection: the pool's Pareto
+// front (Set 1) survives first — trimmed to P preferring newer (smaller
+// Age) chromosomes if oversized — then the remainder (Set 2) fills the
+// population in age order, newest first.
+//
+// One refinement over the paper's description: within each set, duplicate
+// genotypes rank behind distinct ones. Crossover of converged parents
+// floods every generation with age-0 clones of the dominant chromosome;
+// under a literal newest-first trim those clones evict distinct age-1
+// Pareto points and the population collapses to a single solution. Ranking
+// unique genotypes first preserves the age rule among distinct chromosomes
+// while keeping the front diverse.
+func selectNext(pool []Solution, p int) []Solution {
+	dominated := dominatedFlags(pool)
+	var set1, set2 []Solution
+	for i, s := range pool {
+		if dominated[i] {
+			set2 = append(set2, s)
+		} else {
+			set1 = append(set1, s)
+		}
+	}
+	next := make([]Solution, 0, p)
+	seen := make(map[string]bool, p)
+	take := func(set []Solution) {
+		sort.SliceStable(set, func(i, j int) bool { return set[i].Age < set[j].Age })
+		// First pass: distinct genotypes, newest first.
+		for _, s := range set {
+			if len(next) == p {
+				return
+			}
+			if k := s.Key(); !seen[k] {
+				seen[k] = true
+				next = append(next, s)
+			}
+		}
+	}
+	fill := func(set []Solution) {
+		// Second pass: pad with duplicates if distinct genotypes ran out.
+		for _, s := range set {
+			if len(next) == p {
+				return
+			}
+			next = append(next, s)
+		}
+	}
+	take(set1)
+	take(set2)
+	fill(set1)
+	fill(set2)
+	return next
+}
+
+func maxIntGA(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

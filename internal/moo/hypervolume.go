@@ -1,0 +1,57 @@
+package moo
+
+import "bbsched/internal/rng"
+
+// HypervolumeMC estimates the hypervolume dominated by a front of any
+// dimensionality relative to a reference point (which every front member
+// must dominate), by Monte Carlo sampling of the box spanned by the
+// reference point and the per-objective maxima. The §5 four-objective
+// fronts have no cheap exact hypervolume; sampling with a deterministic
+// stream gives a reproducible estimate with ~1/sqrt(samples) error.
+func HypervolumeMC(front []Solution, ref []float64, samples int, s *rng.Stream) float64 {
+	if len(front) == 0 || samples <= 0 {
+		return 0
+	}
+	m := len(ref)
+	hi := make([]float64, m)
+	copy(hi, ref)
+	for _, f := range front {
+		if len(f.Objectives) != m {
+			panic("moo: hypervolume reference dimensionality mismatch")
+		}
+		for k, v := range f.Objectives {
+			if v > hi[k] {
+				hi[k] = v
+			}
+		}
+	}
+	var volume float64 = 1
+	for k := range ref {
+		volume *= hi[k] - ref[k]
+	}
+	if volume == 0 {
+		return 0
+	}
+
+	pt := make([]float64, m)
+	dominatedCount := 0
+	for i := 0; i < samples; i++ {
+		for k := range pt {
+			pt[k] = ref[k] + s.Float64()*(hi[k]-ref[k])
+		}
+		for _, f := range front {
+			covered := true
+			for k, v := range f.Objectives {
+				if v < pt[k] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				dominatedCount++
+				break
+			}
+		}
+	}
+	return volume * float64(dominatedCount) / float64(samples)
+}

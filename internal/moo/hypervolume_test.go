@@ -1,0 +1,75 @@
+package moo
+
+import (
+	"math"
+	"testing"
+
+	"bbsched/internal/rng"
+)
+
+func TestHypervolumeMCMatchesExact2D(t *testing.T) {
+	front := []Solution{
+		{Objectives: []float64{4, 1}},
+		{Objectives: []float64{2, 3}},
+	}
+	exact := Hypervolume2D(front, 0, 0) // 8
+	mc := HypervolumeMC(front, []float64{0, 0}, 200000, rng.New(1))
+	if math.Abs(mc-exact)/exact > 0.03 {
+		t.Fatalf("MC = %v, exact = %v", mc, exact)
+	}
+}
+
+func TestHypervolumeMCSingleBox(t *testing.T) {
+	front := []Solution{{Objectives: []float64{2, 3, 4}}}
+	// Box from origin: exactly 24, and sampling the spanned box means the
+	// single point dominates every sample.
+	mc := HypervolumeMC(front, []float64{0, 0, 0}, 1000, rng.New(2))
+	if mc != 24 {
+		t.Fatalf("single-point 3D HV = %v, want 24", mc)
+	}
+}
+
+func TestHypervolumeMC4D(t *testing.T) {
+	a := Solution{Objectives: []float64{1, 1, 1, 1}}
+	b := Solution{Objectives: []float64{2, 2, 2, 2}}
+	small := HypervolumeMC([]Solution{a}, []float64{0, 0, 0, 0}, 50000, rng.New(3))
+	big := HypervolumeMC([]Solution{b}, []float64{0, 0, 0, 0}, 50000, rng.New(3))
+	if small >= big {
+		t.Fatalf("HV not monotone: %v vs %v", small, big)
+	}
+	both := HypervolumeMC([]Solution{a, b}, []float64{0, 0, 0, 0}, 50000, rng.New(3))
+	if math.Abs(both-big) > 1e-9 {
+		t.Fatalf("dominated point changed HV: %v vs %v", both, big)
+	}
+}
+
+func TestHypervolumeMCEdgeCases(t *testing.T) {
+	if HypervolumeMC(nil, []float64{0}, 100, rng.New(1)) != 0 {
+		t.Fatal("empty front should have zero HV")
+	}
+	front := []Solution{{Objectives: []float64{5}}}
+	if HypervolumeMC(front, []float64{5}, 100, rng.New(1)) != 0 {
+		t.Fatal("degenerate box should have zero HV")
+	}
+	if HypervolumeMC(front, []float64{0}, 0, rng.New(1)) != 0 {
+		t.Fatal("zero samples should return 0")
+	}
+}
+
+func TestHypervolumeMCDeterministic(t *testing.T) {
+	front := []Solution{{Objectives: []float64{3, 2}}, {Objectives: []float64{1, 5}}}
+	a := HypervolumeMC(front, []float64{0, 0}, 10000, rng.New(7))
+	b := HypervolumeMC(front, []float64{0, 0}, 10000, rng.New(7))
+	if a != b {
+		t.Fatal("same seed gave different estimates")
+	}
+}
+
+func TestHypervolumeMCPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	HypervolumeMC([]Solution{{Objectives: []float64{1, 2}}}, []float64{0}, 10, rng.New(1))
+}

@@ -1,0 +1,224 @@
+// Package moo implements the multi-objective optimization machinery of
+// BBSched §3.2: binary-vector solution encoding, Pareto dominance and
+// front extraction, the paper's multi-objective genetic algorithm
+// (single-point crossover, bit-flip mutation, age-based Set1/Set2
+// selection), an exhaustive 2^w reference solver, and solution-quality
+// metrics (generational distance, hypervolume).
+//
+// All objectives are maximized. Minimization objectives (e.g. wasted local
+// SSD, §5's f4) are expressed by negating the value, exactly as the paper
+// writes f4 with a leading minus sign.
+package moo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Problem is a pseudo-boolean multi-objective maximization problem over
+// bit vectors of fixed dimension. Implementations must be safe for
+// concurrent Evaluate calls (the GA can evaluate a population in parallel).
+type Problem interface {
+	// Dim is the solution bit-vector length (the scheduling window size).
+	Dim() int
+	// NumObjectives is the number of simultaneously maximized objectives.
+	NumObjectives() int
+	// Evaluate returns the objective vector for bits and whether the
+	// solution satisfies all resource constraints. Objective values of
+	// infeasible solutions are ignored by the solvers.
+	Evaluate(bits []bool) (objs []float64, feasible bool)
+}
+
+// Repairer is an optional Problem extension: Repair mutates bits in place
+// into a feasible solution (typically by deselecting jobs until the
+// constraints hold). Solvers use it to keep populations feasible instead
+// of discarding constraint violators.
+type Repairer interface {
+	Repair(bits []bool, drop func(n int) int)
+}
+
+// Solution is an evaluated candidate.
+type Solution struct {
+	// Bits is the selection vector; Bits[i] selects window job i. Bits
+	// must not be mutated after the solution is evaluated (Key caches a
+	// digest of it).
+	Bits []bool
+	// Objectives is the evaluated objective vector (maximization).
+	Objectives []float64
+	// Age counts generations survived (paper §3.2.2: selection prefers
+	// newer chromosomes, i.e. smaller Age).
+	Age int
+
+	// key caches Key(); the GA consults genotype identity every
+	// generation and rebuilding the string dominated solver time.
+	key string
+}
+
+// Clone deep-copies the solution.
+func (s Solution) Clone() Solution {
+	c := s
+	c.Bits = append([]bool(nil), s.Bits...)
+	c.Objectives = append([]float64(nil), s.Objectives...)
+	return c
+}
+
+// Key returns a compact string key of the bit vector, for deduplication.
+func (s *Solution) Key() string {
+	if s.key == "" && len(s.Bits) > 0 {
+		b := make([]byte, len(s.Bits))
+		for i, v := range s.Bits {
+			if v {
+				b[i] = '1'
+			} else {
+				b[i] = '0'
+			}
+		}
+		s.key = string(b)
+	}
+	return s.key
+}
+
+// Dominates reports whether objective vector a Pareto-dominates b under
+// maximization: a is no worse in every objective and strictly better in at
+// least one. Vectors must have equal length.
+func Dominates(a, b []float64) bool {
+	if len(a) == 2 && len(b) == 2 {
+		// The two-objective §3.2 problem is the solver's hot loop.
+		return a[0] >= b[0] && a[1] >= b[1] && (a[0] > b[0] || a[1] > b[1])
+	}
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("moo: dominance between %d- and %d-dim vectors", len(a), len(b)))
+	}
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// dominatedFlags marks solutions dominated by some other pool member.
+func dominatedFlags(sols []Solution) []bool {
+	dominated := make([]bool, len(sols))
+	for i := range sols {
+		for j := range sols {
+			if i == j {
+				continue
+			}
+			if Dominates(sols[j].Objectives, sols[i].Objectives) {
+				dominated[i] = true
+				break
+			}
+		}
+	}
+	return dominated
+}
+
+// ParetoFilter returns the non-dominated subset of solutions. Duplicate
+// objective vectors are all retained (callers dedupe by Key if needed).
+// The input is not modified; the result shares Solution values.
+func ParetoFilter(sols []Solution) []Solution {
+	dominated := dominatedFlags(sols)
+	var front []Solution
+	for i, d := range dominated {
+		if !d {
+			front = append(front, sols[i])
+		}
+	}
+	return front
+}
+
+// DedupeByBits keeps the first solution for each distinct bit vector.
+func DedupeByBits(sols []Solution) []Solution {
+	seen := make(map[string]bool, len(sols))
+	out := sols[:0:0]
+	for _, s := range sols {
+		k := s.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SortLexicographic orders solutions by descending objective 0, then 1, …
+// then by bit-vector key; used to make experiment output stable.
+func SortLexicographic(sols []Solution) {
+	sort.Slice(sols, func(i, j int) bool {
+		a, b := sols[i].Objectives, sols[j].Objectives
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] > b[k]
+			}
+		}
+		return sols[i].Key() < sols[j].Key()
+	})
+}
+
+// GenerationalDistance is the paper's §3.2.3 accuracy metric: the average
+// Euclidean distance in objective space from each solution of approx to its
+// nearest member of the reference (true) front. Zero means the
+// approximation lies on the reference front. It panics on an empty
+// reference front; an empty approximation yields 0.
+func GenerationalDistance(approx, ref []Solution) float64 {
+	if len(ref) == 0 {
+		panic("moo: generational distance against empty reference front")
+	}
+	if len(approx) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range approx {
+		best := math.Inf(1)
+		for _, v := range ref {
+			if d := euclid(u.Objectives, v.Objectives); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(approx))
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Hypervolume2D returns the area dominated by a two-objective front
+// relative to reference point (refX, refY) (which must be dominated by
+// every front member). Used by ablation benches to compare fronts with a
+// single scalar. Panics unless every solution has exactly two objectives.
+func Hypervolume2D(front []Solution, refX, refY float64) float64 {
+	if len(front) == 0 {
+		return 0
+	}
+	pts := make([][2]float64, 0, len(front))
+	for _, s := range front {
+		if len(s.Objectives) != 2 {
+			panic("moo: Hypervolume2D needs exactly two objectives")
+		}
+		pts = append(pts, [2]float64{s.Objectives[0], s.Objectives[1]})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] > pts[j][0] })
+	var hv float64
+	prevY := refY
+	for _, p := range pts {
+		if p[1] <= prevY {
+			continue // dominated in y by a point with larger x
+		}
+		hv += (p[0] - refX) * (p[1] - prevY)
+		prevY = p[1]
+	}
+	return hv
+}

@@ -1,0 +1,212 @@
+// Package queue implements the job waiting queue with pluggable base
+// scheduler ordering policies (§2.1) and the window extraction of §3.1.
+//
+// The base scheduler enforces a site's priority policy; BBSched and the
+// comparison methods only ever reorder *within* the window the base policy
+// exposes, preserving site-level job priority. Two production policies are
+// provided: FCFS (Cori / Slurm default) and WFP (Theta / Cobalt), the
+// utility policy that favors large jobs that have waited long relative to
+// their requested walltime.
+package queue
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bbsched/internal/job"
+)
+
+// Policy orders the waiting queue. Implementations must be deterministic.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Priority returns job j's priority at time now; higher runs earlier.
+	// Ties are broken FCFS (submit time, then ID).
+	Priority(j *job.Job, now int64) float64
+}
+
+// FCFS orders jobs by arrival.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// Priority implements Policy: all jobs are equal, so the FCFS tie-break
+// (submit time) decides the order.
+func (FCFS) Priority(*job.Job, int64) float64 { return 0 }
+
+// WFP is ALCF's utility policy: priority grows with job size and with the
+// cube of waiting time relative to the requested walltime, so large jobs
+// and long-waiting jobs climb the queue (§2.1, [10,42]).
+type WFP struct{}
+
+// Name implements Policy.
+func (WFP) Name() string { return "WFP" }
+
+// Priority implements Policy.
+func (WFP) Priority(j *job.Job, now int64) float64 {
+	wait := float64(now - j.SubmitTime)
+	if wait < 0 {
+		wait = 0
+	}
+	r := wait / float64(j.WalltimeEst)
+	return float64(j.Demand.NodeCount()) * r * r * r
+}
+
+// Multifactor approximates Slurm's multifactor priority plugin with its
+// two site-universal terms: an age factor (wait time saturating at
+// MaxAge) and a job-size factor (nodes relative to the machine), combined
+// with configurable weights. QOS/fair-share terms are deliberately out of
+// scope — §2.3 argues fair-share is not an HPC scheduling goal.
+type Multifactor struct {
+	// AgeWeight and SizeWeight scale the two factors (Slurm defaults give
+	// age the larger weight; zero values fall back to 1000 and 100).
+	AgeWeight, SizeWeight float64
+	// MaxAgeSec saturates the age factor (default 7 days).
+	MaxAgeSec int64
+	// MachineNodes normalizes the size factor (default: raw node count).
+	MachineNodes int
+}
+
+// Name implements Policy.
+func (Multifactor) Name() string { return "Multifactor" }
+
+// Priority implements Policy.
+func (m Multifactor) Priority(j *job.Job, now int64) float64 {
+	ageW, sizeW := m.AgeWeight, m.SizeWeight
+	if ageW == 0 {
+		ageW = 1000
+	}
+	if sizeW == 0 {
+		sizeW = 100
+	}
+	maxAge := m.MaxAgeSec
+	if maxAge <= 0 {
+		maxAge = 7 * 24 * 3600
+	}
+	wait := now - j.SubmitTime
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxAge {
+		wait = maxAge
+	}
+	age := float64(wait) / float64(maxAge)
+	size := float64(j.Demand.NodeCount())
+	if m.MachineNodes > 0 {
+		size /= float64(m.MachineNodes)
+	}
+	return ageW*age + sizeW*size
+}
+
+// ByName returns the policy with the given name.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "FCFS":
+		return FCFS{}, nil
+	case "WFP":
+		return WFP{}, nil
+	case "Multifactor":
+		return Multifactor{}, nil
+	default:
+		return nil, fmt.Errorf("queue: unknown policy %q", name)
+	}
+}
+
+// Queue is the waiting queue. It is not safe for concurrent use.
+type Queue struct {
+	policy  Policy
+	waiting map[int]*job.Job
+}
+
+// New returns an empty queue ordered by policy.
+func New(policy Policy) *Queue {
+	return &Queue{policy: policy, waiting: make(map[int]*job.Job)}
+}
+
+// Policy returns the queue's ordering policy.
+func (q *Queue) Policy() Policy { return q.policy }
+
+// Len returns the number of waiting jobs.
+func (q *Queue) Len() int { return len(q.waiting) }
+
+// Add enqueues a job. Double-adds are rejected.
+func (q *Queue) Add(j *job.Job) error {
+	if _, dup := q.waiting[j.ID]; dup {
+		return fmt.Errorf("queue: job %d already waiting", j.ID)
+	}
+	q.waiting[j.ID] = j
+	return nil
+}
+
+// Remove dequeues the job with the given ID (when it starts running).
+func (q *Queue) Remove(id int) error {
+	if _, ok := q.waiting[id]; !ok {
+		return fmt.Errorf("queue: job %d not waiting", id)
+	}
+	delete(q.waiting, id)
+	return nil
+}
+
+// Contains reports whether job id is waiting.
+func (q *Queue) Contains(id int) bool {
+	_, ok := q.waiting[id]
+	return ok
+}
+
+// Sorted returns the waiting jobs in base-policy order at time now:
+// priority descending, ties FCFS.
+func (q *Queue) Sorted(now int64) []*job.Job {
+	out := make([]*job.Job, 0, len(q.waiting))
+	for _, j := range q.waiting {
+		out = append(out, j)
+	}
+	prio := make(map[int]float64, len(out))
+	for _, j := range out {
+		p := q.policy.Priority(j, now)
+		if math.IsNaN(p) {
+			p = 0
+		}
+		prio[j.ID] = p
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := prio[out[a].ID], prio[out[b].ID]
+		if pa != pb {
+			return pa > pb
+		}
+		if out[a].SubmitTime != out[b].SubmitTime {
+			return out[a].SubmitTime < out[b].SubmitTime
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Window returns up to size jobs from the front of the base-policy order
+// whose dependencies have all finished (§3.1: dependent jobs enter the
+// window only once their dependencies complete, preserving their relative
+// priority). depsDone reports whether a job ID has finished.
+func (q *Queue) Window(now int64, size int, depsDone func(id int) bool) []*job.Job {
+	if size <= 0 {
+		return nil
+	}
+	var out []*job.Job
+	for _, j := range q.Sorted(now) {
+		ready := true
+		for _, d := range j.Deps {
+			if !depsDone(d) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		out = append(out, j)
+		if len(out) == size {
+			break
+		}
+	}
+	return out
+}

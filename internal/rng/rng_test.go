@@ -1,0 +1,231 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical 64-bit draws", same)
+	}
+}
+
+func TestSplitStability(t *testing.T) {
+	parent := New(7)
+	// Consume some draws from the parent; splits must not depend on them.
+	for i := 0; i < 17; i++ {
+		parent.Float64()
+	}
+	c1 := parent.Split("trace")
+	parent2 := New(7)
+	c2 := parent2.Split("trace")
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split stream not stable across parent draw counts (draw %d)", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("a")
+	c2 := parent.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("sibling splits correlated: %d identical draws", same)
+	}
+}
+
+func TestSplitIndexStability(t *testing.T) {
+	a := New(99).SplitIndex(5)
+	b := New(99).SplitIndex(5)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitIndex not deterministic")
+	}
+	c := New(99).SplitIndex(6)
+	d := New(99).SplitIndex(5)
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("adjacent SplitIndex streams identical")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Fatalf("Exp(10) sample mean = %.3f, want ~10", mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(4)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormal(math.Log(50), 1.2)
+	}
+	// Median of LogNormal(mu, sigma) is e^mu = 50. Count below 50.
+	below := 0
+	for _, v := range vals {
+		if v < 50 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("LogNormal median check: %.4f of samples below e^mu, want ~0.5", frac)
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Weibull(1, 7)
+	}
+	mean := sum / n
+	if math.Abs(mean-7) > 0.15 {
+		t.Fatalf("Weibull(1,7) mean = %.3f, want ~7 (exponential)", mean)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	s := New(6)
+	err := quick.Check(func(u uint16) bool {
+		lo, hi := 1.0, 1000.0
+		v := s.BoundedPareto(1.1, lo, hi)
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	s := New(6)
+	if v := s.BoundedPareto(1.5, 10, 10); v != 10 {
+		t.Fatalf("degenerate bounded pareto = %v, want 10", v)
+	}
+	if v := s.BoundedPareto(1.5, 10, 5); v != 10 {
+		t.Fatalf("inverted-bounds pareto = %v, want lo", v)
+	}
+}
+
+func TestBoundedParetoSkew(t *testing.T) {
+	// Heavy tail: most mass near lo.
+	s := New(8)
+	const n = 50000
+	below := 0
+	for i := 0; i < n; i++ {
+		if s.BoundedPareto(1.2, 1, 1e6) < 10 {
+			below++
+		}
+	}
+	if frac := float64(below) / n; frac < 0.80 {
+		t.Fatalf("bounded pareto alpha=1.2: only %.3f of mass below 10x lo, want >0.80", frac)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 5000; i++ {
+		v := s.TruncNormal(0, 100, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(10)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate %.4f", frac)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	s := New(11)
+	counts := [3]int{}
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[s.PickWeighted([]float64{1, 2, 3})]++
+	}
+	for i, want := range []float64{1.0 / 6, 2.0 / 6, 3.0 / 6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("weight %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestPickWeightedDegenerate(t *testing.T) {
+	s := New(12)
+	// All-zero weights fall back to uniform and must stay in range.
+	for i := 0; i < 100; i++ {
+		idx := s.PickWeighted([]float64{0, 0, 0})
+		if idx < 0 || idx > 2 {
+			t.Fatalf("index out of range: %d", idx)
+		}
+	}
+	// Negative weights are ignored.
+	for i := 0; i < 100; i++ {
+		if idx := s.PickWeighted([]float64{-5, 1, -3}); idx != 1 {
+			t.Fatalf("negative weights not ignored, got index %d", idx)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	err := quick.Check(func(raw uint8) bool {
+		n := int(raw%32) + 1
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

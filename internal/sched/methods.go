@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+	"bbsched/internal/moo"
+	"bbsched/internal/rng"
+)
+
+// Context carries everything a scheduling method may use to pick jobs from
+// the window at one scheduling invocation.
+type Context struct {
+	// Now is the current simulation time in seconds.
+	Now int64
+	// Window is the job window in base-policy order (§3.1).
+	Window []*job.Job
+	// Snap is the machine's free resources; methods must not assume they
+	// may keep it (clone before mutating).
+	Snap cluster.Snapshot
+	// Totals normalizes utilization objectives in weighted methods.
+	Totals Totals
+	// Rand is a per-invocation deterministic stream for stochastic solvers.
+	Rand *rng.Stream
+}
+
+// Method selects which window jobs to start now, returning indices into
+// ctx.Window. Implementations never allocate on the live cluster; the
+// caller does, in the returned order.
+type Method interface {
+	// Name identifies the method in experiment output (§4.3 names).
+	Name() string
+	// Select returns the chosen window indices.
+	Select(ctx *Context) ([]int, error)
+}
+
+// Baseline is the naive method (§1, §4.3): allocate window jobs strictly
+// in base-policy order, stopping at the first job that does not fit —
+// exactly Slurm's behaviour of walking the queue until either CPU or burst
+// buffer is exhausted. Skipped-over combinations are left to backfilling.
+type Baseline struct{}
+
+// Name implements Method.
+func (Baseline) Name() string { return "Baseline" }
+
+// Select implements Method.
+func (Baseline) Select(ctx *Context) ([]int, error) {
+	scratch := ctx.Snap.Clone()
+	var out []int
+	for i, j := range ctx.Window {
+		if _, err := scratch.Alloc(j.Demand); err != nil {
+			break
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// GASolverConfig bundles the GA parameters shared by all optimization
+// methods so comparisons are apples-to-apples (§4.3 uses one solver
+// configuration for every method).
+type GASolverConfig = moo.GAConfig
+
+// Weighted maximizes a weighted sum of machine-normalized resource
+// utilizations (§4.3: Weighted 50/50, Weighted_CPU 80/20, Weighted_BB
+// 20/80; §5 adds SSD terms). It returns the single best solution found.
+type Weighted struct {
+	// MethodName distinguishes the weight presets in output.
+	MethodName string
+	// Objectives lists the objectives combined; Weights aligns with it.
+	Objectives []Objective
+	// Weights are the scalarization weights (summing to 1 by convention).
+	Weights []float64
+	// GA configures the solver.
+	GA GASolverConfig
+}
+
+// NewWeighted builds a weighted method over the two §3.2 objectives.
+func NewWeighted(name string, wNode, wBB float64, ga GASolverConfig) *Weighted {
+	return &Weighted{MethodName: name, Objectives: TwoObjectives(), Weights: []float64{wNode, wBB}, GA: ga}
+}
+
+// Name implements Method.
+func (w *Weighted) Name() string { return w.MethodName }
+
+// Select implements Method.
+func (w *Weighted) Select(ctx *Context) ([]int, error) {
+	if len(w.Weights) != len(w.Objectives) {
+		return nil, fmt.Errorf("sched: %s has %d weights for %d objectives", w.MethodName, len(w.Weights), len(w.Objectives))
+	}
+	if len(ctx.Window) == 0 {
+		return nil, nil
+	}
+	inner := NewSelectionProblem(ctx.Window, ctx.Snap, w.Objectives)
+	p := &scalarized{inner: inner, weights: w.Weights, denom: ctx.Totals.denominators(w.Objectives)}
+	front, err := moo.SolveGA(p, w.GA, ctx.Rand)
+	if err != nil {
+		return nil, err
+	}
+	best := bestScalar(front)
+	if best == nil {
+		return nil, nil
+	}
+	return Selected(best.Bits), nil
+}
+
+// Constrained maximizes one resource's utilization with the remaining
+// resources acting purely as constraints (§4.3: Constrained_CPU,
+// Constrained_BB; §5 adds Constrained_SSD).
+type Constrained struct {
+	// MethodName distinguishes the presets in output.
+	MethodName string
+	// Target is the single maximized objective.
+	Target Objective
+	// GA configures the solver.
+	GA GASolverConfig
+}
+
+// Name implements Method.
+func (c *Constrained) Name() string { return c.MethodName }
+
+// Select implements Method.
+func (c *Constrained) Select(ctx *Context) ([]int, error) {
+	if len(ctx.Window) == 0 {
+		return nil, nil
+	}
+	p := NewSelectionProblem(ctx.Window, ctx.Snap, []Objective{c.Target})
+	front, err := moo.SolveGA(p, c.GA, ctx.Rand)
+	if err != nil {
+		return nil, err
+	}
+	best := bestScalar(front)
+	if best == nil {
+		return nil, nil
+	}
+	return Selected(best.Bits), nil
+}
+
+// bestScalar picks the solution with the highest first objective; ties
+// break toward selections earlier in the window (preserving base order),
+// then fewer selected jobs.
+func bestScalar(front []moo.Solution) *moo.Solution {
+	if len(front) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(front); i++ {
+		if front[i].Objectives[0] > front[best].Objectives[0] {
+			best = i
+		}
+	}
+	return &front[best]
+}
+
+// BinPacking is the Tetris-style heuristic of [18] (§4.3): repeatedly
+// start the fitting job whose demand vector has the largest dot product
+// with the machine's remaining resources (both machine-normalized), until
+// nothing fits.
+type BinPacking struct{}
+
+// Name implements Method.
+func (BinPacking) Name() string { return "Bin_Packing" }
+
+// Select implements Method.
+func (BinPacking) Select(ctx *Context) ([]int, error) {
+	scratch := ctx.Snap.Clone()
+	remaining := make([]int, len(ctx.Window))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var out []int
+	for len(remaining) > 0 {
+		bestIdx, bestPos := -1, -1
+		bestScore := -1.0
+		for pos, i := range remaining {
+			d := ctx.Window[i].Demand
+			if !scratch.CanFit(d) {
+				continue
+			}
+			s := alignment(d, scratch, ctx.Totals)
+			if s > bestScore {
+				bestScore, bestIdx, bestPos = s, i, pos
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		if _, err := scratch.Alloc(ctx.Window[bestIdx].Demand); err != nil {
+			return nil, fmt.Errorf("sched: bin packing alloc after CanFit: %w", err)
+		}
+		out = append(out, bestIdx)
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// alignment is the Tetris score: ⟨demand, free⟩ with every dimension
+// normalized by machine totals so nodes and bytes are comparable.
+func alignment(d job.Demand, snap cluster.Snapshot, t Totals) float64 {
+	score := 0.0
+	if t.Nodes > 0 {
+		score += (float64(d.NodeCount()) / float64(t.Nodes)) * (float64(snap.FreeNodes()) / float64(t.Nodes))
+	}
+	if t.BBGB > 0 {
+		score += (float64(d.BB()) / float64(t.BBGB)) * (float64(snap.FreeBB) / float64(t.BBGB))
+	}
+	if t.SSDGB > 0 {
+		var freeSSD int64
+		for i := 0; i < snap.NumClasses(); i++ {
+			freeSSD += int64(snap.FreeByClass[i]) * snap.ClassCapacity(i)
+		}
+		score += (float64(d.TotalSSD()) / float64(t.SSDGB)) * (float64(freeSSD) / float64(t.SSDGB))
+	}
+	return score
+}

@@ -1,0 +1,265 @@
+// Package sched implements the multi-resource scheduling methods compared
+// in §4.3/§5: the Slurm-style naive baseline, weighted-sum scalarizations,
+// constrained single-resource optimizations, Tetris-style multi-dimensional
+// bin packing, and the shared MOO problem formulation that BBSched
+// (internal/core) optimizes.
+package sched
+
+import (
+	"fmt"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+)
+
+// Objective identifies one of the paper's four objectives.
+type Objective int
+
+const (
+	// NodeUtil is f1: Σ nᵢ·xᵢ, maximize node allocation (§3.2.1).
+	NodeUtil Objective = iota
+	// BBUtil is f2: Σ bᵢ·xᵢ, maximize burst-buffer allocation (§3.2.1).
+	BBUtil
+	// SSDUtil is f3: Σ sᵢ·nᵢ·xᵢ, maximize local SSD allocation (§5).
+	SSDUtil
+	// SSDWasteNeg is f4: −Σ (assigned − requested SSD), minimize wasted
+	// local SSD expressed as a maximization objective (§5).
+	SSDWasteNeg
+)
+
+// String returns the objective's short name.
+func (o Objective) String() string {
+	switch o {
+	case NodeUtil:
+		return "node_util"
+	case BBUtil:
+		return "bb_util"
+	case SSDUtil:
+		return "ssd_util"
+	case SSDWasteNeg:
+		return "ssd_waste_neg"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// TwoObjectives is the §3.2 CPU + burst-buffer formulation.
+func TwoObjectives() []Objective { return []Objective{NodeUtil, BBUtil} }
+
+// FourObjectives is the §5 formulation adding local SSD utilization and
+// (negated) SSD waste.
+func FourObjectives() []Objective {
+	return []Objective{NodeUtil, BBUtil, SSDUtil, SSDWasteNeg}
+}
+
+// SelectionProblem is the window job-selection MOO problem of §3.2.1: bit
+// i selects window job i; objectives are maximized subject to the free
+// resources in the snapshot. It implements moo.Problem and moo.Repairer.
+type SelectionProblem struct {
+	jobs       []*job.Job
+	snap       cluster.Snapshot
+	objectives []Objective
+
+	// Pre-extracted demand columns; on single-node-class machines (no
+	// SSD heterogeneity) Evaluate runs entirely off these sums with no
+	// snapshot clone — the GA calls Evaluate G×P times per scheduling
+	// decision, so this path dominates whole-simulation cost.
+	nodes, bb []int64
+	fastPath  bool
+	freeNodes int64
+	freeBB    int64
+}
+
+// NewSelectionProblem builds the problem over the window jobs and the
+// machine's current free resources. The snapshot is cloned; callers may
+// keep using theirs.
+func NewSelectionProblem(window []*job.Job, snap cluster.Snapshot, objectives []Objective) *SelectionProblem {
+	if len(objectives) == 0 {
+		panic("sched: selection problem with no objectives")
+	}
+	p := &SelectionProblem{jobs: window, snap: snap.Clone(), objectives: objectives}
+	p.nodes = make([]int64, len(window))
+	p.bb = make([]int64, len(window))
+	for i, j := range window {
+		p.nodes[i] = int64(j.Demand.NodeCount())
+		p.bb[i] = j.Demand.BB()
+	}
+	if snap.NumClasses() == 1 {
+		p.fastPath = true
+		p.freeNodes = int64(snap.FreeNodes())
+		p.freeBB = snap.FreeBB
+		// A per-node SSD demand on a single-class machine still consumes
+		// capacity uniformly; feasibility reduces to the class capacity
+		// check, which Alloc enforces — fall back if any job wants SSD.
+		for _, j := range window {
+			if j.Demand.SSDPerNode() > 0 {
+				p.fastPath = false
+				break
+			}
+		}
+	}
+	return p
+}
+
+// Dim implements moo.Problem.
+func (p *SelectionProblem) Dim() int { return len(p.jobs) }
+
+// NumObjectives implements moo.Problem.
+func (p *SelectionProblem) NumObjectives() int { return len(p.objectives) }
+
+// Evaluate implements moo.Problem: it allocates the selected jobs into a
+// scratch copy of the snapshot (feasibility, and SSD waste for f4) and
+// returns the objective vector. Placement totals are order-independent
+// (see internal/cluster), so evaluating jobs in window order is exact.
+func (p *SelectionProblem) Evaluate(bits []bool) ([]float64, bool) {
+	if len(bits) != len(p.jobs) {
+		panic(fmt.Sprintf("sched: evaluating %d bits over %d jobs", len(bits), len(p.jobs)))
+	}
+	var nodes, bb, ssd, waste int64
+	if p.fastPath {
+		for i, on := range bits {
+			if !on {
+				continue
+			}
+			nodes += p.nodes[i]
+			bb += p.bb[i]
+		}
+		if nodes > p.freeNodes || bb > p.freeBB {
+			return nil, false
+		}
+	} else {
+		scratch := p.snap.Clone()
+		for i, on := range bits {
+			if !on {
+				continue
+			}
+			d := p.jobs[i].Demand
+			placed, err := scratch.Alloc(d)
+			if err != nil {
+				return nil, false
+			}
+			nodes += p.nodes[i]
+			bb += p.bb[i]
+			ssd += d.TotalSSD()
+			waste += placed.WastedSSD
+		}
+	}
+	objs := make([]float64, len(p.objectives))
+	for k, o := range p.objectives {
+		switch o {
+		case NodeUtil:
+			objs[k] = float64(nodes)
+		case BBUtil:
+			objs[k] = float64(bb)
+		case SSDUtil:
+			objs[k] = float64(ssd)
+		case SSDWasteNeg:
+			objs[k] = -float64(waste)
+		default:
+			panic("sched: unknown objective " + o.String())
+		}
+	}
+	return objs, true
+}
+
+// Repair implements moo.Repairer by deselecting jobs (chosen by drop over
+// the currently selected positions) until the selection fits.
+func (p *SelectionProblem) Repair(bits []bool, drop func(n int) int) {
+	for {
+		if _, ok := p.Evaluate(bits); ok {
+			return
+		}
+		var on []int
+		for i, v := range bits {
+			if v {
+				on = append(on, i)
+			}
+		}
+		if len(on) == 0 {
+			return
+		}
+		bits[on[drop(len(on))]] = false
+	}
+}
+
+// Selected converts a solution bit vector to window indices.
+func Selected(bits []bool) []int {
+	var out []int
+	for i, v := range bits {
+		if v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// scalarized wraps a SelectionProblem into a single weighted-sum objective
+// over machine-normalized utilizations, for the weighted and constrained
+// methods. Weights align with TwoObjectives/FourObjectives order.
+type scalarized struct {
+	inner   *SelectionProblem
+	weights []float64
+	// denom[k] normalizes objective k to [0,1] (machine totals).
+	denom []float64
+}
+
+// Dim implements moo.Problem.
+func (s *scalarized) Dim() int { return s.inner.Dim() }
+
+// NumObjectives implements moo.Problem.
+func (s *scalarized) NumObjectives() int { return 1 }
+
+// Evaluate implements moo.Problem.
+func (s *scalarized) Evaluate(bits []bool) ([]float64, bool) {
+	objs, ok := s.inner.Evaluate(bits)
+	if !ok {
+		return nil, false
+	}
+	var sum float64
+	for k, v := range objs {
+		if s.denom[k] > 0 {
+			v /= s.denom[k]
+		}
+		sum += s.weights[k] * v
+	}
+	return []float64{sum}, true
+}
+
+// Repair implements moo.Repairer.
+func (s *scalarized) Repair(bits []bool, drop func(n int) int) { s.inner.Repair(bits, drop) }
+
+// Totals carries machine capacity totals used to normalize objectives in
+// the weighted methods' scalarization.
+type Totals struct {
+	// Nodes is the machine node count.
+	Nodes int
+	// BBGB is the shared burst-buffer pool in GB.
+	BBGB int64
+	// SSDGB is the aggregate local SSD capacity in GB.
+	SSDGB int64
+}
+
+// TotalsOf derives Totals from a cluster config.
+func TotalsOf(cfg cluster.Config) Totals {
+	t := Totals{Nodes: cfg.Nodes, BBGB: cfg.BurstBufferGB}
+	for _, cl := range cfg.SSDClasses {
+		t.SSDGB += cl.CapacityGB * int64(cl.Count)
+	}
+	return t
+}
+
+// denominators maps objectives to normalization constants.
+func (t Totals) denominators(objectives []Objective) []float64 {
+	out := make([]float64, len(objectives))
+	for k, o := range objectives {
+		switch o {
+		case NodeUtil:
+			out[k] = float64(t.Nodes)
+		case BBUtil:
+			out[k] = float64(t.BBGB)
+		case SSDUtil, SSDWasteNeg:
+			out[k] = float64(t.SSDGB)
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventRecord is one line of the simulation event log (JSON Lines): every
+// job state change plus the instantaneous machine usage after it. The log
+// replays a whole run for debugging, utilization timelines, or external
+// plotting.
+type EventRecord struct {
+	// T is the simulation time in seconds.
+	T int64 `json:"t"`
+	// Event is "submit", "start", "end", or "bb_release".
+	Event string `json:"event"`
+	// Job is the job ID.
+	Job int `json:"job"`
+	// Nodes and BBGB are the job's demand.
+	Nodes int   `json:"nodes"`
+	BBGB  int64 `json:"bb_gb,omitempty"`
+	// UsedNodes and UsedBBGB are machine usage after the event.
+	UsedNodes int   `json:"used_nodes"`
+	UsedBBGB  int64 `json:"used_bb_gb"`
+	// Queued is the waiting-queue length after the event.
+	Queued int `json:"queued"`
+}
+
+// eventLogger serializes records to a writer; a nil logger drops them.
+type eventLogger struct {
+	enc *json.Encoder
+}
+
+func newEventLogger(w io.Writer) *eventLogger {
+	if w == nil {
+		return nil
+	}
+	return &eventLogger{enc: json.NewEncoder(w)}
+}
+
+func (l *eventLogger) log(rec EventRecord) error {
+	if l == nil {
+		return nil
+	}
+	if err := l.enc.Encode(rec); err != nil {
+		return fmt.Errorf("sim: event log: %w", err)
+	}
+	return nil
+}
+
+// ReadEventLog parses a JSONL event log back into records.
+func ReadEventLog(r io.Reader) ([]EventRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []EventRecord
+	for {
+		var rec EventRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("sim: reading event log: %w", err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,478 @@
+// Package sim is the trace-driven discrete-event simulator the paper's
+// evaluation rests on (§4): jobs arrive per the trace, a window-based
+// scheduling pass (internal/core.Plugin wrapping any §4.3 method) runs on
+// every arrival and completion, EASY backfilling mops up fragmentation,
+// and metrics are integrated over the measured interval with warm-up and
+// cool-down trimming.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"time"
+
+	"bbsched/internal/backfill"
+	"bbsched/internal/cluster"
+	"bbsched/internal/core"
+	"bbsched/internal/job"
+	"bbsched/internal/metrics"
+	"bbsched/internal/queue"
+	"bbsched/internal/rng"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Workload is the trace to replay (cloned internally; the input is
+	// never mutated).
+	Workload trace.Workload
+	// Method is the window job-selection method under test.
+	Method sched.Method
+	// Plugin is the window configuration (§3.1). Zero value takes the
+	// paper defaults (w=20, starvation bound 50).
+	Plugin core.PluginConfig
+	// DisableBackfill turns EASY backfilling off (ablation; §4.3 runs all
+	// methods with backfilling on).
+	DisableBackfill bool
+	// Seed drives the method's stochastic solver.
+	Seed uint64
+	// WarmupFrac and CooldownFrac trim the measured interval: jobs
+	// submitted in the first WarmupFrac or last CooldownFrac of the
+	// submission horizon are excluded from per-job metrics, mirroring the
+	// paper's half-month warm-up/cool-down. Defaults 0.1 each.
+	WarmupFrac, CooldownFrac float64
+	// SlowdownFloor bounds the slowdown denominator in seconds
+	// (default 60).
+	SlowdownFloor int64
+	// Buckets configures breakdown boundaries (zero = defaults).
+	Buckets metrics.Buckets
+	// EventLog, when non-nil, receives a JSONL record per job state
+	// change (see EventRecord).
+	EventLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Plugin.WindowSize == 0 {
+		c.Plugin = core.DefaultPluginConfig()
+	}
+	if c.WarmupFrac == 0 {
+		c.WarmupFrac = 0.1
+	}
+	if c.CooldownFrac == 0 {
+		c.CooldownFrac = 0.1
+	}
+	if c.SlowdownFloor == 0 {
+		c.SlowdownFloor = 60
+	}
+	return c
+}
+
+// Result is a finished run's output.
+type Result struct {
+	metrics.Report
+	// Workload and Method identify the run.
+	Workload, Method string
+	// TotalJobs is the trace size; MeasuredJobs the post-trim count.
+	TotalJobs, MeasuredJobs int
+	// SchedInvocations counts scheduling passes.
+	SchedInvocations int
+	// AvgDecisionTime and MaxDecisionTime measure the wall-clock cost of
+	// one scheduling pass (selection + backfilling), the §4.4 overhead
+	// discussion.
+	AvgDecisionTime, MaxDecisionTime time.Duration
+	// MakespanSec is the simulated time to drain the whole trace.
+	MakespanSec int64
+}
+
+// event kinds, processed in (time, kind, job) order so completions free
+// resources before same-instant arrivals are scheduled.
+const (
+	evEnd       = iota
+	evBBRelease // stage-out finished; burst buffer returns to the pool
+	evArrive
+)
+
+type event struct {
+	t    int64
+	kind int
+	j    *job.Job
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].t != h[b].t {
+		return h[a].t < h[b].t
+	}
+	if h[a].kind != h[b].kind {
+		return h[a].kind < h[b].kind
+	}
+	return h[a].j.ID < h[b].j.ID
+}
+func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runningJob tracks a live allocation for backfill planning and release.
+type runningJob struct {
+	j       *job.Job
+	alloc   cluster.Allocation
+	release int64 // expected node release (start + walltime estimate)
+	// staging is true once the job has ended but its burst buffer is
+	// still draining (stage-out); bbRelease is the actual drain end.
+	staging   bool
+	bbRelease int64
+}
+
+// persistentReservationID keys the §4.1 persistent burst-buffer
+// reservation in the cluster's allocation table; job IDs are non-negative,
+// so it can never collide.
+const persistentReservationID = -1
+
+// Run simulates the workload under the method and returns the metrics.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	w := cfg.Workload.Clone()
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cl, err := cluster.New(w.System.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	pol, err := queue.ByName(string(w.System.Policy))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	plugin, err := core.NewPlugin(cfg.Plugin, cfg.Method)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	horizon := int64(0)
+	for _, j := range w.Jobs {
+		if j.SubmitTime > horizon {
+			horizon = j.SubmitTime
+		}
+	}
+	s := &state{
+		cfg:       cfg,
+		cl:        cl,
+		q:         queue.New(pol),
+		plugin:    plugin,
+		totals:    sched.TotalsOf(w.System.Cluster),
+		rand:      rng.New(cfg.Seed).Split("sim:" + w.Name + ":" + cfg.Method.Name()),
+		elog:      newEventLogger(cfg.EventLog),
+		running:   make(map[int]*runningJob),
+		done:      make(map[int]bool),
+		warmEnd:   int64(float64(horizon) * cfg.WarmupFrac),
+		coolStart: horizon - int64(float64(horizon)*cfg.CooldownFrac),
+	}
+	if s.coolStart > s.warmEnd {
+		s.collector.SetWindow(s.warmEnd, s.coolStart)
+	}
+	// Persistent burst-buffer reservations (§4.1) are taken before any job
+	// arrives and never released; they shrink the schedulable pool and
+	// count as used burst buffer for the whole run.
+	if p := w.System.PersistentBBGB; p > 0 {
+		if err := cl.ReserveBB(persistentReservationID, p); err != nil {
+			return nil, fmt.Errorf("sim: persistent reservation: %w", err)
+		}
+		s.usage.BBGB += p
+	}
+	heap.Init(&s.events)
+	for _, j := range w.Jobs {
+		heap.Push(&s.events, event{t: j.SubmitTime, kind: evArrive, j: j})
+	}
+
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	return s.report(&w)
+}
+
+type state struct {
+	cfg    Config
+	cl     *cluster.Cluster
+	q      *queue.Queue
+	plugin *core.Plugin
+	totals sched.Totals
+	rand   *rng.Stream
+
+	events   eventHeap
+	now      int64
+	running  map[int]*runningJob
+	done     map[int]bool
+	finished []*job.Job
+
+	warmEnd, coolStart int64
+
+	elog *eventLogger
+
+	collector   metrics.Collector
+	invocations int
+	decideTotal time.Duration
+	decideMax   time.Duration
+
+	// live usage counters, kept incrementally
+	usage metrics.Usage
+}
+
+func (s *state) loop() error {
+	s.collector.Observe(0, metrics.Usage{})
+	for s.events.Len() > 0 {
+		t := s.events[0].t
+		s.now = t
+		// Drain every event at this instant before scheduling once.
+		for s.events.Len() > 0 && s.events[0].t == t {
+			ev := heap.Pop(&s.events).(event)
+			switch ev.kind {
+			case evArrive:
+				if err := s.q.Add(ev.j); err != nil {
+					return fmt.Errorf("sim: %w", err)
+				}
+				if err := s.logEvent("submit", ev.j); err != nil {
+					return err
+				}
+			case evEnd:
+				if err := s.finish(ev.j); err != nil {
+					return err
+				}
+			case evBBRelease:
+				if err := s.releaseBB(ev.j); err != nil {
+					return err
+				}
+			}
+		}
+		if err := s.schedule(); err != nil {
+			return err
+		}
+	}
+	// Close the usage integral at the last event time.
+	s.collector.Observe(s.now, s.usage)
+	return nil
+}
+
+// finish completes a running job: its nodes release now; its burst buffer
+// releases now too unless a stage-out phase holds it longer.
+func (s *state) finish(j *job.Job) error {
+	r, ok := s.running[j.ID]
+	if !ok {
+		return fmt.Errorf("sim: job %d finished but not running", j.ID)
+	}
+	if err := j.Transition(job.Finished); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	j.EndTime = s.now
+	s.done[j.ID] = true
+	s.finished = append(s.finished, j)
+
+	if j.StageOutSec > 0 && j.Demand.BB() > 0 {
+		if err := s.cl.ReleaseNodes(j.ID); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		r.staging = true
+		r.bbRelease = s.now + j.StageOutSec
+		heap.Push(&s.events, event{t: r.bbRelease, kind: evBBRelease, j: j})
+		s.observeNodeRelease(r)
+		return s.logEvent("end", j)
+	}
+	delete(s.running, j.ID)
+	if err := s.cl.Release(j.ID); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	s.observeNodeRelease(r)
+	s.observeBBRelease(r)
+	return s.logEvent("end", j)
+}
+
+// logEvent appends one record to the event log (no-op when disabled).
+func (s *state) logEvent(kind string, j *job.Job) error {
+	return s.elog.log(EventRecord{
+		T: s.now, Event: kind, Job: j.ID,
+		Nodes: j.Demand.NodeCount(), BBGB: j.Demand.BB(),
+		UsedNodes: s.cl.UsedNodes(), UsedBBGB: s.cl.UsedBB(),
+		Queued: s.q.Len(),
+	})
+}
+
+// releaseBB ends a job's stage-out phase.
+func (s *state) releaseBB(j *job.Job) error {
+	r, ok := s.running[j.ID]
+	if !ok || !r.staging {
+		return fmt.Errorf("sim: job %d has no staging burst buffer", j.ID)
+	}
+	delete(s.running, j.ID)
+	if err := s.cl.Release(j.ID); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	s.observeBBRelease(r)
+	return s.logEvent("bb_release", j)
+}
+
+func (s *state) observeStart(r *runningJob) {
+	s.usage.Nodes += r.j.Demand.NodeCount()
+	s.usage.BBGB += r.j.Demand.BB()
+	s.usage.SSDRequestedGB += r.j.Demand.TotalSSD()
+	s.usage.SSDAssignedGB += r.j.Demand.TotalSSD() + r.alloc.WastedSSD
+	s.collector.Observe(s.now, s.usage)
+}
+
+func (s *state) observeNodeRelease(r *runningJob) {
+	s.usage.Nodes -= r.j.Demand.NodeCount()
+	s.usage.SSDRequestedGB -= r.j.Demand.TotalSSD()
+	s.usage.SSDAssignedGB -= r.j.Demand.TotalSSD() + r.alloc.WastedSSD
+	s.collector.Observe(s.now, s.usage)
+}
+
+func (s *state) observeBBRelease(r *runningJob) {
+	s.usage.BBGB -= r.j.Demand.BB()
+	s.collector.Observe(s.now, s.usage)
+}
+
+// schedule runs one window pass plus backfilling.
+func (s *state) schedule() error {
+	if s.q.Len() == 0 {
+		return nil
+	}
+	started := time.Now()
+	s.invocations++
+
+	inv := s.rand.SplitIndex(uint64(s.invocations))
+	depsDone := func(id int) bool { return s.done[id] }
+
+	// Window pass: only worth invoking when something could start.
+	if s.cl.FreeNodes() > 0 {
+		picked, err := s.plugin.Decide(core.DecideContext{
+			Now:      s.now,
+			Queue:    s.q,
+			Snap:     s.cl.Snapshot(),
+			Totals:   s.totals,
+			DepsDone: depsDone,
+			Rand:     inv,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		for _, j := range picked {
+			if err := s.start(j); err != nil {
+				return err
+			}
+		}
+	}
+
+	// EASY backfilling over the remaining queue (§4.3: all methods use
+	// EASY backfilling to mitigate resource fragmentation).
+	if !s.cfg.DisableBackfill && s.q.Len() > 0 && s.cl.FreeNodes() > 0 {
+		waiting := s.depReady(s.q.Sorted(s.now))
+		runs := make([]backfill.Running, 0, len(s.running))
+		for _, r := range s.running {
+			switch {
+			case r.staging:
+				// Nodes already free; only the burst buffer is pending.
+				runs = append(runs, backfill.Running{ReleaseTime: r.bbRelease, BB: r.j.Demand.BB()})
+			case r.j.StageOutSec > 0 && r.j.Demand.BB() > 0:
+				runs = append(runs,
+					backfill.Running{ReleaseTime: r.release, NodesByClass: r.alloc.NodesByClass},
+					backfill.Running{ReleaseTime: r.release + r.j.StageOutSec, BB: r.j.Demand.BB()})
+			default:
+				runs = append(runs, backfill.Running{
+					ReleaseTime:  r.release,
+					NodesByClass: r.alloc.NodesByClass,
+					BB:           r.j.Demand.BB(),
+				})
+			}
+		}
+		for _, j := range backfill.Plan(s.cl.Snapshot(), runs, waiting, s.now) {
+			if err := s.start(j); err != nil {
+				return err
+			}
+		}
+	}
+
+	d := time.Since(started)
+	s.decideTotal += d
+	if d > s.decideMax {
+		s.decideMax = d
+	}
+	return nil
+}
+
+// depReady filters out jobs whose dependencies have not finished.
+func (s *state) depReady(jobs []*job.Job) []*job.Job {
+	out := jobs[:0:0]
+	for _, j := range jobs {
+		ok := true
+		for _, d := range j.Deps {
+			if !s.done[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// start allocates and launches a job at the current time.
+func (s *state) start(j *job.Job) error {
+	alloc, err := s.cl.Allocate(j)
+	if err != nil {
+		return fmt.Errorf("sim: starting job %d: %w", j.ID, err)
+	}
+	if err := s.q.Remove(j.ID); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := j.Transition(job.Running); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	j.StartTime = s.now
+	r := &runningJob{j: j, alloc: alloc, release: s.now + j.WalltimeEst}
+	s.running[j.ID] = r
+	heap.Push(&s.events, event{t: s.now + j.Runtime, kind: evEnd, j: j})
+	s.observeStart(r)
+	return s.logEvent("start", j)
+}
+
+// report trims warm-up/cool-down and computes the final metrics.
+func (s *state) report(w *trace.Workload) (*Result, error) {
+	if len(s.running) != 0 || s.q.Len() != 0 {
+		return nil, fmt.Errorf("sim: %d running, %d queued after drain", len(s.running), s.q.Len())
+	}
+	if err := s.cl.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var measured []*job.Job
+	for _, j := range s.finished {
+		if j.SubmitTime >= s.warmEnd && j.SubmitTime <= s.coolStart {
+			measured = append(measured, j)
+		}
+	}
+	capTotals := metrics.Capacity{Nodes: s.totals.Nodes, BBGB: s.totals.BBGB, SSDGB: s.totals.SSDGB}
+	rep := metrics.Compute(&s.collector, capTotals, measured, s.cfg.SlowdownFloor, s.cfg.Buckets)
+	res := &Result{
+		Report:           rep,
+		Workload:         w.Name,
+		Method:           s.plugin.Method().Name(),
+		TotalJobs:        len(w.Jobs),
+		MeasuredJobs:     len(measured),
+		SchedInvocations: s.invocations,
+		MaxDecisionTime:  s.decideMax,
+		MakespanSec:      s.now,
+	}
+	if s.invocations > 0 {
+		res.AvgDecisionTime = s.decideTotal / time.Duration(s.invocations)
+	}
+	return res, nil
+}

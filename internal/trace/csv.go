@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bbsched/internal/job"
+)
+
+// csvHeader is the column layout of the on-disk trace format, an SWF-like
+// CSV with explicit multi-resource columns.
+var csvHeader = []string{"id", "user", "submit", "runtime", "walltime", "nodes", "bb_gb", "ssd_gb_per_node", "stageout", "deps"}
+
+// WriteCSV serializes jobs to w in the repository's trace format.
+func WriteCSV(w io.Writer, jobs []*job.Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		deps := make([]string, len(j.Deps))
+		for i, d := range j.Deps {
+			deps[i] = strconv.Itoa(d)
+		}
+		rec := []string{
+			strconv.Itoa(j.ID),
+			j.User,
+			strconv.FormatInt(j.SubmitTime, 10),
+			strconv.FormatInt(j.Runtime, 10),
+			strconv.FormatInt(j.WalltimeEst, 10),
+			strconv.Itoa(j.Demand.NodeCount()),
+			strconv.FormatInt(j.Demand.BB(), 10),
+			strconv.FormatInt(j.Demand.SSDPerNode(), 10),
+			strconv.FormatInt(j.StageOutSec, 10),
+			strings.Join(deps, ";"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV and validates the workload.
+func ReadCSV(r io.Reader) ([]*job.Job, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var jobs []*job.Job
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		line++
+		j, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := job.ValidateWorkload(jobs); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return jobs, nil
+}
+
+func parseRecord(rec []string) (*job.Job, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return nil, fmt.Errorf("id: %w", err)
+	}
+	ints := make([]int64, 7)
+	for i, field := range rec[2:9] {
+		v, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", csvHeader[i+2], err)
+		}
+		ints[i] = v
+	}
+	d := job.NewDemand(int(ints[3]), ints[4], ints[5])
+	j, err := job.New(id, ints[0], ints[1], ints[2], d)
+	if err != nil {
+		return nil, err
+	}
+	j.User = rec[1]
+	j.StageOutSec = ints[6]
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	if rec[9] != "" {
+		for _, part := range strings.Split(rec[9], ";") {
+			dep, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("deps: %w", err)
+			}
+			j.Deps = append(j.Deps, dep)
+		}
+	}
+	return j, nil
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"bbsched/internal/job"
+)
+
+// Histogram is a fixed-bin histogram of burst-buffer request sizes, the
+// data behind Fig. 5. Bin i covers [i*BinGB, (i+1)*BinGB); jobs without a
+// burst-buffer request are excluded, matching the figure.
+type Histogram struct {
+	// BinGB is the bin width in GB (the paper uses 10 TB).
+	BinGB int64
+	// Counts[i] is the number of jobs in bin i.
+	Counts []int
+	// TotalGB is the aggregate requested volume (Fig. 5's parenthetical).
+	TotalGB int64
+}
+
+// BBHistogram bins the burst-buffer requests of jobs with width binGB.
+func BBHistogram(jobs []*job.Job, binGB int64) Histogram {
+	if binGB <= 0 {
+		panic("trace: non-positive histogram bin width")
+	}
+	h := Histogram{BinGB: binGB}
+	for _, j := range jobs {
+		bb := j.Demand.BB()
+		if bb <= 0 {
+			continue
+		}
+		bin := int(bb / binGB)
+		for len(h.Counts) <= bin {
+			h.Counts = append(h.Counts, 0)
+		}
+		h.Counts[bin]++
+		h.TotalGB += bb
+	}
+	return h
+}
+
+// NumJobs returns the number of binned (BB-requesting) jobs.
+func (h Histogram) NumJobs() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// String renders the histogram as an ASCII table, one row per non-empty bin.
+func (h Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bin_gb_lo,bin_gb_hi,jobs (total %.0f TB over %d jobs)\n",
+		float64(h.TotalGB)/1000, h.NumJobs())
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%d,%d,%d\n", int64(i)*h.BinGB, int64(i+1)*h.BinGB, c)
+	}
+	return b.String()
+}

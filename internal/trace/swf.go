@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bbsched/internal/job"
+)
+
+// SWF support: the Standard Workload Format is the lingua franca of the
+// parallel workloads archive (one line per job, 18 whitespace-separated
+// fields, ';' comments). Importing SWF lets real public logs drive the
+// simulator; burst-buffer demands — which SWF does not carry — can then be
+// layered on with ExpandBB, exactly how the paper enhanced the Theta log
+// with Darshan-derived request sizes.
+
+// SWFOptions controls SWF import.
+type SWFOptions struct {
+	// CoresPerNode converts SWF processor counts to node counts (ceil
+	// division). Zero means 1 (processors are nodes).
+	CoresPerNode int
+	// SkipFailed drops jobs whose SWF status is not 1 (completed);
+	// cancelled/failed jobs often carry zero runtimes.
+	SkipFailed bool
+	// MaxJobs caps the import (0 = no cap).
+	MaxJobs int
+}
+
+// swf field indices (0-based) per the SWF v2.2 definition.
+const (
+	swfJobID = iota
+	swfSubmit
+	swfWait
+	swfRunTime
+	swfUsedProcs
+	swfAvgCPU
+	swfUsedMem
+	swfReqProcs
+	swfReqTime
+	swfReqMem
+	swfStatus
+	swfUserID
+	swfGroupID
+	swfExecutable
+	swfQueue
+	swfPartition
+	swfPrecedingJob
+	swfThinkTime
+	swfNumFields
+)
+
+// ReadSWF parses an SWF log into jobs. Processor demands convert to nodes
+// via opts.CoresPerNode; requested time becomes the walltime estimate
+// (falling back to the actual runtime when absent, as archive logs often
+// omit it); SWF "preceding job" links become dependencies when the
+// referenced job exists in the import.
+func ReadSWF(r io.Reader, opts SWFOptions) ([]*job.Job, error) {
+	cores := opts.CoresPerNode
+	if cores <= 0 {
+		cores = 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+
+	var jobs []*job.Job
+	swfToOurs := map[int]int{} // SWF job number → our dense ID
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != swfNumFields {
+			return nil, fmt.Errorf("trace: swf line %d: %d fields, want %d", line, len(fields), swfNumFields)
+		}
+		v := make([]int64, swfNumFields)
+		for i, f := range fields {
+			// SWF is integer-valued but some archives emit floats (e.g.
+			// average CPU time); parse through float.
+			fv, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: swf line %d field %d: %w", line, i+1, err)
+			}
+			v[i] = int64(fv)
+		}
+		if opts.SkipFailed && v[swfStatus] != 1 {
+			continue
+		}
+		runtime := v[swfRunTime]
+		if runtime <= 0 {
+			continue // cancelled before start; nothing to simulate
+		}
+		procs := v[swfReqProcs]
+		if procs <= 0 {
+			procs = v[swfUsedProcs]
+		}
+		if procs <= 0 {
+			continue
+		}
+		nodes := int((procs + int64(cores) - 1) / int64(cores))
+		walltime := v[swfReqTime]
+		if walltime <= 0 {
+			walltime = runtime
+		}
+		if walltime < runtime {
+			// Production logs kill jobs at the limit; clamp so the model's
+			// walltime >= runtime invariant holds.
+			walltime = runtime
+		}
+		submit := v[swfSubmit]
+		if submit < 0 {
+			submit = 0
+		}
+		j, err := job.New(len(jobs), submit, runtime, walltime, job.NewDemand(nodes, 0, 0))
+		if err != nil {
+			return nil, fmt.Errorf("trace: swf line %d: %w", line, err)
+		}
+		if uid := v[swfUserID]; uid >= 0 {
+			j.User = fmt.Sprintf("user%03d", uid)
+		}
+		if prev := int(v[swfPrecedingJob]); prev > 0 {
+			if ours, ok := swfToOurs[prev]; ok {
+				j.Deps = []int{ours}
+			}
+		}
+		swfToOurs[int(v[swfJobID])] = j.ID
+		jobs = append(jobs, j)
+		if opts.MaxJobs > 0 && len(jobs) >= opts.MaxJobs {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: swf: %w", err)
+	}
+	job.SortBySubmit(jobs)
+	for i, j := range jobs {
+		old := j.ID
+		j.ID = i
+		// Re-point dependencies after the re-numbering.
+		if old != i {
+			for _, other := range jobs {
+				for k, d := range other.Deps {
+					if d == old {
+						other.Deps[k] = i
+					}
+				}
+			}
+		}
+	}
+	if err := job.ValidateWorkload(jobs); err != nil {
+		return nil, fmt.Errorf("trace: swf: %w", err)
+	}
+	return jobs, nil
+}
+
+// WriteSWF serializes jobs as SWF. Nodes export as processor counts times
+// coresPerNode; burst-buffer and SSD demands have no SWF field and are
+// dropped (use WriteCSV to preserve them).
+func WriteSWF(w io.Writer, jobs []*job.Job, coresPerNode int) error {
+	if coresPerNode <= 0 {
+		coresPerNode = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "; SWF export from bbsched (burst-buffer fields not representable)")
+	fmt.Fprintf(bw, "; MaxProcs: unknown  UnixStartTime: 0\n")
+	for _, j := range jobs {
+		procs := int64(j.Demand.NodeCount()) * int64(coresPerNode)
+		prev := int64(-1)
+		if len(j.Deps) > 0 {
+			prev = int64(j.Deps[0]) + 1 // SWF job numbers are 1-based
+		}
+		user := int64(-1)
+		if n, err := strconv.ParseInt(strings.TrimPrefix(j.User, "user"), 10, 64); err == nil {
+			user = n
+		}
+		// job submit wait run usedProcs avgCPU usedMem reqProcs reqTime
+		// reqMem status uid gid exe queue partition preceding think
+		fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 %d -1\n",
+			j.ID+1, j.SubmitTime, j.Runtime, procs, procs, j.WalltimeEst, user, prev)
+	}
+	return bw.Flush()
+}
