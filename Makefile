@@ -1,0 +1,44 @@
+# BBSched build/test/bench entry points — the same commands CI runs.
+
+GO ?= go
+
+.PHONY: all build test test-full race bench bench-smoke lint fmt vet clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+# Short suite: what the CI test job runs (well under 2 minutes).
+test:
+	$(GO) test -short ./...
+
+# Full suite, including the ~minute-long replicate/claims experiments.
+test-full:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Full benchmark pass (one iteration each; for timing runs raise -benchtime).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# The solver perf harness: new bitset/memoized GA vs the frozen seed
+# implementation on the same fixed-seed instances.
+bench-smoke:
+	$(GO) test -bench=SolveGA -benchtime=1x -run='^$$' ./internal/moo
+
+bench-solver:
+	$(GO) test -bench='^BenchmarkSolveGA' -benchtime=20x -run='^$$' ./internal/moo
+
+lint: fmt vet
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

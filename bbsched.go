@@ -83,12 +83,26 @@ type (
 	Solution = moo.Solution
 	// Problem is a pseudo-boolean multi-objective maximization problem.
 	Problem = moo.Problem
+	// Genome is a packed bit-vector solution encoding.
+	Genome = moo.Genome
+	// Evaluator memoizes Problem evaluations by genome.
+	Evaluator = moo.Evaluator
+	// EvalStats is an Evaluator's cache hit/miss accounting.
+	EvalStats = moo.EvalStats
 )
 
 var (
 	// DefaultGAConfig returns the paper's solver defaults (G=500, P=20,
 	// p_m=0.05%).
 	DefaultGAConfig = moo.DefaultGAConfig
+	// NewGenome returns an all-zero genome; GenomeFromBools packs a
+	// []bool selection vector.
+	NewGenome       = moo.NewGenome
+	GenomeFromBools = moo.FromBools
+	// NewEvaluator wraps a Problem with a genome-memoization cache;
+	// ReuseEvaluator rebinds one across scheduling decisions.
+	NewEvaluator   = moo.NewEvaluator
+	ReuseEvaluator = moo.ReuseEvaluator
 	// SolveGA runs the multi-objective genetic algorithm.
 	SolveGA = moo.SolveGA
 	// SolveExhaustive enumerates 2^w solutions for an exact front.

@@ -54,7 +54,7 @@ func main() {
 	fmt.Println("Pareto set (node util %, burst buffer util %):")
 	for _, s := range front {
 		fmt.Printf("  select %v -> (%.0f%%, %.0f%%)\n",
-			names(window, sched.Selected(s.Bits)), s.Objectives[0], s.Objectives[1])
+			names(window, sched.Selected(s.Genome)), s.Objectives[0], s.Objectives[1])
 	}
 
 	picked, err := bb.Select(ctx)

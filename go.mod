@@ -1,0 +1,3 @@
+module bbsched
+
+go 1.24

@@ -296,6 +296,20 @@ func (s Snapshot) Clone() Snapshot {
 	return c
 }
 
+// CopyFrom makes s an independent copy of src, reusing s's storage where
+// possible. Schedulers that evaluate thousands of candidate job sets per
+// decision reset a pooled scratch snapshot this way instead of cloning a
+// fresh one per candidate.
+func (s *Snapshot) CopyFrom(src Snapshot) {
+	s.FreeBB = src.FreeBB
+	if cap(s.FreeByClass) < len(src.FreeByClass) {
+		s.FreeByClass = make([]int, len(src.FreeByClass))
+	}
+	s.FreeByClass = s.FreeByClass[:len(src.FreeByClass)]
+	copy(s.FreeByClass, src.FreeByClass)
+	s.classCapacity = src.classCapacity
+}
+
 // FreeNodes returns the snapshot's total free node count.
 func (s Snapshot) FreeNodes() int {
 	n := 0
@@ -316,6 +330,13 @@ func (s Snapshot) NumClasses() int { return len(s.FreeByClass) }
 // keeps big-SSD nodes for big requests and so mitigates wasted SSD). It
 // returns the placement, or ErrNoFit leaving the snapshot unchanged.
 func (s *Snapshot) Alloc(d job.Demand) (Placement, error) {
+	return s.AllocInto(d, make([]int, len(s.FreeByClass)))
+}
+
+// AllocInto is Alloc writing the placement's per-class node counts into
+// the caller-provided buffer (len >= NumClasses) instead of allocating
+// one, for hot evaluation loops. The returned Placement references buf.
+func (s *Snapshot) AllocInto(d job.Demand, buf []int) (Placement, error) {
 	need := d.NodeCount()
 	if need <= 0 {
 		return Placement{}, fmt.Errorf("cluster: demand requests %d nodes", need)
@@ -323,7 +344,10 @@ func (s *Snapshot) Alloc(d job.Demand) (Placement, error) {
 	if d.BB() > s.FreeBB {
 		return Placement{}, ErrNoFit
 	}
-	placed := make([]int, len(s.FreeByClass))
+	placed := buf[:len(s.FreeByClass)]
+	for i := range placed {
+		placed[i] = 0
+	}
 	var wasted int64
 	remaining := need
 	for i := range s.FreeByClass {

@@ -287,3 +287,80 @@ func TestCanFitMatchesAllocate(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotCopyFromReusesStorage(t *testing.T) {
+	c := MustNew(Config{
+		Name: "cp", Nodes: 10, BurstBufferGB: 100,
+		SSDClasses: []SSDClass{{CapacityGB: 128, Count: 4}, {CapacityGB: 256, Count: 6}},
+	})
+	src := c.Snapshot()
+	var dst Snapshot
+	dst.CopyFrom(src)
+	if dst.FreeBB != src.FreeBB || dst.FreeNodes() != src.FreeNodes() {
+		t.Fatalf("CopyFrom mismatch: %+v vs %+v", dst, src)
+	}
+	// Mutating the copy must not touch the source.
+	if _, err := dst.Alloc(job.NewDemand(3, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if src.FreeNodes() != 10 || src.FreeBB != 100 {
+		t.Fatal("CopyFrom shares mutable storage with source")
+	}
+	// Reusing the same destination must not reallocate its class slice.
+	before := &dst.FreeByClass[0]
+	dst.CopyFrom(src)
+	if &dst.FreeByClass[0] != before {
+		t.Fatal("CopyFrom reallocated storage on reuse")
+	}
+	if dst.FreeNodes() != 10 || dst.FreeBB != 100 {
+		t.Fatal("second CopyFrom did not restore state")
+	}
+}
+
+func TestSnapshotAllocIntoMatchesAlloc(t *testing.T) {
+	cfg := Config{
+		Name: "ai", Nodes: 6, BurstBufferGB: 50,
+		SSDClasses: []SSDClass{{CapacityGB: 128, Count: 3}, {CapacityGB: 256, Count: 3}},
+	}
+	d := job.NewDemand(4, 10, 100)
+
+	a := MustNew(cfg).Snapshot()
+	wantP, wantErr := a.Alloc(d)
+
+	b := MustNew(cfg).Snapshot()
+	buf := make([]int, b.NumClasses())
+	gotP, gotErr := b.AllocInto(d, buf)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("errors diverge: %v vs %v", wantErr, gotErr)
+	}
+	if gotP.WastedSSD != wantP.WastedSSD {
+		t.Fatalf("wasted ssd %d, want %d", gotP.WastedSSD, wantP.WastedSSD)
+	}
+	for i := range wantP.NodesByClass {
+		if gotP.NodesByClass[i] != wantP.NodesByClass[i] {
+			t.Fatalf("placement %v, want %v", gotP.NodesByClass, wantP.NodesByClass)
+		}
+	}
+	if &gotP.NodesByClass[0] != &buf[0] {
+		t.Fatal("AllocInto did not use the provided buffer")
+	}
+	if a.FreeNodes() != b.FreeNodes() || a.FreeBB != b.FreeBB {
+		t.Fatal("post-alloc snapshots diverge")
+	}
+	// A stale non-zero buffer must not leak into the placement.
+	c := MustNew(cfg).Snapshot()
+	for i := range buf {
+		buf[i] = 99
+	}
+	p3, err := c.AllocInto(job.NewDemand(1, 0, 0), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range p3.NodesByClass {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("stale buffer leaked into placement: %v", p3.NodesByClass)
+	}
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"bbsched/internal/cluster"
 	"bbsched/internal/job"
@@ -40,6 +41,14 @@ type BBSched struct {
 	// exceeds TradeoffFactor times the node-utilization loss. The paper
 	// uses 2 for the two-objective problem and 4 for four objectives.
 	TradeoffFactor float64
+
+	// evals pools reusable window evaluators: each carries the solver's
+	// genome-memoization cache (and keeps its allocated capacity) across
+	// scheduling decisions. A pool rather than a single field keeps
+	// BBSched safe for concurrent Select calls, as the seed's stateless
+	// implementation was — concurrent solves just draw separate
+	// evaluators.
+	evals sync.Pool
 }
 
 // New returns BBSched with the paper's §4.3 defaults for the two-objective
@@ -81,7 +90,11 @@ func (b *BBSched) ParetoFront(ctx *sched.Context) ([]moo.Solution, error) {
 		return nil, nil
 	}
 	p := sched.NewSelectionProblem(ctx.Window, ctx.Snap, b.Objectives)
-	return moo.SolveGA(p, b.GA, ctx.Rand)
+	ev, _ := b.evals.Get().(*moo.Evaluator)
+	ev = moo.ReuseEvaluator(ev, p)
+	front, err := moo.SolveGA(ev, b.GA, ctx.Rand)
+	b.evals.Put(ev)
+	return front, err
 }
 
 // Select implements sched.Method: solve the MOO problem, then apply the
@@ -95,7 +108,7 @@ func (b *BBSched) Select(ctx *sched.Context) ([]int, error) {
 		return nil, nil
 	}
 	pick := Decide(front, b.Objectives, ctx.Totals, b.TradeoffFactor)
-	return sched.Selected(front[pick].Bits), nil
+	return sched.Selected(front[pick].Genome), nil
 }
 
 // Decide implements the §3.2.4 (and §5) decision rule over a Pareto front:
@@ -138,7 +151,7 @@ func Decide(front []moo.Solution, objectives []sched.Objective, totals sched.Tot
 		switch {
 		case ni > np:
 			pref = i
-		case ni == np && frontOfWindowLess(front[pref].Bits, front[i].Bits):
+		case ni == np && frontOfWindowLess(front[pref].Genome, front[i].Genome):
 			pref = i
 		}
 	}
@@ -169,11 +182,12 @@ func Decide(front []moo.Solution, objectives []sched.Objective, totals sched.Tot
 
 // frontOfWindowLess reports whether selection b selects jobs strictly
 // nearer the window front than a (first differing position selected by b
-// but not a).
-func frontOfWindowLess(a, b []bool) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return b[i]
+// but not a), word-at-a-time over the packed genomes.
+func frontOfWindowLess(a, b moo.Genome) bool {
+	bw := b.Words()
+	for i, aw := range a.Words() {
+		if diff := aw ^ bw[i]; diff != 0 {
+			return bw[i]&(diff&-diff) != 0
 		}
 	}
 	return false

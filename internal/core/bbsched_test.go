@@ -72,8 +72,8 @@ func TestDecideMaxImprovementAmongCandidates(t *testing.T) {
 }
 
 func TestDecideTieBreaksTowardWindowFront(t *testing.T) {
-	a := moo.Solution{Bits: []bool{false, true, true}, Objectives: []float64{50, 10}}
-	b := moo.Solution{Bits: []bool{true, true, false}, Objectives: []float64{50, 10}}
+	a := moo.Solution{Genome: moo.FromBools([]bool{false, true, true}), Objectives: []float64{50, 10}}
+	b := moo.Solution{Genome: moo.FromBools([]bool{true, true, false}), Objectives: []float64{50, 10}}
 	totals := sched.Totals{Nodes: 100, BBGB: 100}
 	got := Decide([]moo.Solution{a, b}, sched.TwoObjectives(), totals, 2)
 	if got != 1 {

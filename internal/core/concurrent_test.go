@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBBSchedConcurrentSelect pins the seed's implicit contract: one
+// BBSched instance may serve Select calls from multiple goroutines
+// (users share method instances across concurrent simulations). The
+// pooled evaluators must neither race nor leak one window's cached
+// evaluations into another's solve. Run with -race.
+func TestBBSchedConcurrentSelect(t *testing.T) {
+	jobs, c := table1()
+	b := New()
+	b.GA.Generations = 60
+
+	want, err := b.Select(ctxFor(jobs, c, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got, err := b.Select(ctxFor(jobs, c, 1))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != len(want) {
+					t.Errorf("concurrent Select diverged: %v vs %v", got, want)
+					return
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Errorf("concurrent Select diverged: %v vs %v", got, want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

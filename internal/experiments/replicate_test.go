@@ -35,17 +35,20 @@ func TestReplicateRejectsNoSeeds(t *testing.T) {
 }
 
 func TestReplicateSmall(t *testing.T) {
-	if testing.Short() {
-		t.Skip("replication in -short mode")
-	}
 	o := fastOptions()
 	o.Jobs = 50
+	seeds := []uint64{1, 2}
+	if testing.Short() {
+		// Reduced workload and seed count; the structural checks still run.
+		o.Jobs = 20
+		seeds = []uint64{1}
+	}
 	_, theta := o.systems()
 	rows, err := Replicate(o, func(seed uint64) trace.Workload {
 		w := trace.Generate(trace.GenConfig{System: theta, Jobs: o.Jobs, Seed: seed})
 		w.Name = "Theta-rep"
 		return w
-	}, []uint64{1, 2})
+	}, seeds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,8 +56,8 @@ func TestReplicateSmall(t *testing.T) {
 		t.Fatalf("rows = %d, want 8 methods", len(rows))
 	}
 	for _, r := range rows {
-		if r.NodeUsage.N != 2 {
-			t.Fatalf("%s: N = %d, want 2", r.Method, r.NodeUsage.N)
+		if r.NodeUsage.N != len(seeds) {
+			t.Fatalf("%s: N = %d, want %d", r.Method, r.NodeUsage.N, len(seeds))
 		}
 		if r.NodeUsage.Mean <= 0 || r.NodeUsage.Mean > 1 {
 			t.Fatalf("%s: node usage mean = %v", r.Method, r.NodeUsage.Mean)
@@ -63,12 +66,14 @@ func TestReplicateSmall(t *testing.T) {
 }
 
 func TestReplicateS4Renders(t *testing.T) {
-	if testing.Short() {
-		t.Skip("replication in -short mode")
-	}
 	o := fastOptions()
 	o.Jobs = 40
-	out, err := ReplicateS4(o, []uint64{3, 4})
+	seeds := []uint64{3, 4}
+	if testing.Short() {
+		o.Jobs = 15
+		seeds = []uint64{3}
+	}
+	out, err := ReplicateS4(o, seeds)
 	if err != nil {
 		t.Fatal(err)
 	}

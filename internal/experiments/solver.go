@@ -77,7 +77,7 @@ func Table1(o Options) (string, error) {
 	moo.SortLexicographic(front)
 	for _, s := range front {
 		names := make([]string, 0)
-		for _, i := range sched.Selected(s.Bits) {
+		for _, i := range sched.Selected(s.Genome) {
 			names = append(names, fmt.Sprintf("J%d", jobs[i].ID))
 		}
 		rows = append(rows, []string{"Pareto_Set", strings.Join(names, ","),

@@ -96,35 +96,27 @@ func crowdingDistances(front []Solution) []float64 {
 
 // selectCrowding forms the next generation NSGA-II style: fill with whole
 // fronts in rank order; cut the overflowing front by descending crowding
-// distance (duplicate genotypes rank last within equal distance, for the
-// same clone-flooding reason as the age-based policy).
+// distance (stable: equal distances keep front order). Only the cut front
+// computes distances, and only the surviving k members are ordered — a
+// stable partial selection instead of fully re-sorting the front.
 func selectCrowding(pool []Solution, p int) []Solution {
 	next := make([]Solution, 0, p)
-	seen := make(map[string]bool, p)
 	for _, front := range nonDominatedSort(pool) {
 		if len(next)+len(front) <= p {
 			next = append(next, front...)
 			continue
 		}
 		dist := crowdingDistances(front)
-		order := make([]int, len(front))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			da, db := dist[order[a]], dist[order[b]]
-			ua, ub := !seen[front[order[a]].Key()], !seen[front[order[b]].Key()]
-			if ua != ub {
-				return ua
+		picked := make([]bool, len(front))
+		for len(next) < p {
+			best := -1
+			for i := range front {
+				if !picked[i] && (best < 0 || dist[i] > dist[best]) {
+					best = i
+				}
 			}
-			return da > db
-		})
-		for _, i := range order {
-			if len(next) == p {
-				break
-			}
-			seen[front[i].Key()] = true
-			next = append(next, front[i])
+			picked[best] = true
+			next = append(next, front[best])
 		}
 		break
 	}

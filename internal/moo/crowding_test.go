@@ -9,10 +9,10 @@ import (
 
 func TestNonDominatedSortRanks(t *testing.T) {
 	pool := []Solution{
-		{Bits: []bool{true}, Objectives: []float64{10, 10}},       // front 0
-		{Bits: []bool{false}, Objectives: []float64{12, 5}},       // front 0
-		{Bits: []bool{true, true}, Objectives: []float64{9, 9}},   // front 1
-		{Bits: []bool{false, false}, Objectives: []float64{1, 1}}, // front 2
+		{Genome: FromBools([]bool{true}), Objectives: []float64{10, 10}},       // front 0
+		{Genome: FromBools([]bool{false}), Objectives: []float64{12, 5}},       // front 0
+		{Genome: FromBools([]bool{true, true}), Objectives: []float64{9, 9}},   // front 1
+		{Genome: FromBools([]bool{false, false}), Objectives: []float64{1, 1}}, // front 2
 	}
 	fronts := nonDominatedSort(pool)
 	if len(fronts) != 3 {
@@ -73,11 +73,11 @@ func TestCrowdingDistanceDegenerateObjective(t *testing.T) {
 
 func TestSelectCrowdingKeepsBoundaryPoints(t *testing.T) {
 	pool := []Solution{
-		{Bits: []bool{true, false, false}, Objectives: []float64{10, 0}},
-		{Bits: []bool{false, true, false}, Objectives: []float64{0, 10}},
-		{Bits: []bool{false, false, true}, Objectives: []float64{5, 5}},
-		{Bits: []bool{true, true, false}, Objectives: []float64{5.1, 4.9}},
-		{Bits: []bool{false, true, true}, Objectives: []float64{4.9, 5.1}},
+		{Genome: FromBools([]bool{true, false, false}), Objectives: []float64{10, 0}},
+		{Genome: FromBools([]bool{false, true, false}), Objectives: []float64{0, 10}},
+		{Genome: FromBools([]bool{false, false, true}), Objectives: []float64{5, 5}},
+		{Genome: FromBools([]bool{true, true, false}), Objectives: []float64{5.1, 4.9}},
+		{Genome: FromBools([]bool{false, true, true}), Objectives: []float64{4.9, 5.1}},
 	}
 	next := selectCrowding(pool, 3)
 	if len(next) != 3 {
@@ -129,7 +129,7 @@ func TestGACrowdingFrontNonDominatedAndFeasible(t *testing.T) {
 		t.Fatal("empty front")
 	}
 	for i, a := range front {
-		if _, ok := k.Evaluate(a.Bits); !ok {
+		if _, ok := k.Evaluate(a.Genome); !ok {
 			t.Fatal("infeasible front member")
 		}
 		for j, b := range front {

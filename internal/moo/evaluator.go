@@ -1,0 +1,164 @@
+package moo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EvalStats is the Evaluator's cache accounting.
+type EvalStats struct {
+	// Hits counts Evaluate calls answered from the cache (including calls
+	// that waited for a concurrent first evaluation of the same genome).
+	Hits uint64
+	// Misses counts first evaluations, i.e. calls forwarded to the
+	// underlying Problem. Misses equals the number of distinct genomes
+	// evaluated since the last Reset.
+	Misses uint64
+}
+
+// evalEntry is one memoized evaluation. The once gate guarantees the
+// underlying Problem.Evaluate runs at most once per distinct genome even
+// when parallel GA workers race on the same child.
+type evalEntry struct {
+	once     sync.Once
+	key      string
+	genome   Genome
+	objs     []float64
+	feasible bool
+}
+
+// Evaluator wraps a Problem with a genome-keyed memoization cache: each
+// distinct genome is evaluated at most once per solve, after which every
+// re-encounter (re-evaluated survivors, crossover re-deriving a known
+// chromosome — the common case once the GA converges) is a map lookup.
+// Cached solutions also share canonical genome and objective storage, so
+// steady-state generations allocate nothing.
+//
+// An Evaluator is safe for concurrent Evaluate calls. Reset rebinds it to
+// a new problem instance while keeping the allocated cache capacity —
+// schedulers reuse one Evaluator across scheduling decisions (the window
+// changes per decision, so Reset must be called between solves).
+type Evaluator struct {
+	inner Problem
+
+	mu      sync.Mutex
+	entries map[string]*evalEntry
+	// entrySlab and wordSlab chunk-allocate cache entries and canonical
+	// genome words (both guarded by mu): one slab allocation amortizes
+	// over entrySlabSize misses instead of two heap objects per miss.
+	entrySlab []evalEntry
+	wordSlab  []uint64
+
+	hits, misses atomic.Uint64
+}
+
+// entrySlabSize is the entry/word slab chunk length, in entries.
+const entrySlabSize = 256
+
+// NewEvaluator wraps p with a fresh cache. Wrapping an Evaluator returns
+// it unchanged.
+func NewEvaluator(p Problem) *Evaluator {
+	if e, ok := p.(*Evaluator); ok {
+		return e
+	}
+	return &Evaluator{inner: p, entries: make(map[string]*evalEntry, 256)}
+}
+
+// ReuseEvaluator rebinds e to p, clearing the cache but keeping its
+// capacity; a nil e allocates a fresh Evaluator. It is the one-liner for
+// methods that keep a per-instance Evaluator across scheduling decisions.
+func ReuseEvaluator(e *Evaluator, p Problem) *Evaluator {
+	if e == nil {
+		return NewEvaluator(p)
+	}
+	e.Reset(p)
+	return e
+}
+
+// Reset rebinds the Evaluator to p and clears the cache and statistics,
+// retaining allocated capacity.
+func (e *Evaluator) Reset(p Problem) {
+	if inner, ok := p.(*Evaluator); ok {
+		p = inner.inner
+	}
+	e.mu.Lock()
+	e.inner = p
+	clear(e.entries)
+	e.mu.Unlock()
+	e.hits.Store(0)
+	e.misses.Store(0)
+}
+
+// Problem returns the wrapped problem.
+func (e *Evaluator) Problem() Problem { return e.inner }
+
+// Dim implements Problem.
+func (e *Evaluator) Dim() int { return e.inner.Dim() }
+
+// NumObjectives implements Problem.
+func (e *Evaluator) NumObjectives() int { return e.inner.NumObjectives() }
+
+// Evaluate implements Problem with memoization. The returned objective
+// slice is shared cache storage: callers must not mutate it.
+func (e *Evaluator) Evaluate(g Genome) ([]float64, bool) {
+	ent := e.lookup(g)
+	return ent.objs, ent.feasible
+}
+
+// lookup returns g's cache entry, evaluating the underlying problem on
+// first encounter. The entry's genome is a canonical clone of g, safe to
+// reference after g (a breeding scratch buffer) is overwritten.
+func (e *Evaluator) lookup(g Genome) *evalEntry {
+	var arr [keyBufSize]byte
+	key := g.appendKey(arr[:0])
+
+	e.mu.Lock()
+	ent, ok := e.entries[string(key)]
+	if !ok {
+		if len(e.entrySlab) == 0 {
+			e.entrySlab = make([]evalEntry, entrySlabSize)
+		}
+		ent = &e.entrySlab[0]
+		e.entrySlab = e.entrySlab[1:]
+		ent.key = string(key)
+		ent.genome = e.cloneGenome(g)
+		e.entries[ent.key] = ent
+	}
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	ent.once.Do(func() {
+		ent.objs, ent.feasible = e.inner.Evaluate(ent.genome)
+	})
+	return ent
+}
+
+// cloneGenome copies g into slab-backed canonical storage. Caller holds
+// e.mu.
+func (e *Evaluator) cloneGenome(g Genome) Genome {
+	n := len(g.w)
+	if len(e.wordSlab) < n {
+		e.wordSlab = make([]uint64, entrySlabSize*n)
+	}
+	w := e.wordSlab[:n:n]
+	e.wordSlab = e.wordSlab[n:]
+	copy(w, g.w)
+	return Genome{w: w, n: g.n}
+}
+
+// repairer returns the wrapped problem's Repairer, or nil. The Evaluator
+// itself deliberately does not implement Repairer: repairs are stochastic
+// (they consume caller randomness), so they cannot be memoized — the GA
+// repairs against the raw problem and re-looks-up the repaired genome.
+func (e *Evaluator) repairer() Repairer {
+	r, _ := e.inner.(Repairer)
+	return r
+}
+
+// Stats returns the cache accounting since the last Reset.
+func (e *Evaluator) Stats() EvalStats {
+	return EvalStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+}

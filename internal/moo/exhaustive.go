@@ -23,17 +23,17 @@ func SolveExhaustive(p Problem) ([]Solution, error) {
 		return nil, fmt.Errorf("moo: exhaustive search over 2^%d solutions exceeds the %d-bit cap", dim, MaxExhaustiveDim)
 	}
 
-	bits := make([]bool, dim)
+	// The genome is at most MaxExhaustiveDim ≤ 64 bits, so the enumeration
+	// counter is the single packed word — no per-bit unpacking.
+	g := NewGenome(dim)
 	// incumbent front maintained incrementally: a new feasible solution is
 	// added if no incumbent dominates it; incumbents it dominates are
 	// evicted. This keeps memory proportional to the front, not 2^w.
 	var front []Solution
 	total := uint64(1) << uint(dim)
 	for mask := uint64(0); mask < total; mask++ {
-		for i := 0; i < dim; i++ {
-			bits[i] = mask&(1<<uint(i)) != 0
-		}
-		objs, ok := p.Evaluate(bits)
+		g.w[0] = mask
+		objs, ok := p.Evaluate(g)
 		if !ok {
 			continue
 		}
@@ -59,7 +59,7 @@ func SolveExhaustive(p Problem) ([]Solution, error) {
 		if dominated {
 			continue
 		}
-		sol := Solution{Bits: append([]bool(nil), bits...), Objectives: append([]float64(nil), objs...)}
+		sol := Solution{Genome: g.Clone(), Objectives: append([]float64(nil), objs...)}
 		front = append(front, sol)
 	}
 	front = DedupeByBits(ParetoFilter(front))

@@ -2,8 +2,8 @@ package moo
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bbsched/internal/rng"
 )
@@ -53,7 +53,7 @@ func (c GAConfig) validate(p Problem) error {
 }
 
 // SolveGA runs the paper's multi-objective genetic algorithm and returns
-// the Pareto set of the final generation (deduplicated by bit vector,
+// the Pareto set of the final generation (deduplicated by genome,
 // lexicographically sorted). The stream makes runs reproducible.
 //
 // Evolution per generation: P children are bred by single-point crossover
@@ -63,37 +63,80 @@ func (c GAConfig) validate(p Problem) error {
 // parents ∪ children: all of Set 1 (the pool's Pareto front) first —
 // trimmed preferring newer chromosomes if it exceeds P — then Set 2 filled
 // in age order (newest first).
+//
+// All evaluation goes through an Evaluator (p is wrapped in a fresh one
+// unless it already is one), so each distinct genome is evaluated at most
+// once per solve; per-generation buffers are pooled in solver-local
+// scratch, so steady-state generations allocate only on cache misses.
 func SolveGA(p Problem, cfg GAConfig, s *rng.Stream) ([]Solution, error) {
 	if err := cfg.validate(p); err != nil {
 		return nil, err
 	}
-	dim := p.Dim()
-
-	var archive []Solution
-	record := func(sols []Solution) {
-		if cfg.Archive {
-			for _, x := range sols {
-				archive = append(archive, x.Clone())
-			}
-		}
+	g := &gaSolver{
+		ev:  NewEvaluator(p),
+		cfg: cfg,
+		s:   s,
+		dim: p.Dim(),
 	}
+	g.rep = g.ev.repairer()
+	return g.run()
+}
 
-	pop := initialPopulation(p, cfg, s)
+// gaSolver carries one solve's state and reused per-generation buffers.
+type gaSolver struct {
+	ev  *Evaluator
+	rep Repairer
+	cfg GAConfig
+	s   *rng.Stream
+	dim int
+
+	// Breeding scratch: raw child genomes (overwritten every generation;
+	// evaluated children reference canonical Evaluator storage instead).
+	raw      []Genome
+	children []Solution
+	feasible []bool
+	skipEval []bool
+	childOut []Solution
+
+	// Per-worker repair stream scratch (serial path); parallel workers
+	// keep their own. wsIntn caches the ws.Intn method value: the stream
+	// is reseeded in place, so the bound closure stays valid across
+	// children and generations.
+	ws     *rng.Stream
+	wsIntn func(int) int
+
+	// Selection scratch.
+	pool      []Solution
+	dominated []bool
+	set1      []Solution
+	set2      []Solution
+	next      []Solution
+	seen      map[string]bool
+	ageCounts []int
+	ageSorted []Solution
+
+	archive []Solution
+}
+
+func (g *gaSolver) run() ([]Solution, error) {
+	cfg := g.cfg
+
+	pop := g.initialPopulation()
 	if len(pop) == 0 {
 		// Not even the empty selection is feasible: the problem is
 		// over-constrained (used resources already exceed capacity).
-		return nil, fmt.Errorf("moo: no feasible initial solution for %d-dim problem", dim)
+		return nil, fmt.Errorf("moo: no feasible initial solution for %d-dim problem", g.dim)
 	}
-	record(pop)
+	g.record(pop)
 
-	for g := 0; g < cfg.Generations; g++ {
-		children := breed(p, cfg, pop, s)
-		record(children)
-		pool := append(pop, children...)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		children := g.breed(pop)
+		g.record(children)
+		g.pool = append(append(g.pool[:0], pop...), children...)
 		if cfg.Selection == Crowding {
-			pop = selectCrowding(pool, cfg.Population)
+			pop = selectCrowding(g.pool, cfg.Population)
 		} else {
-			pop = selectNext(pool, cfg.Population)
+			pop = g.selectNext(g.pool, cfg.Population)
 		}
 		for i := range pop {
 			pop[i].Age++
@@ -102,7 +145,7 @@ func SolveGA(p Problem, cfg GAConfig, s *rng.Stream) ([]Solution, error) {
 
 	front := ParetoFilter(pop)
 	if cfg.Archive {
-		front = ParetoFilter(append(front, archive...))
+		front = ParetoFilter(append(front, g.archive...))
 	}
 	front = DedupeByBits(front)
 	out := make([]Solution, len(front))
@@ -113,117 +156,178 @@ func SolveGA(p Problem, cfg GAConfig, s *rng.Stream) ([]Solution, error) {
 	return out, nil
 }
 
-// initialPopulation draws random bit vectors, repairing or discarding
+// record accumulates feasible evaluated solutions in Archive mode.
+// Genomes and objective vectors are immutable shared storage, so no
+// defensive clone is needed.
+func (g *gaSolver) record(sols []Solution) {
+	if g.cfg.Archive {
+		g.archive = append(g.archive, sols...)
+	}
+}
+
+// initialPopulation draws random genomes, repairing or discarding
 // infeasible ones; the all-zero solution (select nothing) is always
 // feasible for resource-allocation problems, so it seeds the population
 // when random draws fail.
-func initialPopulation(p Problem, cfg GAConfig, s *rng.Stream) []Solution {
+func (g *gaSolver) initialPopulation() []Solution {
+	cfg := g.cfg
 	pop := make([]Solution, 0, cfg.Population)
+	scratch := NewGenome(g.dim)
 	for tries := 0; len(pop) < cfg.Population && tries < cfg.Population*8; tries++ {
-		bits := make([]bool, p.Dim())
-		for i := range bits {
-			bits[i] = s.Bool(0.5)
+		for i := 0; i < g.dim; i++ {
+			scratch.SetBit(i, g.s.Bool(0.5))
 		}
-		if sol, ok := makeFeasible(p, bits, s); ok {
+		// Initial candidates repair against the main stream directly.
+		if sol, ok := g.makeFeasible(scratch, g.s); ok {
 			pop = append(pop, sol)
 		}
 	}
 	if len(pop) < cfg.Population {
-		zero := make([]bool, p.Dim())
-		if objs, ok := p.Evaluate(zero); ok {
+		scratch.Zero()
+		if ent := g.ev.lookup(scratch); ent.feasible {
 			for len(pop) < cfg.Population {
-				pop = append(pop, Solution{Bits: append([]bool(nil), zero...), Objectives: append([]float64(nil), objs...)})
+				pop = append(pop, Solution{Genome: ent.genome, Objectives: ent.objs, key: ent.key})
 			}
 		}
 	}
 	return pop
 }
 
-// makeFeasible evaluates bits, invoking Repair once if available and
-// needed. It returns the evaluated solution and whether it is feasible.
-func makeFeasible(p Problem, bits []bool, s *rng.Stream) (Solution, bool) {
-	objs, ok := p.Evaluate(bits)
-	if !ok {
-		r, can := p.(Repairer)
-		if !can {
+// makeFeasible evaluates the scratch genome through the cache, invoking
+// Repair against ws once if available and needed. The returned solution
+// references the Evaluator's canonical genome and objective storage,
+// never scratch.
+func (g *gaSolver) makeFeasible(scratch Genome, ws *rng.Stream) (Solution, bool) {
+	ent := g.ev.lookup(scratch)
+	if !ent.feasible {
+		if g.rep == nil {
 			return Solution{}, false
 		}
-		r.Repair(bits, s.Intn)
-		objs, ok = p.Evaluate(bits)
-		if !ok {
+		g.rep.Repair(scratch, ws.Intn)
+		ent = g.ev.lookup(scratch)
+		if !ent.feasible {
 			return Solution{}, false
 		}
 	}
-	sol := Solution{Bits: bits, Objectives: objs}
-	sol.Key() // populate the genotype digest once, while we own the value
-	return sol, true
+	return Solution{Genome: ent.genome, Objectives: ent.objs, key: ent.key}, true
 }
 
 // breed produces up to cfg.Population feasible children via crossover and
-// mutation, evaluating in parallel when configured.
-func breed(p Problem, cfg GAConfig, pop []Solution, s *rng.Stream) []Solution {
-	dim := p.Dim()
-	// Generate raw children serially (RNG is not concurrent-safe)…
-	raw := make([][]bool, 0, cfg.Population)
-	for len(raw) < cfg.Population {
-		a := pop[s.Intn(len(pop))].Bits
-		b := pop[s.Intn(len(pop))].Bits
+// mutation, evaluating in parallel when configured. Child genomes are
+// written into reused scratch buffers; surviving children reference the
+// Evaluator's canonical storage.
+func (g *gaSolver) breed(pop []Solution) []Solution {
+	cfg, s, dim := g.cfg, g.s, g.dim
+	if g.raw == nil {
+		g.raw = make([]Genome, cfg.Population)
+		for i := range g.raw {
+			g.raw[i] = NewGenome(dim)
+		}
+		g.children = make([]Solution, cfg.Population)
+		g.feasible = make([]bool, cfg.Population)
+		g.skipEval = make([]bool, cfg.Population)
+	}
+
+	// Generate raw children serially (RNG is not concurrent-safe): each
+	// crossover yields the cut's two complementary children, then each
+	// child's genes flip with probability p_m. A child of two identical
+	// parents with no mutation IS that parent — the dominant case once
+	// the population converges — so it reuses the parent's canonical
+	// solution outright and skips cache lookup and evaluation entirely.
+	count := 0
+	for count < cfg.Population {
+		pa := &pop[s.Intn(len(pop))]
+		pb := &pop[s.Intn(len(pop))]
+		parentsEqual := pa.Genome.Equal(pb.Genome)
 		cut := 1 + s.Intn(maxIntGA(1, dim-1)) // crossover position in [1, dim-1]
-		c1 := make([]bool, dim)
-		c2 := make([]bool, dim)
-		copy(c1, a[:cut])
-		copy(c1[cut:], b[cut:])
-		copy(c2, b[:cut])
-		copy(c2[cut:], a[cut:])
-		for _, c := range [][]bool{c1, c2} {
-			for i := range c {
+		for k := 0; k < 2 && count < cfg.Population; k++ {
+			c := g.raw[count]
+			if k == 0 {
+				crossoverInto(c, pa.Genome, pb.Genome, cut)
+			} else {
+				crossoverInto(c, pb.Genome, pa.Genome, cut)
+			}
+			mutated := false
+			for i := 0; i < dim; i++ {
 				if s.Bool(cfg.MutationProb) {
-					c[i] = !c[i]
+					c.FlipBit(i)
+					mutated = true
 				}
 			}
-			raw = append(raw, c)
-			if len(raw) == cfg.Population {
-				break
+			if parentsEqual && !mutated {
+				src := pa
+				g.children[count] = Solution{Genome: src.Genome, Objectives: src.Objectives, key: src.key}
+				g.feasible[count] = true
+				g.skipEval[count] = true
+			} else {
+				g.skipEval[count] = false
 			}
+			count++
 		}
 	}
 
-	// …then evaluate/repair, optionally in parallel. Each worker gets its
-	// own split stream so results do not depend on scheduling order.
-	children := make([]Solution, len(raw))
-	feasible := make([]bool, len(raw))
-	eval := func(i int) {
-		ws := s.SplitIndex(uint64(i))
-		if sol, ok := makeFeasible(p, raw[i], ws); ok {
-			children[i] = sol
-			feasible[i] = true
+	// …then evaluate/repair, optionally in parallel. Each child that
+	// needs repair draws from its own split stream so results do not
+	// depend on scheduling order; the split reseeds a per-worker scratch
+	// stream in place, constructed lazily on each worker's first repair.
+	eval := func(i int, ws **rng.Stream, intn *func(int) int) {
+		if g.skipEval[i] {
+			return
+		}
+		ent := g.ev.lookup(g.raw[i])
+		if !ent.feasible && g.rep != nil {
+			if *ws == nil {
+				*ws = s.SplitIndexInto(nil, uint64(i))
+				*intn = (*ws).Intn
+			} else {
+				s.SplitIndexInto(*ws, uint64(i))
+			}
+			g.rep.Repair(g.raw[i], *intn)
+			ent = g.ev.lookup(g.raw[i])
+		}
+		if ent.feasible {
+			g.children[i] = Solution{Genome: ent.genome, Objectives: ent.objs, key: ent.key}
+			g.feasible[i] = true
+		} else {
+			g.feasible[i] = false
 		}
 	}
 	if cfg.Parallelism > 1 {
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.Parallelism)
-		for i := range raw {
+		var next atomic.Int64
+		workers := cfg.Parallelism
+		if workers > count {
+			workers = count
+		}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
+			go func() {
 				defer wg.Done()
-				eval(i)
-				<-sem
-			}(i)
+				var ws *rng.Stream
+				var intn func(int) int
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= count {
+						return
+					}
+					eval(i, &ws, &intn)
+				}
+			}()
 		}
 		wg.Wait()
 	} else {
-		for i := range raw {
-			eval(i)
+		for i := 0; i < count; i++ {
+			eval(i, &g.ws, &g.wsIntn)
 		}
 	}
 
-	out := children[:0]
-	for i := range children {
-		if feasible[i] {
-			out = append(out, children[i])
+	out := g.childOut[:0]
+	for i := 0; i < count; i++ {
+		if g.feasible[i] {
+			out = append(out, g.children[i])
 		}
 	}
+	g.childOut = out
 	return out
 }
 
@@ -239,28 +343,37 @@ func breed(p Problem, cfg GAConfig, pop []Solution, s *rng.Stream) []Solution {
 // Pareto points and the population collapses to a single solution. Ranking
 // unique genotypes first preserves the age rule among distinct chromosomes
 // while keeping the front diverse.
-func selectNext(pool []Solution, p int) []Solution {
-	dominated := dominatedFlags(pool)
-	var set1, set2 []Solution
+//
+// The returned slice aliases solver scratch that is overwritten by the
+// next call; the caller copies it into the pool before reselecting.
+func (g *gaSolver) selectNext(pool []Solution, p int) []Solution {
+	g.dominated = dominatedFlagsInto(g.dominated, pool)
+	set1, set2 := g.set1[:0], g.set2[:0]
 	for i, s := range pool {
-		if dominated[i] {
+		if g.dominated[i] {
 			set2 = append(set2, s)
 		} else {
 			set1 = append(set1, s)
 		}
 	}
-	next := make([]Solution, 0, p)
-	seen := make(map[string]bool, p)
+	g.set1, g.set2 = set1, set2
+
+	next := g.next[:0]
+	if g.seen == nil {
+		g.seen = make(map[string]bool, p)
+	} else {
+		clear(g.seen)
+	}
 	take := func(set []Solution) {
-		sort.SliceStable(set, func(i, j int) bool { return set[i].Age < set[j].Age })
+		g.sortByAge(set)
 		// First pass: distinct genotypes, newest first.
-		for _, s := range set {
+		for i := range set {
 			if len(next) == p {
 				return
 			}
-			if k := s.Key(); !seen[k] {
-				seen[k] = true
-				next = append(next, s)
+			if k := set[i].Key(); !g.seen[k] {
+				g.seen[k] = true
+				next = append(next, set[i])
 			}
 		}
 	}
@@ -277,7 +390,48 @@ func selectNext(pool []Solution, p int) []Solution {
 	take(set2)
 	fill(set1)
 	fill(set2)
+	g.next = next
 	return next
+}
+
+// sortByAge stable-sorts set by ascending Age with a counting sort: ages
+// are small dense integers (bounded by the generation count), so this
+// replaces a comparison re-sort of both sets every generation.
+func (g *gaSolver) sortByAge(set []Solution) {
+	if len(set) < 2 {
+		return
+	}
+	maxAge := 0
+	for i := range set {
+		if set[i].Age > maxAge {
+			maxAge = set[i].Age
+		}
+	}
+	if cap(g.ageCounts) < maxAge+1 {
+		g.ageCounts = make([]int, maxAge+1)
+	}
+	counts := g.ageCounts[:maxAge+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range set {
+		counts[set[i].Age]++
+	}
+	sum := 0
+	for a, c := range counts {
+		counts[a] = sum
+		sum += c
+	}
+	if cap(g.ageSorted) < len(set) {
+		g.ageSorted = make([]Solution, len(set))
+	}
+	sorted := g.ageSorted[:len(set)]
+	for i := range set {
+		a := set[i].Age
+		sorted[counts[a]] = set[i]
+		counts[a]++
+	}
+	copy(set, sorted)
 }
 
 func maxIntGA(a, b int) int {

@@ -1,0 +1,182 @@
+package moo
+
+import (
+	"testing"
+
+	"bbsched/internal/rng"
+)
+
+// genome dims exercised throughout: word-interior, word-boundary, and
+// multi-word (65+ genes) cases.
+var genomeDims = []int{1, 7, 8, 63, 64, 65, 70, 127, 128, 129, 200}
+
+func randBools(n int, s *rng.Stream) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = s.Bool(0.5)
+	}
+	return out
+}
+
+func TestGenomeFromBoolsRoundTrip(t *testing.T) {
+	s := rng.New(1)
+	for _, n := range genomeDims {
+		bits := randBools(n, s)
+		g := FromBools(bits)
+		if g.Len() != n {
+			t.Fatalf("dim %d: Len = %d", n, g.Len())
+		}
+		back := g.Bools()
+		ones := 0
+		for i, v := range bits {
+			if g.Bit(i) != v || back[i] != v {
+				t.Fatalf("dim %d: bit %d mismatch", n, i)
+			}
+			if v {
+				ones++
+			}
+		}
+		if g.OnesCount() != ones {
+			t.Fatalf("dim %d: OnesCount = %d, want %d", n, g.OnesCount(), ones)
+		}
+		sel := g.Ones()
+		if len(sel) != ones {
+			t.Fatalf("dim %d: Ones len %d, want %d", n, len(sel), ones)
+		}
+		for _, i := range sel {
+			if !bits[i] {
+				t.Fatalf("dim %d: Ones reported unset bit %d", n, i)
+			}
+		}
+	}
+}
+
+func TestGenomeSetFlipPreservePadding(t *testing.T) {
+	for _, n := range []int{65, 70, 129} {
+		g := NewGenome(n)
+		for i := 0; i < n; i++ {
+			g.SetBit(i, true)
+		}
+		g.FlipBit(n - 1)
+		g.FlipBit(n - 1)
+		w := g.Words()
+		if pad := uint(n % 64); pad != 0 {
+			if w[len(w)-1]>>pad != 0 {
+				t.Fatalf("dim %d: padding bits set in last word: %x", n, w[len(w)-1])
+			}
+		}
+		if g.OnesCount() != n {
+			t.Fatalf("dim %d: OnesCount = %d after set-all", n, g.OnesCount())
+		}
+		g.Zero()
+		if g.OnesCount() != 0 {
+			t.Fatalf("dim %d: Zero left bits set", n)
+		}
+	}
+}
+
+func TestGenomeCloneAndCopyIndependent(t *testing.T) {
+	g := FromBools([]bool{true, false, true})
+	c := g.Clone()
+	c.SetBit(1, true)
+	if g.Bit(1) {
+		t.Fatal("Clone shares storage")
+	}
+	d := NewGenome(3)
+	d.CopyFrom(g)
+	if !d.Equal(g) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	d.SetBit(0, false)
+	if !g.Bit(0) {
+		t.Fatal("CopyFrom shares storage")
+	}
+}
+
+func TestGenomeEqual(t *testing.T) {
+	a := FromBools([]bool{true, false})
+	if !a.Equal(FromBools([]bool{true, false})) {
+		t.Fatal("equal genomes not Equal")
+	}
+	if a.Equal(FromBools([]bool{true, true})) {
+		t.Fatal("different genes Equal")
+	}
+	if a.Equal(FromBools([]bool{true, false, false})) {
+		t.Fatal("different lengths Equal")
+	}
+}
+
+// TestGenomeKeyMatchesBitStringOrder pins the key codec's two contracts:
+// distinct genomes get distinct keys (including across the 64-gene word
+// boundary), and byte-wise key order agrees with comparing genomes as
+// '0'/'1' strings — the tie-break order SortLexicographic relies on and
+// the seed implementation used directly.
+func TestGenomeKeyMatchesBitStringOrder(t *testing.T) {
+	s := rng.New(2)
+	for _, n := range genomeDims {
+		type pair struct {
+			g   Genome
+			str string
+		}
+		var pairs []pair
+		for k := 0; k < 32; k++ {
+			g := FromBools(randBools(n, s))
+			pairs = append(pairs, pair{g, g.String()})
+		}
+		// Boundary-adjacent single-bit genomes for the 65+ cases.
+		if n >= 65 {
+			for _, i := range []int{62, 63, 64, n - 1} {
+				g := NewGenome(n)
+				g.SetBit(i, true)
+				pairs = append(pairs, pair{g, g.String()})
+			}
+		}
+		for i := range pairs {
+			for j := range pairs {
+				ki, kj := pairs[i].g.Key(), pairs[j].g.Key()
+				if (pairs[i].str == pairs[j].str) != (ki == kj) {
+					t.Fatalf("dim %d: key equality diverges from genome equality (%q vs %q)",
+						n, pairs[i].str, pairs[j].str)
+				}
+				if (pairs[i].str < pairs[j].str) != (ki < kj) {
+					t.Fatalf("dim %d: key order diverges from bit-string order (%q vs %q)",
+						n, pairs[i].str, pairs[j].str)
+				}
+			}
+		}
+	}
+	// Same leading bits, different lengths: keys must differ.
+	a := FromBools([]bool{true, false})
+	b := FromBools([]bool{true, false, false})
+	if a.Key() == b.Key() {
+		t.Fatal("keys collide across genome lengths")
+	}
+	if (Genome{}).Key() != "" {
+		t.Fatal("empty genome key not empty")
+	}
+}
+
+// TestCrossoverIntoMatchesBoolReference checks word-level single-point
+// crossover against the obvious []bool implementation at every cut,
+// including cuts landing exactly on and around word boundaries.
+func TestCrossoverIntoMatchesBoolReference(t *testing.T) {
+	s := rng.New(3)
+	for _, n := range genomeDims {
+		ab := randBools(n, s)
+		bb := randBools(n, s)
+		a, b := FromBools(ab), FromBools(bb)
+		dst := NewGenome(n)
+		for cut := 0; cut <= n; cut++ {
+			crossoverInto(dst, a, b, cut)
+			for i := 0; i < n; i++ {
+				want := bb[i]
+				if i < cut {
+					want = ab[i]
+				}
+				if dst.Bit(i) != want {
+					t.Fatalf("dim %d cut %d: bit %d = %v, want %v", n, cut, i, dst.Bit(i), want)
+				}
+			}
+		}
+	}
+}

@@ -1,9 +1,10 @@
 // Package moo implements the multi-objective optimization machinery of
-// BBSched §3.2: binary-vector solution encoding, Pareto dominance and
-// front extraction, the paper's multi-objective genetic algorithm
-// (single-point crossover, bit-flip mutation, age-based Set1/Set2
-// selection), an exhaustive 2^w reference solver, and solution-quality
-// metrics (generational distance, hypervolume).
+// BBSched §3.2: packed-bitset solution encoding (Genome), Pareto
+// dominance and front extraction, the paper's multi-objective genetic
+// algorithm (single-point crossover, bit-flip mutation, age-based
+// Set1/Set2 selection) with a genome-memoizing Evaluator and pooled
+// per-generation buffers, an exhaustive 2^w reference solver, and
+// solution-quality metrics (generational distance, hypervolume).
 //
 // All objectives are maximized. Minimization objectives (e.g. wasted local
 // SSD, §5's f4) are expressed by negating the value, exactly as the paper
@@ -17,64 +18,59 @@ import (
 )
 
 // Problem is a pseudo-boolean multi-objective maximization problem over
-// bit vectors of fixed dimension. Implementations must be safe for
-// concurrent Evaluate calls (the GA can evaluate a population in parallel).
+// packed bit-vector genomes of fixed dimension. Implementations must be
+// safe for concurrent Evaluate calls (the GA can evaluate a population in
+// parallel) and must not retain or mutate the genome argument (solvers
+// pass reused scratch buffers).
 type Problem interface {
 	// Dim is the solution bit-vector length (the scheduling window size).
 	Dim() int
 	// NumObjectives is the number of simultaneously maximized objectives.
 	NumObjectives() int
-	// Evaluate returns the objective vector for bits and whether the
+	// Evaluate returns the objective vector for g and whether the
 	// solution satisfies all resource constraints. Objective values of
 	// infeasible solutions are ignored by the solvers.
-	Evaluate(bits []bool) (objs []float64, feasible bool)
+	Evaluate(g Genome) (objs []float64, feasible bool)
 }
 
-// Repairer is an optional Problem extension: Repair mutates bits in place
+// Repairer is an optional Problem extension: Repair mutates g in place
 // into a feasible solution (typically by deselecting jobs until the
 // constraints hold). Solvers use it to keep populations feasible instead
 // of discarding constraint violators.
 type Repairer interface {
-	Repair(bits []bool, drop func(n int) int)
+	Repair(g Genome, drop func(n int) int)
 }
 
 // Solution is an evaluated candidate.
 type Solution struct {
-	// Bits is the selection vector; Bits[i] selects window job i. Bits
-	// must not be mutated after the solution is evaluated (Key caches a
-	// digest of it).
-	Bits []bool
-	// Objectives is the evaluated objective vector (maximization).
+	// Genome is the selection vector; gene i selects window job i. It
+	// must not be mutated after the solution is evaluated (solutions from
+	// one solve share canonical genome storage, and Key caches a digest).
+	Genome Genome
+	// Objectives is the evaluated objective vector (maximization). Like
+	// Genome it may be shared between solutions and must not be mutated.
 	Objectives []float64
 	// Age counts generations survived (paper §3.2.2: selection prefers
 	// newer chromosomes, i.e. smaller Age).
 	Age int
 
 	// key caches Key(); the GA consults genotype identity every
-	// generation and rebuilding the string dominated solver time.
+	// generation and rebuilding the digest dominated solver time.
 	key string
 }
 
 // Clone deep-copies the solution.
 func (s Solution) Clone() Solution {
 	c := s
-	c.Bits = append([]bool(nil), s.Bits...)
+	c.Genome = s.Genome.Clone()
 	c.Objectives = append([]float64(nil), s.Objectives...)
 	return c
 }
 
-// Key returns a compact string key of the bit vector, for deduplication.
+// Key returns a compact digest of the genome, for deduplication.
 func (s *Solution) Key() string {
-	if s.key == "" && len(s.Bits) > 0 {
-		b := make([]byte, len(s.Bits))
-		for i, v := range s.Bits {
-			if v {
-				b[i] = '1'
-			} else {
-				b[i] = '0'
-			}
-		}
-		s.key = string(b)
+	if s.key == "" && s.Genome.Len() > 0 {
+		s.key = s.Genome.Key()
 	}
 	return s.key
 }
@@ -104,7 +100,19 @@ func Dominates(a, b []float64) bool {
 
 // dominatedFlags marks solutions dominated by some other pool member.
 func dominatedFlags(sols []Solution) []bool {
-	dominated := make([]bool, len(sols))
+	return dominatedFlagsInto(make([]bool, len(sols)), sols)
+}
+
+// dominatedFlagsInto is dominatedFlags writing into a reused buffer
+// (grown as needed); the GA calls it every generation.
+func dominatedFlagsInto(dominated []bool, sols []Solution) []bool {
+	if cap(dominated) < len(sols) {
+		dominated = make([]bool, len(sols))
+	}
+	dominated = dominated[:len(sols)]
+	for i := range dominated {
+		dominated[i] = false
+	}
 	for i := range sols {
 		for j := range sols {
 			if i == j {

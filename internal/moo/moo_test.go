@@ -2,6 +2,8 @@ package moo
 
 import (
 	"math"
+	mathbits "math/bits"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -14,38 +16,52 @@ import (
 type knapsack2 struct {
 	nodes, bb       []float64
 	capNodes, capBB float64
+
+	// onesPool mirrors SelectionProblem's pooled repair scratch.
+	onesPool sync.Pool
 }
 
 func (k *knapsack2) Dim() int           { return len(k.nodes) }
 func (k *knapsack2) NumObjectives() int { return 2 }
 
-func (k *knapsack2) Evaluate(bits []bool) ([]float64, bool) {
-	var n, b float64
-	for i, on := range bits {
-		if on {
+func (k *knapsack2) sums(g Genome) (n, b float64) {
+	for wi, w := range g.Words() {
+		base := wi * 64
+		for w != 0 {
+			i := base + mathbits.TrailingZeros64(w)
+			w &= w - 1
 			n += k.nodes[i]
 			b += k.bb[i]
 		}
 	}
+	return n, b
+}
+
+func (k *knapsack2) Evaluate(g Genome) ([]float64, bool) {
+	n, b := k.sums(g)
 	return []float64{n, b}, n <= k.capNodes && b <= k.capBB
 }
 
-func (k *knapsack2) Repair(bits []bool, drop func(int) int) {
-	for {
-		if _, ok := k.Evaluate(bits); ok {
-			return
-		}
-		on := make([]int, 0, len(bits))
-		for i, v := range bits {
-			if v {
-				on = append(on, i)
-			}
-		}
-		if len(on) == 0 {
-			return
-		}
-		bits[on[drop(len(on))]] = false
+// Repair mirrors SelectionProblem's incremental fast path: sums are
+// maintained across drops instead of re-evaluating per drop, and the
+// selected-index buffer is pooled.
+func (k *knapsack2) Repair(g Genome, drop func(int) int) {
+	buf, _ := k.onesPool.Get().(*[]int)
+	if buf == nil {
+		buf = new([]int)
 	}
+	n, b := k.sums(g)
+	on := g.AppendOnes((*buf)[:0])
+	for (n > k.capNodes || b > k.capBB) && len(on) > 0 {
+		d := drop(len(on))
+		i := on[d]
+		g.SetBit(i, false)
+		n -= k.nodes[i]
+		b -= k.bb[i]
+		on = append(on[:d], on[d+1:]...)
+	}
+	*buf = on[:0:cap(on)]
+	k.onesPool.Put(buf)
 }
 
 // table1 returns the paper's illustrative example: 100 nodes, 100 TB BB,
@@ -115,9 +131,9 @@ func TestDominanceIsStrictPartialOrder(t *testing.T) {
 
 func TestParetoFilter(t *testing.T) {
 	sols := []Solution{
-		{Bits: []bool{true}, Objectives: []float64{100, 20}},
-		{Bits: []bool{false}, Objectives: []float64{80, 90}},
-		{Bits: []bool{true, true}, Objectives: []float64{90, 20}}, // dominated by first
+		{Genome: FromBools([]bool{true}), Objectives: []float64{100, 20}},
+		{Genome: FromBools([]bool{false}), Objectives: []float64{80, 90}},
+		{Genome: FromBools([]bool{true, true}), Objectives: []float64{90, 20}}, // dominated by first
 	}
 	front := ParetoFilter(sols)
 	if len(front) != 2 {
@@ -133,7 +149,7 @@ func TestParetoFilterPropertyNoMemberDominated(t *testing.T) {
 		sols := make([]Solution, n)
 		for i := range sols {
 			sols[i] = Solution{
-				Bits:       []bool{i%2 == 0},
+				Genome:     FromBools([]bool{i%2 == 0}),
 				Objectives: []float64{float64(st.Intn(10)), float64(st.Intn(10)), float64(st.Intn(10))},
 			}
 		}
@@ -152,7 +168,7 @@ func TestParetoFilterPropertyNoMemberDominated(t *testing.T) {
 		// Every excluded solution is dominated by some front member.
 		inFront := func(x Solution) bool {
 			for _, fm := range front {
-				if &fm.Bits[0] == &x.Bits[0] && equalObjs(fm.Objectives, x.Objectives) {
+				if &fm.Genome.w[0] == &x.Genome.w[0] && equalObjs(fm.Objectives, x.Objectives) {
 					return true
 				}
 			}
@@ -298,7 +314,7 @@ func TestGAFrontIsFeasibleAndNonDominated(t *testing.T) {
 			return false
 		}
 		for i, a := range front {
-			if _, ok := k.Evaluate(a.Bits); !ok {
+			if _, ok := k.Evaluate(a.Genome); !ok {
 				return false
 			}
 			for j, b := range front {
@@ -468,9 +484,9 @@ func TestHypervolume2D(t *testing.T) {
 
 func TestDedupeByBits(t *testing.T) {
 	sols := []Solution{
-		{Bits: []bool{true, false}, Objectives: []float64{1}},
-		{Bits: []bool{true, false}, Objectives: []float64{1}},
-		{Bits: []bool{false, true}, Objectives: []float64{1}},
+		{Genome: FromBools([]bool{true, false}), Objectives: []float64{1}},
+		{Genome: FromBools([]bool{true, false}), Objectives: []float64{1}},
+		{Genome: FromBools([]bool{false, true}), Objectives: []float64{1}},
 	}
 	if got := DedupeByBits(sols); len(got) != 2 {
 		t.Fatalf("dedupe kept %d, want 2", len(got))
@@ -478,20 +494,20 @@ func TestDedupeByBits(t *testing.T) {
 }
 
 func TestSolutionCloneIndependent(t *testing.T) {
-	s := Solution{Bits: []bool{true}, Objectives: []float64{1}}
+	s := Solution{Genome: FromBools([]bool{true}), Objectives: []float64{1}}
 	c := s.Clone()
-	c.Bits[0] = false
+	c.Genome.SetBit(0, false)
 	c.Objectives[0] = 9
-	if !s.Bits[0] || s.Objectives[0] != 1 {
+	if !s.Genome.Bit(0) || s.Objectives[0] != 1 {
 		t.Fatal("Clone shares storage")
 	}
 }
 
 func TestSortLexicographicStable(t *testing.T) {
 	sols := []Solution{
-		{Bits: []bool{false}, Objectives: []float64{1, 5}},
-		{Bits: []bool{true}, Objectives: []float64{2, 0}},
-		{Bits: []bool{true, true}, Objectives: []float64{1, 7}},
+		{Genome: FromBools([]bool{false}), Objectives: []float64{1, 5}},
+		{Genome: FromBools([]bool{true}), Objectives: []float64{2, 0}},
+		{Genome: FromBools([]bool{true, true}), Objectives: []float64{1, 7}},
 	}
 	SortLexicographic(sols)
 	if sols[0].Objectives[0] != 2 || sols[1].Objectives[1] != 7 || sols[2].Objectives[1] != 5 {
@@ -503,12 +519,12 @@ func TestRepairerProducesFeasible(t *testing.T) {
 	k := table1()
 	s := rng.New(51)
 	for i := 0; i < 200; i++ {
-		bits := make([]bool, k.Dim())
-		for j := range bits {
-			bits[j] = s.Bool(0.8) // mostly infeasible picks
+		g := NewGenome(k.Dim())
+		for j := 0; j < g.Len(); j++ {
+			g.SetBit(j, s.Bool(0.8)) // mostly infeasible picks
 		}
-		k.Repair(bits, s.Intn)
-		if _, ok := k.Evaluate(bits); !ok {
+		k.Repair(g, s.Intn)
+		if _, ok := k.Evaluate(g); !ok {
 			t.Fatal("Repair left infeasible solution")
 		}
 	}

@@ -93,6 +93,26 @@ func (s *Stream) SplitIndex(i uint64) *Stream {
 	return New(splitMix64(s.seed ^ splitMix64(i+0x51ed2701)))
 }
 
+// SplitIndexInto is SplitIndex reusing dst's storage: dst is reseeded in
+// place to the exact state SplitIndex(i) would return, avoiding the
+// per-split stream construction. A nil dst allocates a fresh stream. The
+// genetic solver splits one stream per repaired child per generation;
+// reseeding a per-worker scratch stream makes that allocation-free.
+func (s *Stream) SplitIndexInto(dst *Stream, i uint64) *Stream {
+	seed := splitMix64(s.seed ^ splitMix64(i+0x51ed2701))
+	if dst == nil {
+		return New(seed)
+	}
+	dst.Reseed(seed)
+	return dst
+}
+
+// Reseed resets the stream in place to the state of New(seed).
+func (s *Stream) Reseed(seed uint64) {
+	s.seed = seed
+	s.r.Seed(int64(seed))
+}
+
 // Seed returns the seed this stream was created with.
 func (s *Stream) Seed() uint64 { return s.seed }
 

@@ -229,3 +229,26 @@ func TestPermIsPermutation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitIndexIntoMatchesSplitIndex(t *testing.T) {
+	parent := New(99)
+	scratch := New(0)
+	for i := uint64(0); i < 20; i++ {
+		want := parent.SplitIndex(i)
+		got := parent.SplitIndexInto(scratch, i)
+		if got != scratch {
+			t.Fatal("SplitIndexInto did not reuse dst")
+		}
+		if got.Seed() != want.Seed() {
+			t.Fatalf("seed %d != %d", got.Seed(), want.Seed())
+		}
+		for k := 0; k < 50; k++ {
+			if got.Uint64() != want.Uint64() {
+				t.Fatalf("split %d diverged at draw %d", i, k)
+			}
+		}
+		if parent.SplitIndexInto(nil, i).Seed() != want.Seed() {
+			t.Fatal("nil dst path wrong")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bbsched/internal/cluster"
 	"bbsched/internal/job"
@@ -75,6 +76,11 @@ type Weighted struct {
 	Weights []float64
 	// GA configures the solver.
 	GA GASolverConfig
+
+	// evals pools reusable evaluators so the solver keeps its
+	// memoization-cache capacity across scheduling decisions while
+	// staying safe for concurrent Select calls.
+	evals sync.Pool
 }
 
 // NewWeighted builds a weighted method over the two §3.2 objectives.
@@ -95,7 +101,10 @@ func (w *Weighted) Select(ctx *Context) ([]int, error) {
 	}
 	inner := NewSelectionProblem(ctx.Window, ctx.Snap, w.Objectives)
 	p := &scalarized{inner: inner, weights: w.Weights, denom: ctx.Totals.denominators(w.Objectives)}
-	front, err := moo.SolveGA(p, w.GA, ctx.Rand)
+	ev, _ := w.evals.Get().(*moo.Evaluator)
+	ev = moo.ReuseEvaluator(ev, p)
+	front, err := moo.SolveGA(ev, w.GA, ctx.Rand)
+	w.evals.Put(ev)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +112,7 @@ func (w *Weighted) Select(ctx *Context) ([]int, error) {
 	if best == nil {
 		return nil, nil
 	}
-	return Selected(best.Bits), nil
+	return Selected(best.Genome), nil
 }
 
 // Constrained maximizes one resource's utilization with the remaining
@@ -116,6 +125,9 @@ type Constrained struct {
 	Target Objective
 	// GA configures the solver.
 	GA GASolverConfig
+
+	// evals pools reusable evaluators (see Weighted.evals).
+	evals sync.Pool
 }
 
 // Name implements Method.
@@ -127,7 +139,10 @@ func (c *Constrained) Select(ctx *Context) ([]int, error) {
 		return nil, nil
 	}
 	p := NewSelectionProblem(ctx.Window, ctx.Snap, []Objective{c.Target})
-	front, err := moo.SolveGA(p, c.GA, ctx.Rand)
+	ev, _ := c.evals.Get().(*moo.Evaluator)
+	ev = moo.ReuseEvaluator(ev, p)
+	front, err := moo.SolveGA(ev, c.GA, ctx.Rand)
+	c.evals.Put(ev)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +150,7 @@ func (c *Constrained) Select(ctx *Context) ([]int, error) {
 	if best == nil {
 		return nil, nil
 	}
-	return Selected(best.Bits), nil
+	return Selected(best.Genome), nil
 }
 
 // bestScalar picks the solution with the highest first objective; ties

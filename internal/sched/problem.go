@@ -7,9 +7,12 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"bbsched/internal/cluster"
 	"bbsched/internal/job"
+	"bbsched/internal/moo"
 )
 
 // Objective identifies one of the paper's four objectives.
@@ -68,6 +71,20 @@ type SelectionProblem struct {
 	fastPath  bool
 	freeNodes int64
 	freeBB    int64
+
+	// scratch pools per-evaluation cluster state so the slow (SSD-class)
+	// path reuses one snapshot + placement buffer across the GA's G×P
+	// candidate evaluations instead of cloning cluster state per
+	// candidate. A pool (not a single buffer) keeps Evaluate safe for the
+	// GA's parallel fitness workers.
+	scratch sync.Pool
+}
+
+// evalScratch is one pooled evaluation workspace.
+type evalScratch struct {
+	snap   cluster.Snapshot
+	placed []int
+	ones   []int
 }
 
 // NewSelectionProblem builds the problem over the window jobs and the
@@ -108,40 +125,56 @@ func (p *SelectionProblem) Dim() int { return len(p.jobs) }
 func (p *SelectionProblem) NumObjectives() int { return len(p.objectives) }
 
 // Evaluate implements moo.Problem: it allocates the selected jobs into a
-// scratch copy of the snapshot (feasibility, and SSD waste for f4) and
-// returns the objective vector. Placement totals are order-independent
+// pooled scratch copy of the snapshot (feasibility, and SSD waste for f4)
+// and returns the objective vector. Placement totals are order-independent
 // (see internal/cluster), so evaluating jobs in window order is exact.
-func (p *SelectionProblem) Evaluate(bits []bool) ([]float64, bool) {
-	if len(bits) != len(p.jobs) {
-		panic(fmt.Sprintf("sched: evaluating %d bits over %d jobs", len(bits), len(p.jobs)))
+// Selected jobs are walked word-at-a-time off the packed genome; the
+// single-class fast path touches only the pre-extracted demand columns.
+func (p *SelectionProblem) Evaluate(g moo.Genome) ([]float64, bool) {
+	if g.Len() != len(p.jobs) {
+		panic(fmt.Sprintf("sched: evaluating %d bits over %d jobs", g.Len(), len(p.jobs)))
 	}
 	var nodes, bb, ssd, waste int64
 	if p.fastPath {
-		for i, on := range bits {
-			if !on {
-				continue
+		for wi, w := range g.Words() {
+			base := wi * 64
+			for w != 0 {
+				i := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				nodes += p.nodes[i]
+				bb += p.bb[i]
 			}
-			nodes += p.nodes[i]
-			bb += p.bb[i]
 		}
 		if nodes > p.freeNodes || bb > p.freeBB {
 			return nil, false
 		}
 	} else {
-		scratch := p.snap.Clone()
-		for i, on := range bits {
-			if !on {
-				continue
+		sc := p.getScratch()
+		sc.snap.CopyFrom(p.snap)
+		ok := true
+		for wi, w := range g.Words() {
+			base := wi * 64
+			for w != 0 {
+				i := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				d := p.jobs[i].Demand
+				placed, err := sc.snap.AllocInto(d, sc.placed)
+				if err != nil {
+					ok = false
+					break
+				}
+				nodes += p.nodes[i]
+				bb += p.bb[i]
+				ssd += d.TotalSSD()
+				waste += placed.WastedSSD
 			}
-			d := p.jobs[i].Demand
-			placed, err := scratch.Alloc(d)
-			if err != nil {
-				return nil, false
+			if !ok {
+				break
 			}
-			nodes += p.nodes[i]
-			bb += p.bb[i]
-			ssd += d.TotalSSD()
-			waste += placed.WastedSSD
+		}
+		p.scratch.Put(sc)
+		if !ok {
+			return nil, false
 		}
 	}
 	objs := make([]float64, len(p.objectives))
@@ -162,36 +195,56 @@ func (p *SelectionProblem) Evaluate(bits []bool) ([]float64, bool) {
 	return objs, true
 }
 
-// Repair implements moo.Repairer by deselecting jobs (chosen by drop over
-// the currently selected positions) until the selection fits.
-func (p *SelectionProblem) Repair(bits []bool, drop func(n int) int) {
-	for {
-		if _, ok := p.Evaluate(bits); ok {
-			return
-		}
-		var on []int
-		for i, v := range bits {
-			if v {
-				on = append(on, i)
-			}
-		}
-		if len(on) == 0 {
-			return
-		}
-		bits[on[drop(len(on))]] = false
+// getScratch takes a pooled evaluation workspace.
+func (p *SelectionProblem) getScratch() *evalScratch {
+	sc, _ := p.scratch.Get().(*evalScratch)
+	if sc == nil {
+		sc = &evalScratch{placed: make([]int, p.snap.NumClasses())}
 	}
+	return sc
 }
 
-// Selected converts a solution bit vector to window indices.
-func Selected(bits []bool) []int {
-	var out []int
-	for i, v := range bits {
-		if v {
-			out = append(out, i)
+// Repair implements moo.Repairer by deselecting jobs (chosen by drop over
+// the currently selected positions) until the selection fits. On the
+// single-class fast path the resource sums are maintained incrementally,
+// so each drop is O(1) instead of a full re-evaluation; the selected-index
+// buffer comes from the scratch pool.
+func (p *SelectionProblem) Repair(g moo.Genome, drop func(n int) int) {
+	sc := p.getScratch()
+	on := g.AppendOnes(sc.ones[:0])
+	if p.fastPath {
+		var nodes, bb int64
+		for _, i := range on {
+			nodes += p.nodes[i]
+			bb += p.bb[i]
+		}
+		for (nodes > p.freeNodes || bb > p.freeBB) && len(on) > 0 {
+			k := drop(len(on))
+			i := on[k]
+			g.SetBit(i, false)
+			nodes -= p.nodes[i]
+			bb -= p.bb[i]
+			on = append(on[:k], on[k+1:]...)
+		}
+	} else {
+		for {
+			if _, ok := p.Evaluate(g); ok {
+				break
+			}
+			if len(on) == 0 {
+				break
+			}
+			k := drop(len(on))
+			g.SetBit(on[k], false)
+			on = append(on[:k], on[k+1:]...)
 		}
 	}
-	return out
+	sc.ones = on[:0:cap(on)]
+	p.scratch.Put(sc)
 }
+
+// Selected converts a solution genome to window indices.
+func Selected(g moo.Genome) []int { return g.Ones() }
 
 // scalarized wraps a SelectionProblem into a single weighted-sum objective
 // over machine-normalized utilizations, for the weighted and constrained
@@ -210,8 +263,8 @@ func (s *scalarized) Dim() int { return s.inner.Dim() }
 func (s *scalarized) NumObjectives() int { return 1 }
 
 // Evaluate implements moo.Problem.
-func (s *scalarized) Evaluate(bits []bool) ([]float64, bool) {
-	objs, ok := s.inner.Evaluate(bits)
+func (s *scalarized) Evaluate(g moo.Genome) ([]float64, bool) {
+	objs, ok := s.inner.Evaluate(g)
 	if !ok {
 		return nil, false
 	}
@@ -226,7 +279,7 @@ func (s *scalarized) Evaluate(bits []bool) ([]float64, bool) {
 }
 
 // Repair implements moo.Repairer.
-func (s *scalarized) Repair(bits []bool, drop func(n int) int) { s.inner.Repair(bits, drop) }
+func (s *scalarized) Repair(g moo.Genome, drop func(n int) int) { s.inner.Repair(g, drop) }
 
 // Totals carries machine capacity totals used to normalize objectives in
 // the weighted methods' scalarization.

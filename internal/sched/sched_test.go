@@ -211,14 +211,14 @@ func TestMethodsNeverOversubscribe(t *testing.T) {
 func TestSelectionProblemEvaluate(t *testing.T) {
 	jobs, c := table1Window()
 	p := NewSelectionProblem(jobs, c.Snapshot(), TwoObjectives())
-	objs, ok := p.Evaluate([]bool{false, true, true, true, true})
+	objs, ok := p.Evaluate(moo.FromBools([]bool{false, true, true, true, true}))
 	if !ok {
 		t.Fatal("J2-J5 should be feasible")
 	}
 	if objs[0] != 80 || objs[1] != 90 {
 		t.Fatalf("objs = %v, want [80 90]", objs)
 	}
-	if _, ok := p.Evaluate([]bool{true, true, false, false, false}); ok {
+	if _, ok := p.Evaluate(moo.FromBools([]bool{true, true, false, false, false})); ok {
 		t.Fatal("J1+J2 exceeds burst buffer, must be infeasible")
 	}
 }
@@ -231,11 +231,11 @@ func TestSelectionProblemUsesFreeNotTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := NewSelectionProblem(jobs, c.Snapshot(), TwoObjectives())
-	if _, ok := p.Evaluate([]bool{true, false, false, false, false}); ok {
+	if _, ok := p.Evaluate(moo.FromBools([]bool{true, false, false, false, false})); ok {
 		t.Fatal("J1 (80 nodes) reported feasible with only 70 nodes free")
 	}
 	// J3 (40 nodes) still fits in the 70 free nodes.
-	if _, ok := p.Evaluate([]bool{false, false, true, false, false}); !ok {
+	if _, ok := p.Evaluate(moo.FromBools([]bool{false, false, true, false, false})); !ok {
 		t.Fatal("J3 (40 nodes) should fit in 70 free nodes")
 	}
 }
@@ -250,7 +250,7 @@ func TestSelectionProblemFourObjectives(t *testing.T) {
 		job.MustNew(2, 1, 10, 10, job.NewDemand(2, 10, 200)), // needs 256GB nodes
 	}
 	p := NewSelectionProblem(jobs, c.Snapshot(), FourObjectives())
-	objs, ok := p.Evaluate([]bool{true, true})
+	objs, ok := p.Evaluate(moo.FromBools([]bool{true, true}))
 	if !ok {
 		t.Fatal("both jobs should fit")
 	}
@@ -267,9 +267,9 @@ func TestSelectionProblemRepair(t *testing.T) {
 	jobs, c := table1Window()
 	p := NewSelectionProblem(jobs, c.Snapshot(), TwoObjectives())
 	s := rng.New(8)
-	bits := []bool{true, true, true, true, true} // infeasible
-	p.Repair(bits, s.Intn)
-	if _, ok := p.Evaluate(bits); !ok {
+	g := moo.FromBools([]bool{true, true, true, true, true}) // infeasible
+	p.Repair(g, s.Intn)
+	if _, ok := p.Evaluate(g); !ok {
 		t.Fatal("Repair left infeasible selection")
 	}
 }
@@ -282,7 +282,7 @@ func TestSelectionProblemDimMismatchPanics(t *testing.T) {
 			t.Fatal("no panic for wrong bit count")
 		}
 	}()
-	p.Evaluate([]bool{true})
+	p.Evaluate(moo.FromBools([]bool{true}))
 }
 
 func TestTotalsOf(t *testing.T) {
@@ -331,12 +331,12 @@ func TestObjectiveString(t *testing.T) {
 }
 
 func TestSelectedHelper(t *testing.T) {
-	got := Selected([]bool{true, false, true})
+	got := Selected(moo.FromBools([]bool{true, false, true}))
 	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
 		t.Fatalf("Selected = %v", got)
 	}
-	if Selected(nil) != nil {
-		t.Fatal("Selected(nil) should be nil")
+	if Selected(moo.Genome{}) != nil {
+		t.Fatal("Selected of an empty genome should be nil")
 	}
 }
 
