@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench bench-smoke lint fmt vet clean
+.PHONY: all build test test-full race bench bench-smoke sweep-smoke lint fmt vet staticcheck clean
 
 all: lint build test
 
@@ -32,7 +32,21 @@ bench-smoke:
 bench-solver:
 	$(GO) test -bench='^BenchmarkSolveGA' -benchtime=20x -run='^$$' ./internal/moo
 
+# Guard the parallel RunSweep driver against races and nondeterminism:
+# tiny method × seed grids (2 × 2) under -race, parallel vs serial.
+sweep-smoke:
+	$(GO) test -race -run '^TestRunSweep|^TestFacadeEngineSweepRegistry$$' ./internal/sim .
+
 lint: fmt vet
+
+# staticcheck is optional locally (CI installs it); skip with a hint when
+# the binary is absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; install with: go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+	fi
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -7,15 +7,21 @@
 // utilization trade-off rule.
 //
 // This root package is the public API: a thin facade over the
-// implementation packages under internal/. The typical flow is
+// implementation packages under internal/. The typical flow builds a
+// reusable Simulator engine:
 //
 //	system := bbsched.ScaleSystem(bbsched.Theta(), 32)
 //	workload := bbsched.Generate(bbsched.GenConfig{System: system, Jobs: 1000, Seed: 1})
-//	result, err := bbsched.Run(bbsched.SimConfig{
-//	    Workload: workload,
-//	    Method:   bbsched.New(),               // BBSched with paper defaults
-//	    Plugin:   bbsched.DefaultPluginConfig(), // w=20, starvation bound 50
-//	})
+//	s, err := bbsched.NewSimulator(workload, bbsched.New(), // BBSched, paper defaults
+//	    bbsched.WithWindow(20, 50), bbsched.WithSeed(1))
+//	result, err := s.Run(ctx)
+//
+// The engine can equally be driven step by step (Step / RunUntil) with
+// mid-run inspection, observed live (WithObserver, WithEventLog), or
+// fanned out over a methods × workloads × seeds grid with RunSweep. The
+// method registry (Methods / RegisterMethod / NewMethod) names every
+// shipped scheduling method; bbsched.Run(SimConfig) remains as a one-shot
+// compatibility wrapper.
 //
 // Lower-level entry points expose the pieces directly: ClusterConfig /
 // NewCluster model the machine, SelectionProblem + SolveGA /
@@ -30,6 +36,7 @@ import (
 	"bbsched/internal/metrics"
 	"bbsched/internal/moo"
 	"bbsched/internal/queue"
+	"bbsched/internal/registry"
 	"bbsched/internal/rng"
 	"bbsched/internal/sched"
 	"bbsched/internal/sim"
@@ -54,10 +61,12 @@ const (
 	LocalSSDGBPerNode = job.LocalSSDGBPerNode
 )
 
-// NewDemand builds a demand vector; NewJob a validated job.
+// NewDemand builds a demand vector; NewJob a validated job; MustNewJob
+// panics on invalid input (tests and literals).
 var (
-	NewDemand = job.NewDemand
-	NewJob    = job.New
+	NewDemand  = job.NewDemand
+	NewJob     = job.New
+	MustNewJob = job.MustNew
 )
 
 // Machine model.
@@ -221,10 +230,25 @@ type (
 	SWFOptions = trace.SWFOptions
 )
 
+// BasePolicy names a queue base policy in a SystemModel.
+type BasePolicy = trace.BasePolicy
+
+// Base policies.
+const (
+	PolicyFCFS = trace.FCFS
+	PolicyWFP  = trace.WFP
+)
+
 var (
 	// Cori and Theta return the Table 2 system models.
 	Cori  = trace.Cori
 	Theta = trace.Theta
+	// WorkloadVariants lists the variant names ("Original", S1–S7);
+	// ApplyVariant derives one from a generated base workload.
+	WorkloadVariants = trace.Variants
+	ApplyVariant     = trace.ApplyVariant
+	// IsSSDVariant reports whether a variant pairs with the §5 roster.
+	IsSSDVariant = trace.IsSSDVariant
 	// ScaleSystem shrinks a system model for laptop-scale runs.
 	ScaleSystem = trace.Scale
 	// WithSSD splits a system's nodes into 128/256 GB SSD classes.
@@ -258,9 +282,28 @@ var (
 	S7 = trace.S7
 )
 
-// Simulation.
+// Simulation engine.
 type (
-	// SimConfig parameterizes one trace-driven simulation run.
+	// Simulator is the stateful, reusable simulation engine: step-driven
+	// or run-to-completion, with observers and mid-run inspection.
+	Simulator = sim.Simulator
+	// SimOption is a functional option for NewSimulator.
+	SimOption = sim.Option
+	// Observer receives live simulation callbacks (job state changes and
+	// scheduling passes).
+	Observer = sim.Observer
+	// NopObserver is an embeddable no-op Observer.
+	NopObserver = sim.NopObserver
+	// SimEvent is one job state-change notification.
+	SimEvent = sim.Event
+	// ScheduleInfo describes one completed scheduling pass.
+	ScheduleInfo = sim.ScheduleInfo
+	// Sweep describes a workloads × methods × seeds run grid.
+	Sweep = sim.Sweep
+	// SweepRun is one completed run of a sweep.
+	SweepRun = sim.SweepRun
+	// SimConfig parameterizes one run through the legacy Run entry point
+	// (see its zero-value quirk; NewSimulator options honor exact zeros).
 	SimConfig = sim.Config
 	// SimResult is a finished run's metrics.
 	SimResult = sim.Result
@@ -270,11 +313,55 @@ type (
 	EventRecord = sim.EventRecord
 )
 
-// Run simulates a workload under a scheduling method.
+var (
+	// NewSimulator builds the reusable engine over a workload and method.
+	NewSimulator = sim.NewSimulator
+	// RunSweep executes a Sweep on a deterministic parallel worker pool.
+	RunSweep = sim.RunSweep
+
+	// Simulator options.
+	WithPlugin        = sim.WithPlugin
+	WithWindow        = sim.WithWindow
+	WithBackfill      = sim.WithBackfill
+	WithSeed          = sim.WithSeed
+	WithMeasurement   = sim.WithMeasurement
+	WithSlowdownFloor = sim.WithSlowdownFloor
+	WithBuckets       = sim.WithBuckets
+	WithObserver      = sim.WithObserver
+	WithEventLog      = sim.WithEventLog
+)
+
+// Run simulates a workload under a scheduling method: the legacy one-shot
+// entry point, now a thin compatibility wrapper over NewSimulator.
 var Run = sim.Run
 
 // ReadEventLog parses a JSONL simulation event log.
 var ReadEventLog = sim.ReadEventLog
+
+// Method registry: the single roster shared by the CLI and experiments.
+type (
+	// MethodSpec describes one registered scheduling method.
+	MethodSpec = registry.MethodSpec
+	// MethodBuilder constructs a method for a solver configuration.
+	MethodBuilder = registry.Builder
+)
+
+var (
+	// Methods lists every registered method in the paper's order.
+	Methods = registry.Methods
+	// MethodNames lists the registered method names.
+	MethodNames = registry.Names
+	// RegisterMethod adds a custom method to the shared roster.
+	RegisterMethod = registry.Register
+	// LookupMethod finds a registered method by name.
+	LookupMethod = registry.Lookup
+	// NewMethod instantiates a registered method by name (the ssd flag
+	// selects the four-objective §5 build when the method has one).
+	NewMethod = registry.New
+	// Section4Methods and Section5Methods build the §4.3 and §5 rosters.
+	Section4Methods = registry.Section4
+	Section5Methods = registry.Section5
+)
 
 // HypervolumeMC estimates N-dimensional front hypervolume by sampling.
 var HypervolumeMC = moo.HypervolumeMC

@@ -2,10 +2,116 @@ package bbsched_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"bbsched"
 )
+
+// ExampleSimulator steps a tiny deterministic scenario through the engine,
+// inspecting the clock, queue depth, and running set between event
+// instants, then reads the final metrics.
+func ExampleSimulator() {
+	sys := bbsched.SystemModel{
+		Cluster: bbsched.ClusterConfig{Name: "demo", Nodes: 8, BurstBufferGB: 100},
+		Policy:  bbsched.PolicyFCFS,
+	}
+	w := bbsched.Workload{Name: "demo", System: sys, Jobs: []*bbsched.Job{
+		bbsched.MustNewJob(0, 0, 300, 300, bbsched.NewDemand(6, 40, 0)),
+		bbsched.MustNewJob(1, 0, 200, 200, bbsched.NewDemand(6, 20, 0)),
+		bbsched.MustNewJob(2, 100, 100, 100, bbsched.NewDemand(2, 0, 0)),
+	}}
+
+	s, err := bbsched.NewSimulator(w, bbsched.Baseline{},
+		bbsched.WithWindow(4, 0),
+		bbsched.WithMeasurement(0, 0), // explicit zero: measure every job
+	)
+	if err != nil {
+		panic(err)
+	}
+	for {
+		more, err := s.Step()
+		if err != nil {
+			panic(err)
+		}
+		if !more {
+			break
+		}
+		fmt.Printf("t=%3ds queued=%d running=%d\n", s.Now(), s.QueueDepth(), s.RunningJobs())
+	}
+	res, err := s.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("makespan=%ds avg wait=%.0fs measured=%d\n", res.MakespanSec, res.AvgWaitSec, res.MeasuredJobs)
+
+	// Output:
+	// t=  0s queued=1 running=1
+	// t=100s queued=1 running=2
+	// t=200s queued=1 running=1
+	// t=300s queued=0 running=1
+	// t=500s queued=0 running=0
+	// makespan=500s avg wait=100s measured=3
+}
+
+// TestFacadeEngineSweepRegistry drives the new engine surface end to end:
+// registry-built methods swept over seeds, with the compat wrapper
+// cross-checked against a sweep cell.
+func TestFacadeEngineSweepRegistry(t *testing.T) {
+	system := bbsched.ScaleSystem(bbsched.Cori(), 128)
+	base := bbsched.Generate(bbsched.GenConfig{System: system, Jobs: 50, Seed: 4})
+	base.Name = system.Cluster.Name + "-Original"
+	w, err := bbsched.ApplyVariant(base, "S2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ga := bbsched.GAConfig{Generations: 40, Population: 10, MutationProb: 0.01}
+	baseline, err := bbsched.NewMethod("Baseline", ga, bbsched.IsSSDVariant("S2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := bbsched.NewMethod("BBSched", ga, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := bbsched.RunSweep(context.Background(), bbsched.Sweep{
+		Workloads: []bbsched.Workload{w},
+		Methods:   []bbsched.Method{baseline, bb},
+		Seeds:     []uint64{1, 2},
+		Options:   []bbsched.SimOption{bbsched.WithWindow(5, 50)},
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("sweep produced %d runs, want 4", len(runs))
+	}
+
+	// The legacy one-shot wrapper reproduces a sweep cell exactly.
+	solo, err := bbsched.Run(bbsched.SimConfig{
+		Workload: w, Method: bb,
+		Plugin: bbsched.PluginConfig{WindowSize: 5, StarvationBound: 50},
+		Seed:   runs[2].Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[2].Method != "BBSched" {
+		t.Fatalf("run order: %+v", runs[2])
+	}
+	if !reflect.DeepEqual(solo.Report, runs[2].Result.Report) {
+		t.Fatal("legacy Run diverges from the equivalent sweep cell")
+	}
+
+	if len(bbsched.MethodNames()) < 9 {
+		t.Fatalf("registry lists %d methods", len(bbsched.MethodNames()))
+	}
+}
 
 // TestFacadeEndToEnd drives the public API exactly as the package doc
 // shows: model a system, generate a workload, run BBSched, read metrics.

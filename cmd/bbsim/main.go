@@ -1,24 +1,29 @@
-// Command bbsim runs one trace-driven scheduling simulation and prints the
+// Command bbsim runs trace-driven scheduling simulations and prints the
 // §4.2 metrics.
 //
 // The trace comes either from a CSV file written by tracegen (-trace) or
 // from the built-in generator (-system/-jobs/-variant as in tracegen).
+// Methods are listed and instantiated from the shared method registry, so
+// -methods always matches what the experiments harness runs.
 //
 // Usage:
 //
 //	bbsim -system theta -scale 32 -jobs 500 -variant S4 -method BBSched
 //	bbsim -trace theta-s4.csv -system theta -method Constrained_CPU
+//	bbsim -variant S2 -sweep Baseline,BBSched -seeds 42,43   # parallel sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"bbsched/internal/core"
-	"bbsched/internal/experiments"
 	"bbsched/internal/moo"
+	"bbsched/internal/registry"
 	"bbsched/internal/sched"
 	"bbsched/internal/sim"
 	"bbsched/internal/trace"
@@ -43,32 +48,20 @@ func main() {
 		stageOut   = flag.Float64("bb-drain-gbps", 0, "add stage-out phases at this drain bandwidth (0 = off)")
 		eventLog   = flag.String("eventlog", "", "write a JSONL event log to this file")
 		listM      = flag.Bool("methods", false, "list method names and exit")
+		sweep      = flag.String("sweep", "", "comma-separated methods (or 'all') to sweep instead of one -method run")
+		seedList   = flag.String("seeds", "", "comma-separated sweep seeds (default: -seed)")
+		workers    = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	ga := moo.GAConfig{Generations: *gens, Population: *pop, MutationProb: 0.0005}
-	roster := map[string]sched.Method{}
-	for _, m := range append(experiments.Methods(ga), experiments.SSDMethods(ga)...) {
-		roster[m.Name()] = m
-	}
 	if *listM {
-		for _, m := range experiments.Methods(ga) {
-			fmt.Println(m.Name())
+		for _, spec := range registry.Methods() {
+			fmt.Printf("%-16s %s\n", spec.Name, spec.Desc)
 		}
-		fmt.Println("Constrained_SSD")
 		return
 	}
-	method, ok := roster[*methodName]
-	if !ok {
-		fail(fmt.Errorf("unknown method %q", *methodName))
-	}
-	if *adaptive {
-		bb, isBB := method.(*core.BBSched)
-		if !isBB {
-			fail(fmt.Errorf("-adaptive requires a BBSched method, got %s", method.Name()))
-		}
-		method = core.NewAdaptive(bb)
-	}
+
+	ga := moo.GAConfig{Generations: *gens, Population: *pop, MutationProb: 0.0005}
 
 	w, err := loadWorkload(*traceFile, *system, *jobs, *seed, *scale, *variant)
 	if err != nil {
@@ -77,16 +70,43 @@ func main() {
 	if *stageOut > 0 {
 		w = trace.WithStageOut(w, *stageOut)
 	}
+	// SSD-equipped workloads pair with the four-objective §5 method
+	// variants; plain workloads with the two-objective §4 ones.
+	ssd := len(w.System.Cluster.SSDClasses) > 0
+
 	plugin := core.PluginConfig{WindowSize: *window, StarvationBound: *starve}
 	if *dynWindow {
 		plugin.WindowPolicy = core.NewAdaptiveWindow()
 	}
-	cfg := sim.Config{
-		Workload:        w,
-		Method:          method,
-		Plugin:          plugin,
-		DisableBackfill: *noBackfill,
-		Seed:            *seed,
+	opts := []sim.Option{
+		sim.WithPlugin(plugin),
+		sim.WithBackfill(!*noBackfill),
+	}
+
+	if *sweep != "" {
+		// Per-run flags that cannot apply to a grid of parallel runs.
+		if *eventLog != "" {
+			fail(fmt.Errorf("-eventlog is incompatible with -sweep (one log per run; use the single-run mode)"))
+		}
+		if *adaptive {
+			fail(fmt.Errorf("-adaptive is incompatible with -sweep (the controller is stateful per run)"))
+		}
+		if err := runSweep(w, *sweep, *seedList, *seed, ga, ssd, *workers, opts); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	method, err := registry.New(*methodName, ga, ssd)
+	if err != nil {
+		fail(err)
+	}
+	if *adaptive {
+		bb, isBB := method.(*core.BBSched)
+		if !isBB {
+			fail(fmt.Errorf("-adaptive requires a BBSched method, got %s", method.Name()))
+		}
+		method = core.NewAdaptive(bb)
 	}
 	if *eventLog != "" {
 		f, err := os.Create(*eventLog)
@@ -94,13 +114,75 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
-		cfg.EventLog = f
+		opts = append(opts, sim.WithEventLog(f))
 	}
-	res, err := sim.Run(cfg)
+	opts = append(opts, sim.WithSeed(*seed))
+
+	s, err := sim.NewSimulator(w, method, opts...)
+	if err != nil {
+		fail(err)
+	}
+	res, err := s.Run(context.Background())
 	if err != nil {
 		fail(err)
 	}
 	printResult(res)
+}
+
+// runSweep runs method × seed combinations over one workload on the
+// deterministic parallel sweep driver and prints a comparison table.
+func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, ga moo.GAConfig, ssd bool, workers int, opts []sim.Option) error {
+	var methods []sched.Method
+	if methodCSV == "all" {
+		if ssd {
+			methods = registry.Section5(ga)
+		} else {
+			methods = registry.Section4(ga)
+		}
+	} else {
+		for _, n := range strings.Split(methodCSV, ",") {
+			if n = strings.TrimSpace(n); n == "" {
+				continue
+			}
+			m, err := registry.New(n, ga, ssd)
+			if err != nil {
+				return err
+			}
+			methods = append(methods, m)
+		}
+	}
+
+	seeds := []uint64{defaultSeed}
+	if seedCSV != "" {
+		seeds = seeds[:0]
+		for _, f := range strings.Split(seedCSV, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -seeds entry %q: %w", f, err)
+			}
+			seeds = append(seeds, v)
+		}
+	}
+
+	runs, err := sim.RunSweep(context.Background(), sim.Sweep{
+		Workloads: []trace.Workload{w},
+		Methods:   methods,
+		Seeds:     seeds,
+		Options:   opts,
+		Workers:   workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s (%d jobs)\n\n", w.Name, len(w.Jobs))
+	fmt.Printf("%-16s %-8s %10s %10s %12s %12s %10s\n",
+		"method", "seed", "node use", "bb use", "avg wait", "avg slowdown", "makespan")
+	for _, r := range runs {
+		fmt.Printf("%-16s %-8d %9.2f%% %9.2f%% %11.0fs %12.2f %9ds\n",
+			r.Method, r.Seed, r.Result.NodeUsage*100, r.Result.BBUsage*100,
+			r.Result.AvgWaitSec, r.Result.AvgSlowdown, r.Result.MakespanSec)
+	}
+	return nil
 }
 
 func loadWorkload(traceFile, system string, jobs int, seed uint64, scale int, variant string) (trace.Workload, error) {
@@ -120,7 +202,7 @@ func loadWorkload(traceFile, system string, jobs int, seed uint64, scale int, va
 	if err != nil {
 		return trace.Workload{}, err
 	}
-	if strings.ToUpper(variant)[0] == 'S' && variant >= "S5" {
+	if trace.IsSSDVariant(variant) {
 		sys = trace.WithSSD(sys)
 	}
 	return trace.Workload{Name: traceFile, System: sys, Jobs: js}, nil
@@ -143,24 +225,7 @@ func buildGenerated(system string, jobs int, seed uint64, scale int, variant str
 	}
 	base := trace.Generate(trace.GenConfig{System: sys, Jobs: jobs, Seed: seed})
 	base.Name = sys.Cluster.Name + "-Original"
-	floor5, floor20 := trace.BBFloors(base)
-	switch strings.ToUpper(variant) {
-	case "ORIGINAL", "":
-		return base, nil
-	case "S1":
-		return trace.ExpandBB(base, sys.Cluster.Name+"-S1", 0.50, floor5, seed+1), nil
-	case "S2":
-		return trace.ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2), nil
-	case "S3":
-		return trace.ExpandBB(base, sys.Cluster.Name+"-S3", 0.50, floor20, seed+3), nil
-	case "S4":
-		return trace.ExpandBB(base, sys.Cluster.Name+"-S4", 0.75, floor20, seed+4), nil
-	case "S5", "S6", "S7":
-		mix := map[string]trace.SSDMix{"S5": trace.S5, "S6": trace.S6, "S7": trace.S7}[strings.ToUpper(variant)]
-		s2 := trace.ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2)
-		return trace.AddSSD(s2, sys.Cluster.Name+"-"+strings.ToUpper(variant), mix, seed+5), nil
-	}
-	return trace.Workload{}, fmt.Errorf("unknown variant %q", variant)
+	return trace.ApplyVariant(base, variant, seed)
 }
 
 func printResult(r *sim.Result) {

@@ -31,6 +31,7 @@ func main() {
 		gens       = flag.Int("generations", 0, "GA generations (default 500)")
 		pop        = flag.Int("population", 0, "GA population (default 20)")
 		window     = flag.Int("window", 0, "scheduling window size (default 20)")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,9 @@ func main() {
 	}
 	if *window > 0 {
 		o.Window = *window
+	}
+	if *workers > 0 {
+		o.Parallelism = *workers
 	}
 
 	r := experiments.NewRunner(o)

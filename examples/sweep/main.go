@@ -1,0 +1,89 @@
+// Sweep: compare scheduling methods across solver seeds in one parallel,
+// deterministic pass.
+//
+// Builds the Theta-S2 burst-buffer expansion workload, instantiates three
+// methods from the shared registry, and drives the methods × seeds grid
+// through RunSweep on a worker pool — the same per-run Reports a serial
+// loop would produce, in the same order, in a fraction of the wall-clock
+// time. A per-run Observer counts scheduling passes live to show the
+// engine's callback surface.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"bbsched"
+)
+
+// passCounter tallies scheduling passes across all runs, live.
+type passCounter struct {
+	bbsched.NopObserver
+	passes atomic.Int64
+}
+
+func (c *passCounter) OnSchedule(bbsched.ScheduleInfo) { c.passes.Add(1) }
+
+func main() {
+	system := bbsched.ScaleSystem(bbsched.Theta(), 64)
+	base := bbsched.Generate(bbsched.GenConfig{System: system, Jobs: 150, Seed: 42})
+	base.Name = system.Cluster.Name + "-Original"
+	workload, err := bbsched.ApplyVariant(base, "S2", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A light solver configuration keeps the example fast; drop this for
+	// the paper's G=500, P=20 defaults.
+	ga := bbsched.GAConfig{Generations: 80, Population: 16, MutationProb: 0.005}
+	var methods []bbsched.Method
+	for _, name := range []string{"Baseline", "Bin_Packing", "BBSched"} {
+		m, err := bbsched.NewMethod(name, ga, bbsched.IsSSDVariant("S2"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		methods = append(methods, m)
+	}
+
+	counter := &passCounter{}
+	runs, err := bbsched.RunSweep(context.Background(), bbsched.Sweep{
+		Workloads: []bbsched.Workload{workload},
+		Methods:   methods,
+		Seeds:     []uint64{1, 2},
+		Options:   []bbsched.SimOption{bbsched.WithWindow(20, 50)},
+		PerRun: func(bbsched.Workload, bbsched.Method, uint64) []bbsched.SimOption {
+			return []bbsched.SimOption{bbsched.WithObserver(counter)}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s: %d jobs, %d runs, %d scheduling passes\n\n",
+		workload.Name, len(workload.Jobs), len(runs), counter.passes.Load())
+	fmt.Printf("%-12s %-5s %9s %9s %10s %9s\n", "method", "seed", "node use", "bb use", "avg wait", "slowdown")
+	for _, r := range runs {
+		fmt.Printf("%-12s %-5d %8.2f%% %8.2f%% %9.0fs %9.2f\n",
+			r.Method, r.Seed, r.Result.NodeUsage*100, r.Result.BBUsage*100,
+			r.Result.AvgWaitSec, r.Result.AvgSlowdown)
+	}
+
+	// The grid is deterministic: averaging seeds per method is stable
+	// output, not luck.
+	fmt.Println()
+	for _, m := range methods {
+		var wait float64
+		n := 0
+		for _, r := range runs {
+			if r.Method == m.Name() {
+				wait += r.Result.AvgWaitSec
+				n++
+			}
+		}
+		fmt.Printf("%-12s mean wait over %d seeds: %.0fs\n", m.Name(), n, wait/float64(n))
+	}
+}

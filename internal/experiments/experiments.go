@@ -10,14 +10,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
 
 	"bbsched/internal/core"
 	"bbsched/internal/metrics"
 	"bbsched/internal/moo"
+	"bbsched/internal/registry"
 	"bbsched/internal/sched"
 	"bbsched/internal/sim"
 	"bbsched/internal/trace"
@@ -92,42 +93,19 @@ func buckets(sys trace.SystemModel) metrics.Buckets {
 	}
 }
 
-// Methods returns the eight §4.3 comparison methods in the paper's order.
-func Methods(ga moo.GAConfig) []sched.Method {
-	return []sched.Method{
-		sched.Baseline{},
-		sched.NewWeighted("Weighted", 0.5, 0.5, ga),
-		sched.NewWeighted("Weighted_CPU", 0.8, 0.2, ga),
-		sched.NewWeighted("Weighted_BB", 0.2, 0.8, ga),
-		&sched.Constrained{MethodName: "Constrained_CPU", Target: sched.NodeUtil, GA: ga},
-		&sched.Constrained{MethodName: "Constrained_BB", Target: sched.BBUtil, GA: ga},
-		sched.BinPacking{},
-		bbsched2(ga),
-	}
-}
+// Methods returns the eight §4.3 comparison methods in the paper's order,
+// instantiated from the shared method registry (internal/registry) so the
+// experiment roster and the CLI roster can never drift apart.
+func Methods(ga moo.GAConfig) []sched.Method { return registry.Section4(ga) }
 
-// SSDMethods returns the seven §5 case-study methods.
-func SSDMethods(ga moo.GAConfig) []sched.Method {
-	equal := []float64{0.25, 0.25, 0.25, 0.25}
-	return []sched.Method{
-		sched.Baseline{},
-		&sched.Weighted{MethodName: "Weighted", Objectives: sched.FourObjectives(), Weights: equal, GA: ga},
-		&sched.Constrained{MethodName: "Constrained_CPU", Target: sched.NodeUtil, GA: ga},
-		&sched.Constrained{MethodName: "Constrained_BB", Target: sched.BBUtil, GA: ga},
-		&sched.Constrained{MethodName: "Constrained_SSD", Target: sched.SSDUtil, GA: ga},
-		sched.BinPacking{},
-		bbsched4(ga),
-	}
-}
+// SSDMethods returns the seven §5 case-study methods, instantiated from
+// the shared method registry.
+func SSDMethods(ga moo.GAConfig) []sched.Method { return registry.Section5(ga) }
 
+// bbsched2 builds the concrete two-objective BBSched instance the solver
+// and ablation studies mutate (trade-off factor, GA parameters).
 func bbsched2(ga moo.GAConfig) *core.BBSched {
 	b := core.New()
-	b.GA = ga
-	return b
-}
-
-func bbsched4(ga moo.GAConfig) *core.BBSched {
-	b := core.NewFourObjective()
 	b.GA = ga
 	return b
 }
@@ -149,59 +127,35 @@ func (m *Matrix) Get(workload, method string) *sim.Result {
 	return nil
 }
 
-// runMatrix simulates every workload under every method, in parallel.
+// runMatrix simulates every workload under every method on the sim
+// package's deterministic parallel sweep driver. Method instances are
+// shared across workloads — every shipped method is concurrency-safe and
+// reuses its pooled solver evaluators across runs.
 func runMatrix(o Options, workloads []trace.Workload, methods func() []sched.Method) (*Matrix, error) {
-	m := &Matrix{Results: make(map[string]map[string]*sim.Result)}
-	type task struct {
-		w      trace.Workload
-		method sched.Method
+	ms := methods()
+	runs, err := sim.RunSweep(context.Background(), sim.Sweep{
+		Workloads: workloads,
+		Methods:   ms,
+		Seeds:     []uint64{o.Seed},
+		Workers:   o.parallelism(),
+		Options:   []sim.Option{sim.WithPlugin(o.plugin())},
+		PerRun: func(w trace.Workload, _ sched.Method, _ uint64) []sim.Option {
+			return []sim.Option{sim.WithBuckets(buckets(w.System))}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	var tasks []task
+	m := &Matrix{Results: make(map[string]map[string]*sim.Result)}
 	for _, w := range workloads {
 		m.Workloads = append(m.Workloads, w.Name)
 		m.Results[w.Name] = make(map[string]*sim.Result)
-		// Fresh method instances per workload keep runs independent.
-		for _, method := range methods() {
-			tasks = append(tasks, task{w: w, method: method})
-		}
 	}
-	for _, method := range methods() {
+	for _, method := range ms {
 		m.MethodNames = append(m.MethodNames, method.Name())
 	}
-
-	var (
-		mu    sync.Mutex
-		wg    sync.WaitGroup
-		first error
-		sem   = make(chan struct{}, o.parallelism())
-	)
-	for _, tk := range tasks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(tk task) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := sim.Run(sim.Config{
-				Workload: tk.w,
-				Method:   tk.method,
-				Plugin:   o.plugin(),
-				Seed:     o.Seed,
-				Buckets:  buckets(tk.w.System),
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if first == nil {
-					first = fmt.Errorf("experiments: %s/%s: %w", tk.w.Name, tk.method.Name(), err)
-				}
-				return
-			}
-			m.Results[tk.w.Name][tk.method.Name()] = res
-		}(tk)
-	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
+	for _, r := range runs {
+		m.Results[r.Workload][r.Method] = r.Result
 	}
 	return m, nil
 }

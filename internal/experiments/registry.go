@@ -21,18 +21,18 @@ func NewRunner(o Options) *Runner { return &Runner{opts: o} }
 
 // IDs returns the available experiment IDs in presentation order.
 func IDs() []string {
-	ids := make([]string, 0, len(registry))
-	for id := range registry {
+	ids := make([]string, 0, len(artifacts))
+	for id := range artifacts {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return registryOrder[ids[a]] < registryOrder[ids[b]] })
+	sort.Slice(ids, func(a, b int) bool { return artifactOrder[ids[a]] < artifactOrder[ids[b]] })
 	return ids
 }
 
 // Describe returns a one-line description for an experiment ID.
-func Describe(id string) string { return registry[id].desc }
+func Describe(id string) string { return artifacts[id].desc }
 
-var registry = map[string]struct {
+var artifacts = map[string]struct {
 	desc string
 	run  func(r *Runner) (string, error)
 }{
@@ -59,8 +59,8 @@ var registry = map[string]struct {
 	}},
 }
 
-// registryOrder fixes presentation order for IDs().
-var registryOrder = map[string]int{
+// artifactOrder fixes presentation order for IDs().
+var artifactOrder = map[string]int{
 	"table1": 0, "fig2": 1, "fig4": 2, "fig5": 3, "fig6": 4, "fig7": 5,
 	"fig8": 6, "fig9": 7, "fig12": 8, "fig13": 9, "table3": 10, "fig14": 11,
 	"overhead": 12, "replicate": 13, "ablations": 14,
@@ -68,7 +68,7 @@ var registryOrder = map[string]int{
 
 // Run executes one experiment by ID.
 func (r *Runner) Run(id string) (string, error) {
-	e, ok := registry[id]
+	e, ok := artifacts[id]
 	if !ok {
 		return "", fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -1,0 +1,234 @@
+// Package registry is the single roster of scheduling methods: every
+// shipped §4.3 / §5 method registers here once, and every consumer — the
+// bbsim CLI's -method/-methods flags, the experiments matrices, sweep
+// drivers — lists or instantiates methods from the same table, so the
+// rosters can never drift apart. RegisterMethod lets downstream code add
+// its own methods to the same namespace.
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"bbsched/internal/core"
+	"bbsched/internal/moo"
+	"bbsched/internal/sched"
+)
+
+// Builder constructs a fresh method instance sharing the given solver
+// configuration (§4.3 uses one solver configuration for every method).
+type Builder func(ga moo.GAConfig) sched.Method
+
+// MethodSpec describes one registered scheduling method. A method may
+// have distinct builds for the two-objective §4 evaluation and the
+// four-objective §5 SSD case study (e.g. Weighted and BBSched do); a spec
+// with only one builder belongs to only that roster but can always be
+// instantiated by name.
+type MethodSpec struct {
+	// Name is the method's unique §4.3 presentation name (what
+	// sched.Method.Name returns).
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// New builds the §4 (node + burst buffer) variant; nil when the
+	// method is §5-only.
+	New Builder
+	// NewSSD builds the §5 four-objective variant; nil when the method
+	// has no SSD-specific build (New is used in both rosters).
+	NewSSD Builder
+	// Section4 and Section5 flag membership in the §4.3 and §5 rosters
+	// returned by the Section4/Section5 builders. Custom methods
+	// registered by downstream code may leave both false: they are
+	// instantiable by name without joining the paper rosters.
+	Section4, Section5 bool
+}
+
+// builder selects the build for a variant: the four-objective one when
+// asked for (or when it is the only one), the two-objective one
+// otherwise.
+func (s MethodSpec) builder(ssd bool) Builder {
+	b := s.New
+	if (ssd || b == nil) && s.NewSSD != nil {
+		b = s.NewSSD
+	}
+	return b
+}
+
+var (
+	mu     sync.RWMutex
+	order  []string
+	byName = make(map[string]MethodSpec)
+)
+
+// Register adds a method to the registry. The name must be unique and at
+// least one builder must be present.
+func Register(spec MethodSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("registry: method with empty name")
+	}
+	if spec.New == nil && spec.NewSSD == nil {
+		return fmt.Errorf("registry: method %q has no builder", spec.Name)
+	}
+	if spec.Section4 && spec.New == nil {
+		return fmt.Errorf("registry: method %q is in the §4 roster without a two-objective builder", spec.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := byName[spec.Name]; dup {
+		return fmt.Errorf("registry: method %q already registered", spec.Name)
+	}
+	byName[spec.Name] = spec
+	order = append(order, spec.Name)
+	return nil
+}
+
+// MustRegister is Register but panics on error; for package init blocks.
+func MustRegister(spec MethodSpec) {
+	if err := Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Methods returns every registered method in registration order (built-in
+// methods in the paper's presentation order first).
+func Methods() []MethodSpec {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]MethodSpec, len(order))
+	for i, name := range order {
+		out[i] = byName[name]
+	}
+	return out
+}
+
+// Names returns the registered method names in registration order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]string(nil), order...)
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (MethodSpec, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	spec, ok := byName[name]
+	return spec, ok
+}
+
+// New instantiates the named method. ssd selects the four-objective §5
+// build when the method has one; either way a method with a single
+// builder is instantiated from it, so every registered name resolves.
+func New(name string, ga moo.GAConfig, ssd bool) (sched.Method, error) {
+	spec, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown method %q (have %v)", name, Names())
+	}
+	return spec.builder(ssd)(ga), nil
+}
+
+// Section4 builds the eight §4.3 comparison methods in the paper's order.
+func Section4(ga moo.GAConfig) []sched.Method {
+	return roster(ga, false)
+}
+
+// Section5 builds the seven §5 case-study methods in the paper's order.
+func Section5(ga moo.GAConfig) []sched.Method {
+	return roster(ga, true)
+}
+
+// roster instantiates the registered methods belonging to one evaluation
+// section, preferring the four-objective build for §5 when a method has
+// one.
+func roster(ga moo.GAConfig, ssd bool) []sched.Method {
+	var out []sched.Method
+	for _, spec := range Methods() {
+		if (ssd && !spec.Section5) || (!ssd && !spec.Section4) {
+			continue
+		}
+		out = append(out, spec.builder(ssd)(ga))
+	}
+	return out
+}
+
+func init() {
+	MustRegister(MethodSpec{
+		Name:     "Baseline",
+		Desc:     "Slurm-style naive: walk the queue in base order until a job does not fit",
+		New:      func(moo.GAConfig) sched.Method { return sched.Baseline{} },
+		Section4: true, Section5: true,
+	})
+	MustRegister(MethodSpec{
+		Name:     "Weighted",
+		Desc:     "maximize an equally weighted utilization sum (§4: node+BB 50/50; §5: four objectives 25/25/25/25)",
+		New:      func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted", 0.5, 0.5, ga) },
+		NewSSD:   weightedSSD,
+		Section4: true, Section5: true,
+	})
+	MustRegister(MethodSpec{
+		Name:     "Weighted_CPU",
+		Desc:     "weighted utilization sum favoring nodes (80/20)",
+		New:      func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted_CPU", 0.8, 0.2, ga) },
+		Section4: true,
+	})
+	MustRegister(MethodSpec{
+		Name:     "Weighted_BB",
+		Desc:     "weighted utilization sum favoring burst buffer (20/80)",
+		New:      func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted_BB", 0.2, 0.8, ga) },
+		Section4: true,
+	})
+	MustRegister(MethodSpec{
+		Name:     "Constrained_CPU",
+		Desc:     "maximize node utilization under the other resources' constraints",
+		New:      constrained("Constrained_CPU", sched.NodeUtil),
+		Section4: true, Section5: true,
+	})
+	MustRegister(MethodSpec{
+		Name:     "Constrained_BB",
+		Desc:     "maximize burst-buffer utilization under the other resources' constraints",
+		New:      constrained("Constrained_BB", sched.BBUtil),
+		Section4: true, Section5: true,
+	})
+	MustRegister(MethodSpec{
+		Name:     "Constrained_SSD",
+		Desc:     "maximize local-SSD utilization under the other resources' constraints (§5 only)",
+		NewSSD:   constrained("Constrained_SSD", sched.SSDUtil),
+		Section5: true,
+	})
+	MustRegister(MethodSpec{
+		Name:     "Bin_Packing",
+		Desc:     "Tetris-style alignment heuristic: repeatedly start the best-aligned fitting job",
+		New:      func(moo.GAConfig) sched.Method { return sched.BinPacking{} },
+		Section4: true, Section5: true,
+	})
+	MustRegister(MethodSpec{
+		Name: "BBSched",
+		Desc: "the paper's method: MOO solve + §3.2.4 decision rule (§5: four objectives, 4x trade-off)",
+		New: func(ga moo.GAConfig) sched.Method {
+			b := core.New()
+			b.GA = ga
+			return b
+		},
+		NewSSD: func(ga moo.GAConfig) sched.Method {
+			b := core.NewFourObjective()
+			b.GA = ga
+			return b
+		},
+		Section4: true, Section5: true,
+	})
+}
+
+func weightedSSD(ga moo.GAConfig) sched.Method {
+	return &sched.Weighted{
+		MethodName: "Weighted",
+		Objectives: sched.FourObjectives(),
+		Weights:    []float64{0.25, 0.25, 0.25, 0.25},
+		GA:         ga,
+	}
+}
+
+func constrained(name string, target sched.Objective) Builder {
+	return func(ga moo.GAConfig) sched.Method {
+		return &sched.Constrained{MethodName: name, Target: target, GA: ga}
+	}
+}

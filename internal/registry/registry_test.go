@@ -1,0 +1,151 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+
+	"bbsched/internal/core"
+	"bbsched/internal/moo"
+	"bbsched/internal/sched"
+)
+
+func ga() moo.GAConfig { return moo.DefaultGAConfig() }
+
+func names(ms []sched.Method) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// TestBuiltinRoster pins the registered names to the paper's presentation
+// order — the single source the CLI's -methods listing and the
+// experiments rosters both draw from.
+func TestBuiltinRoster(t *testing.T) {
+	want := []string{
+		"Baseline", "Weighted", "Weighted_CPU", "Weighted_BB",
+		"Constrained_CPU", "Constrained_BB", "Constrained_SSD",
+		"Bin_Packing", "BBSched",
+	}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("registry has %d methods, want at least %d", len(got), len(want))
+	}
+	if !reflect.DeepEqual(got[:len(want)], want) {
+		t.Fatalf("builtin names = %v, want %v", got[:len(want)], want)
+	}
+}
+
+func TestSection4Roster(t *testing.T) {
+	want := []string{
+		"Baseline", "Weighted", "Weighted_CPU", "Weighted_BB",
+		"Constrained_CPU", "Constrained_BB", "Bin_Packing", "BBSched",
+	}
+	if got := names(Section4(ga())); !reflect.DeepEqual(got, want) {
+		t.Fatalf("§4 roster = %v, want %v", got, want)
+	}
+}
+
+func TestSection5Roster(t *testing.T) {
+	want := []string{
+		"Baseline", "Weighted", "Constrained_CPU", "Constrained_BB",
+		"Constrained_SSD", "Bin_Packing", "BBSched",
+	}
+	if got := names(Section5(ga())); !reflect.DeepEqual(got, want) {
+		t.Fatalf("§5 roster = %v, want %v", got, want)
+	}
+}
+
+// TestSpecNamesMatchInstances: every builder constructs a method whose
+// Name() equals its registered name, in both variants.
+func TestSpecNamesMatchInstances(t *testing.T) {
+	for _, spec := range Methods() {
+		if spec.New != nil {
+			if got := spec.New(ga()).Name(); got != spec.Name {
+				t.Errorf("spec %q New() builds %q", spec.Name, got)
+			}
+		}
+		if spec.NewSSD != nil {
+			if got := spec.NewSSD(ga()).Name(); got != spec.Name {
+				t.Errorf("spec %q NewSSD() builds %q", spec.Name, got)
+			}
+		}
+	}
+}
+
+// TestNewVariantSelection: the ssd flag picks the four-objective build
+// where one exists, and single-builder methods resolve either way.
+func TestNewVariantSelection(t *testing.T) {
+	cfg := ga()
+	two, err := New("BBSched", cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := New("BBSched", cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(two.(*core.BBSched).Objectives); n != 2 {
+		t.Fatalf("§4 BBSched has %d objectives", n)
+	}
+	if n := len(four.(*core.BBSched).Objectives); n != 4 {
+		t.Fatalf("§5 BBSched has %d objectives", n)
+	}
+	// §5-only method resolves even without the ssd flag.
+	if _, err := New("Constrained_SSD", cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("NoSuchMethod", cfg, false); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(MethodSpec{Name: "", New: func(moo.GAConfig) sched.Method { return sched.Baseline{} }}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register(MethodSpec{Name: "NoBuilder"}); err == nil {
+		t.Fatal("spec without builder accepted")
+	}
+	if err := Register(MethodSpec{Name: "BBSched", New: func(moo.GAConfig) sched.Method { return sched.Baseline{} }}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := Register(MethodSpec{
+		Name:     "SSDOnlyIn4",
+		NewSSD:   constrained("SSDOnlyIn4", sched.SSDUtil),
+		Section4: true,
+	}); err == nil {
+		t.Fatal("§4 membership without a §4 builder accepted")
+	}
+}
+
+// TestRegisterCustomMethod: downstream registration lands in listings and
+// resolves by name without joining the paper rosters.
+func TestRegisterCustomMethod(t *testing.T) {
+	spec := MethodSpec{
+		Name: "Custom_Test_Method",
+		Desc: "test-only",
+		New: func(ga moo.GAConfig) sched.Method {
+			return sched.NewWeighted("Custom_Test_Method", 0.7, 0.3, ga)
+		},
+	}
+	if err := Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Lookup("Custom_Test_Method"); !ok {
+		t.Fatal("custom method not listed")
+	}
+	m, err := New("Custom_Test_Method", ga(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "Custom_Test_Method" {
+		t.Fatalf("built %q", m.Name())
+	}
+	for _, m := range append(Section4(ga()), Section5(ga())...) {
+		if m.Name() == "Custom_Test_Method" {
+			t.Fatal("custom method leaked into a paper roster")
+		}
+	}
+}

@@ -27,27 +27,54 @@ type EventRecord struct {
 	Queued int `json:"queued"`
 }
 
-// eventLogger serializes records to a writer; a nil logger drops them.
-type eventLogger struct {
+// Record converts an Observer event into its JSONL representation. kind is
+// the EventRecord.Event value ("submit", "start", "end", "bb_release").
+func (ev Event) Record(kind string) EventRecord {
+	return EventRecord{
+		T: ev.T, Event: kind, Job: ev.Job.ID,
+		Nodes: ev.Job.Demand.NodeCount(), BBGB: ev.Job.Demand.BB(),
+		UsedNodes: ev.UsedNodes, UsedBBGB: ev.UsedBBGB,
+		Queued: ev.Queued,
+	}
+}
+
+// jsonlObserver streams EventRecords to a writer, one JSON object per
+// line. It is the Observer behind WithEventLog and the legacy
+// Config.EventLog hook. The first encode error is latched and surfaced to
+// the Simulator via Err.
+type jsonlObserver struct {
+	NopObserver
 	enc *json.Encoder
+	err error
 }
 
-func newEventLogger(w io.Writer) *eventLogger {
-	if w == nil {
-		return nil
-	}
-	return &eventLogger{enc: json.NewEncoder(w)}
+func newJSONLObserver(w io.Writer) *jsonlObserver {
+	return &jsonlObserver{enc: json.NewEncoder(w)}
 }
 
-func (l *eventLogger) log(rec EventRecord) error {
-	if l == nil {
-		return nil
+func (l *jsonlObserver) record(kind string, ev Event) {
+	if l.err != nil {
+		return
 	}
-	if err := l.enc.Encode(rec); err != nil {
-		return fmt.Errorf("sim: event log: %w", err)
+	if err := l.enc.Encode(ev.Record(kind)); err != nil {
+		l.err = fmt.Errorf("sim: event log: %w", err)
 	}
-	return nil
 }
+
+// OnJobSubmit implements Observer.
+func (l *jsonlObserver) OnJobSubmit(ev Event) { l.record("submit", ev) }
+
+// OnJobStart implements Observer.
+func (l *jsonlObserver) OnJobStart(ev Event) { l.record("start", ev) }
+
+// OnJobEnd implements Observer.
+func (l *jsonlObserver) OnJobEnd(ev Event) { l.record("end", ev) }
+
+// OnBBRelease implements Observer.
+func (l *jsonlObserver) OnBBRelease(ev Event) { l.record("bb_release", ev) }
+
+// Err implements failingObserver.
+func (l *jsonlObserver) Err() error { return l.err }
 
 // ReadEventLog parses a JSONL event log back into records.
 func ReadEventLog(r io.Reader) ([]EventRecord, error) {

@@ -4,34 +4,49 @@
 // every arrival and completion, EASY backfilling mops up fragmentation,
 // and metrics are integrated over the measured interval with warm-up and
 // cool-down trimming.
+//
+// The package has three layers:
+//
+//   - Simulator, the stateful engine: NewSimulator(workload, method,
+//     opts...) with functional options, Step / RunUntil / Run(ctx) with
+//     context cancellation, Observer callbacks, and mid-run inspection.
+//   - RunSweep, a deterministic parallel driver over workloads × methods
+//     × seeds on a worker pool.
+//   - Run(Config), the legacy one-shot entry point, now a thin wrapper
+//     over Simulator.
 package sim
 
 import (
-	"container/heap"
-	"fmt"
+	"context"
 	"io"
 	"time"
 
-	"bbsched/internal/backfill"
 	"bbsched/internal/cluster"
 	"bbsched/internal/core"
 	"bbsched/internal/job"
 	"bbsched/internal/metrics"
-	"bbsched/internal/queue"
-	"bbsched/internal/rng"
 	"bbsched/internal/sched"
 	"bbsched/internal/trace"
 )
 
-// Config parameterizes one simulation run.
+// Config parameterizes one simulation run through the legacy Run entry
+// point.
+//
+// Zero-value quirk: Run cannot distinguish an unset field from one
+// explicitly set to zero, so zero WarmupFrac, CooldownFrac, and
+// SlowdownFloor are silently replaced with their defaults (0.1, 0.1, 60),
+// and a zero-valued Plugin takes the paper defaults. To request an exact
+// zero, either pass a negative value (documented per field below) or use
+// NewSimulator, whose options honor explicit zeros.
 type Config struct {
 	// Workload is the trace to replay (cloned internally; the input is
 	// never mutated).
 	Workload trace.Workload
 	// Method is the window job-selection method under test.
 	Method sched.Method
-	// Plugin is the window configuration (§3.1). Zero value takes the
-	// paper defaults (w=20, starvation bound 50).
+	// Plugin is the window configuration (§3.1). The zero value (no
+	// window size and no window policy) takes the paper defaults (w=20,
+	// starvation bound 50).
 	Plugin core.PluginConfig
 	// DisableBackfill turns EASY backfilling off (ablation; §4.3 runs all
 	// methods with backfilling on).
@@ -41,32 +56,60 @@ type Config struct {
 	// WarmupFrac and CooldownFrac trim the measured interval: jobs
 	// submitted in the first WarmupFrac or last CooldownFrac of the
 	// submission horizon are excluded from per-job metrics, mirroring the
-	// paper's half-month warm-up/cool-down. Defaults 0.1 each.
+	// paper's half-month warm-up/cool-down. Zero means the default (0.1
+	// each); a negative value means exactly zero (measure everything).
 	WarmupFrac, CooldownFrac float64
-	// SlowdownFloor bounds the slowdown denominator in seconds
-	// (default 60).
+	// SlowdownFloor bounds the slowdown denominator in seconds. Zero
+	// means the default (60); a negative value means exactly zero.
 	SlowdownFloor int64
 	// Buckets configures breakdown boundaries (zero = defaults).
 	Buckets metrics.Buckets
 	// EventLog, when non-nil, receives a JSONL record per job state
-	// change (see EventRecord).
+	// change (see EventRecord). New code should prefer WithEventLog or a
+	// custom Observer on NewSimulator.
 	EventLog io.Writer
 }
 
+// withDefaults resolves the zero-value quirk documented on Config.
 func (c Config) withDefaults() Config {
-	if c.Plugin.WindowSize == 0 {
+	if c.Plugin.WindowSize == 0 && c.Plugin.WindowPolicy == nil {
 		c.Plugin = core.DefaultPluginConfig()
 	}
-	if c.WarmupFrac == 0 {
+	switch {
+	case c.WarmupFrac == 0:
 		c.WarmupFrac = 0.1
+	case c.WarmupFrac < 0:
+		c.WarmupFrac = 0
 	}
-	if c.CooldownFrac == 0 {
+	switch {
+	case c.CooldownFrac == 0:
 		c.CooldownFrac = 0.1
+	case c.CooldownFrac < 0:
+		c.CooldownFrac = 0
 	}
-	if c.SlowdownFloor == 0 {
+	switch {
+	case c.SlowdownFloor == 0:
 		c.SlowdownFloor = 60
+	case c.SlowdownFloor < 0:
+		c.SlowdownFloor = 0
 	}
 	return c
+}
+
+// options converts a resolved Config into Simulator options.
+func (c Config) options() []Option {
+	opts := []Option{
+		WithPlugin(c.Plugin),
+		WithBackfill(!c.DisableBackfill),
+		WithSeed(c.Seed),
+		WithMeasurement(c.WarmupFrac, c.CooldownFrac),
+		WithSlowdownFloor(c.SlowdownFloor),
+		WithBuckets(c.Buckets),
+	}
+	if c.EventLog != nil {
+		opts = append(opts, WithEventLog(c.EventLog))
+	}
+	return opts
 }
 
 // Result is a finished run's output.
@@ -138,341 +181,14 @@ type runningJob struct {
 // so it can never collide.
 const persistentReservationID = -1
 
-// Run simulates the workload under the method and returns the metrics.
+// Run simulates the workload under the method and returns the metrics. It
+// is the legacy one-shot entry point, a thin compatibility wrapper over
+// NewSimulator + Simulator.Run (see Config for its zero-value quirk).
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	w := cfg.Workload.Clone()
-	if err := w.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	cl, err := cluster.New(w.System.Cluster)
+	s, err := NewSimulator(cfg.Workload, cfg.Method, cfg.options()...)
 	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	pol, err := queue.ByName(string(w.System.Policy))
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	plugin, err := core.NewPlugin(cfg.Plugin, cfg.Method)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-
-	horizon := int64(0)
-	for _, j := range w.Jobs {
-		if j.SubmitTime > horizon {
-			horizon = j.SubmitTime
-		}
-	}
-	s := &state{
-		cfg:       cfg,
-		cl:        cl,
-		q:         queue.New(pol),
-		plugin:    plugin,
-		totals:    sched.TotalsOf(w.System.Cluster),
-		rand:      rng.New(cfg.Seed).Split("sim:" + w.Name + ":" + cfg.Method.Name()),
-		elog:      newEventLogger(cfg.EventLog),
-		running:   make(map[int]*runningJob),
-		done:      make(map[int]bool),
-		warmEnd:   int64(float64(horizon) * cfg.WarmupFrac),
-		coolStart: horizon - int64(float64(horizon)*cfg.CooldownFrac),
-	}
-	if s.coolStart > s.warmEnd {
-		s.collector.SetWindow(s.warmEnd, s.coolStart)
-	}
-	// Persistent burst-buffer reservations (§4.1) are taken before any job
-	// arrives and never released; they shrink the schedulable pool and
-	// count as used burst buffer for the whole run.
-	if p := w.System.PersistentBBGB; p > 0 {
-		if err := cl.ReserveBB(persistentReservationID, p); err != nil {
-			return nil, fmt.Errorf("sim: persistent reservation: %w", err)
-		}
-		s.usage.BBGB += p
-	}
-	heap.Init(&s.events)
-	for _, j := range w.Jobs {
-		heap.Push(&s.events, event{t: j.SubmitTime, kind: evArrive, j: j})
-	}
-
-	if err := s.loop(); err != nil {
 		return nil, err
 	}
-	return s.report(&w)
-}
-
-type state struct {
-	cfg    Config
-	cl     *cluster.Cluster
-	q      *queue.Queue
-	plugin *core.Plugin
-	totals sched.Totals
-	rand   *rng.Stream
-
-	events   eventHeap
-	now      int64
-	running  map[int]*runningJob
-	done     map[int]bool
-	finished []*job.Job
-
-	warmEnd, coolStart int64
-
-	elog *eventLogger
-
-	collector   metrics.Collector
-	invocations int
-	decideTotal time.Duration
-	decideMax   time.Duration
-
-	// live usage counters, kept incrementally
-	usage metrics.Usage
-}
-
-func (s *state) loop() error {
-	s.collector.Observe(0, metrics.Usage{})
-	for s.events.Len() > 0 {
-		t := s.events[0].t
-		s.now = t
-		// Drain every event at this instant before scheduling once.
-		for s.events.Len() > 0 && s.events[0].t == t {
-			ev := heap.Pop(&s.events).(event)
-			switch ev.kind {
-			case evArrive:
-				if err := s.q.Add(ev.j); err != nil {
-					return fmt.Errorf("sim: %w", err)
-				}
-				if err := s.logEvent("submit", ev.j); err != nil {
-					return err
-				}
-			case evEnd:
-				if err := s.finish(ev.j); err != nil {
-					return err
-				}
-			case evBBRelease:
-				if err := s.releaseBB(ev.j); err != nil {
-					return err
-				}
-			}
-		}
-		if err := s.schedule(); err != nil {
-			return err
-		}
-	}
-	// Close the usage integral at the last event time.
-	s.collector.Observe(s.now, s.usage)
-	return nil
-}
-
-// finish completes a running job: its nodes release now; its burst buffer
-// releases now too unless a stage-out phase holds it longer.
-func (s *state) finish(j *job.Job) error {
-	r, ok := s.running[j.ID]
-	if !ok {
-		return fmt.Errorf("sim: job %d finished but not running", j.ID)
-	}
-	if err := j.Transition(job.Finished); err != nil {
-		return fmt.Errorf("sim: %w", err)
-	}
-	j.EndTime = s.now
-	s.done[j.ID] = true
-	s.finished = append(s.finished, j)
-
-	if j.StageOutSec > 0 && j.Demand.BB() > 0 {
-		if err := s.cl.ReleaseNodes(j.ID); err != nil {
-			return fmt.Errorf("sim: %w", err)
-		}
-		r.staging = true
-		r.bbRelease = s.now + j.StageOutSec
-		heap.Push(&s.events, event{t: r.bbRelease, kind: evBBRelease, j: j})
-		s.observeNodeRelease(r)
-		return s.logEvent("end", j)
-	}
-	delete(s.running, j.ID)
-	if err := s.cl.Release(j.ID); err != nil {
-		return fmt.Errorf("sim: %w", err)
-	}
-	s.observeNodeRelease(r)
-	s.observeBBRelease(r)
-	return s.logEvent("end", j)
-}
-
-// logEvent appends one record to the event log (no-op when disabled).
-func (s *state) logEvent(kind string, j *job.Job) error {
-	return s.elog.log(EventRecord{
-		T: s.now, Event: kind, Job: j.ID,
-		Nodes: j.Demand.NodeCount(), BBGB: j.Demand.BB(),
-		UsedNodes: s.cl.UsedNodes(), UsedBBGB: s.cl.UsedBB(),
-		Queued: s.q.Len(),
-	})
-}
-
-// releaseBB ends a job's stage-out phase.
-func (s *state) releaseBB(j *job.Job) error {
-	r, ok := s.running[j.ID]
-	if !ok || !r.staging {
-		return fmt.Errorf("sim: job %d has no staging burst buffer", j.ID)
-	}
-	delete(s.running, j.ID)
-	if err := s.cl.Release(j.ID); err != nil {
-		return fmt.Errorf("sim: %w", err)
-	}
-	s.observeBBRelease(r)
-	return s.logEvent("bb_release", j)
-}
-
-func (s *state) observeStart(r *runningJob) {
-	s.usage.Nodes += r.j.Demand.NodeCount()
-	s.usage.BBGB += r.j.Demand.BB()
-	s.usage.SSDRequestedGB += r.j.Demand.TotalSSD()
-	s.usage.SSDAssignedGB += r.j.Demand.TotalSSD() + r.alloc.WastedSSD
-	s.collector.Observe(s.now, s.usage)
-}
-
-func (s *state) observeNodeRelease(r *runningJob) {
-	s.usage.Nodes -= r.j.Demand.NodeCount()
-	s.usage.SSDRequestedGB -= r.j.Demand.TotalSSD()
-	s.usage.SSDAssignedGB -= r.j.Demand.TotalSSD() + r.alloc.WastedSSD
-	s.collector.Observe(s.now, s.usage)
-}
-
-func (s *state) observeBBRelease(r *runningJob) {
-	s.usage.BBGB -= r.j.Demand.BB()
-	s.collector.Observe(s.now, s.usage)
-}
-
-// schedule runs one window pass plus backfilling.
-func (s *state) schedule() error {
-	if s.q.Len() == 0 {
-		return nil
-	}
-	started := time.Now()
-	s.invocations++
-
-	inv := s.rand.SplitIndex(uint64(s.invocations))
-	depsDone := func(id int) bool { return s.done[id] }
-
-	// Window pass: only worth invoking when something could start.
-	if s.cl.FreeNodes() > 0 {
-		picked, err := s.plugin.Decide(core.DecideContext{
-			Now:      s.now,
-			Queue:    s.q,
-			Snap:     s.cl.Snapshot(),
-			Totals:   s.totals,
-			DepsDone: depsDone,
-			Rand:     inv,
-		})
-		if err != nil {
-			return fmt.Errorf("sim: %w", err)
-		}
-		for _, j := range picked {
-			if err := s.start(j); err != nil {
-				return err
-			}
-		}
-	}
-
-	// EASY backfilling over the remaining queue (§4.3: all methods use
-	// EASY backfilling to mitigate resource fragmentation).
-	if !s.cfg.DisableBackfill && s.q.Len() > 0 && s.cl.FreeNodes() > 0 {
-		waiting := s.depReady(s.q.Sorted(s.now))
-		runs := make([]backfill.Running, 0, len(s.running))
-		for _, r := range s.running {
-			switch {
-			case r.staging:
-				// Nodes already free; only the burst buffer is pending.
-				runs = append(runs, backfill.Running{ReleaseTime: r.bbRelease, BB: r.j.Demand.BB()})
-			case r.j.StageOutSec > 0 && r.j.Demand.BB() > 0:
-				runs = append(runs,
-					backfill.Running{ReleaseTime: r.release, NodesByClass: r.alloc.NodesByClass},
-					backfill.Running{ReleaseTime: r.release + r.j.StageOutSec, BB: r.j.Demand.BB()})
-			default:
-				runs = append(runs, backfill.Running{
-					ReleaseTime:  r.release,
-					NodesByClass: r.alloc.NodesByClass,
-					BB:           r.j.Demand.BB(),
-				})
-			}
-		}
-		for _, j := range backfill.Plan(s.cl.Snapshot(), runs, waiting, s.now) {
-			if err := s.start(j); err != nil {
-				return err
-			}
-		}
-	}
-
-	d := time.Since(started)
-	s.decideTotal += d
-	if d > s.decideMax {
-		s.decideMax = d
-	}
-	return nil
-}
-
-// depReady filters out jobs whose dependencies have not finished.
-func (s *state) depReady(jobs []*job.Job) []*job.Job {
-	out := jobs[:0:0]
-	for _, j := range jobs {
-		ok := true
-		for _, d := range j.Deps {
-			if !s.done[d] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, j)
-		}
-	}
-	return out
-}
-
-// start allocates and launches a job at the current time.
-func (s *state) start(j *job.Job) error {
-	alloc, err := s.cl.Allocate(j)
-	if err != nil {
-		return fmt.Errorf("sim: starting job %d: %w", j.ID, err)
-	}
-	if err := s.q.Remove(j.ID); err != nil {
-		return fmt.Errorf("sim: %w", err)
-	}
-	if err := j.Transition(job.Running); err != nil {
-		return fmt.Errorf("sim: %w", err)
-	}
-	j.StartTime = s.now
-	r := &runningJob{j: j, alloc: alloc, release: s.now + j.WalltimeEst}
-	s.running[j.ID] = r
-	heap.Push(&s.events, event{t: s.now + j.Runtime, kind: evEnd, j: j})
-	s.observeStart(r)
-	return s.logEvent("start", j)
-}
-
-// report trims warm-up/cool-down and computes the final metrics.
-func (s *state) report(w *trace.Workload) (*Result, error) {
-	if len(s.running) != 0 || s.q.Len() != 0 {
-		return nil, fmt.Errorf("sim: %d running, %d queued after drain", len(s.running), s.q.Len())
-	}
-	if err := s.cl.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	var measured []*job.Job
-	for _, j := range s.finished {
-		if j.SubmitTime >= s.warmEnd && j.SubmitTime <= s.coolStart {
-			measured = append(measured, j)
-		}
-	}
-	capTotals := metrics.Capacity{Nodes: s.totals.Nodes, BBGB: s.totals.BBGB, SSDGB: s.totals.SSDGB}
-	rep := metrics.Compute(&s.collector, capTotals, measured, s.cfg.SlowdownFloor, s.cfg.Buckets)
-	res := &Result{
-		Report:           rep,
-		Workload:         w.Name,
-		Method:           s.plugin.Method().Name(),
-		TotalJobs:        len(w.Jobs),
-		MeasuredJobs:     len(measured),
-		SchedInvocations: s.invocations,
-		MaxDecisionTime:  s.decideMax,
-		MakespanSec:      s.now,
-	}
-	if s.invocations > 0 {
-		res.AvgDecisionTime = s.decideTotal / time.Duration(s.invocations)
-	}
-	return res, nil
+	return s.Run(context.Background())
 }

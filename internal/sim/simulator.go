@@ -1,0 +1,622 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"bbsched/internal/backfill"
+	"bbsched/internal/cluster"
+	"bbsched/internal/core"
+	"bbsched/internal/job"
+	"bbsched/internal/metrics"
+	"bbsched/internal/queue"
+	"bbsched/internal/rng"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// options is the resolved configuration of a Simulator. Unlike the legacy
+// Config, every field holds exactly what the caller asked for: an option
+// explicitly set to zero stays zero, defaults apply only to options never
+// given.
+type options struct {
+	plugin        core.PluginConfig
+	backfill      bool
+	seed          uint64
+	warmupFrac    float64
+	cooldownFrac  float64
+	slowdownFloor int64
+	buckets       metrics.Buckets
+	observers     []Observer
+}
+
+func defaultOptions() options {
+	return options{
+		plugin:        core.DefaultPluginConfig(),
+		backfill:      true,
+		warmupFrac:    0.1,
+		cooldownFrac:  0.1,
+		slowdownFloor: 60,
+	}
+}
+
+func (o options) validate() error {
+	if o.warmupFrac < 0 || o.warmupFrac > 1 {
+		return fmt.Errorf("sim: warm-up fraction %v outside [0,1]", o.warmupFrac)
+	}
+	if o.cooldownFrac < 0 || o.cooldownFrac > 1 {
+		return fmt.Errorf("sim: cool-down fraction %v outside [0,1]", o.cooldownFrac)
+	}
+	if o.slowdownFloor < 0 {
+		return fmt.Errorf("sim: negative slowdown floor %d", o.slowdownFloor)
+	}
+	return nil
+}
+
+// Option configures a Simulator at construction. Options distinguish
+// "unset" from "explicitly zero": a default applies only when its option
+// is never passed.
+type Option func(*options)
+
+// WithPlugin sets the full §3.1 window configuration (size, starvation
+// bound, dynamic window policy). The configuration is used verbatim — a
+// zero StarvationBound disables forcing, and a WindowPolicy may be
+// combined with a zero WindowSize.
+func WithPlugin(cfg core.PluginConfig) Option {
+	return func(o *options) { o.plugin = cfg }
+}
+
+// WithWindow sets the static window size and starvation bound, the common
+// case of WithPlugin.
+func WithWindow(size, starvationBound int) Option {
+	return func(o *options) {
+		o.plugin = core.PluginConfig{WindowSize: size, StarvationBound: starvationBound}
+	}
+}
+
+// WithBackfill enables or disables EASY backfilling (§4.3 runs all methods
+// with backfilling on; disabling it is the ablation).
+func WithBackfill(enabled bool) Option {
+	return func(o *options) { o.backfill = enabled }
+}
+
+// WithSeed seeds the method's stochastic solver.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithMeasurement sets the warm-up and cool-down fractions trimming the
+// measured interval (paper: half a month each; default 0.1 each). Zero is
+// honored as zero: WithMeasurement(0, 0) measures every job.
+func WithMeasurement(warmupFrac, cooldownFrac float64) Option {
+	return func(o *options) {
+		o.warmupFrac, o.cooldownFrac = warmupFrac, cooldownFrac
+	}
+}
+
+// WithSlowdownFloor bounds the slowdown denominator in seconds (default
+// 60). Zero is honored as zero (unbounded denominator).
+func WithSlowdownFloor(seconds int64) Option {
+	return func(o *options) { o.slowdownFloor = seconds }
+}
+
+// WithBuckets configures the breakdown boundaries of Figs. 9–11.
+func WithBuckets(b metrics.Buckets) Option {
+	return func(o *options) { o.buckets = b }
+}
+
+// WithObserver registers an Observer; repeated use registers several,
+// notified in registration order.
+func WithObserver(obs Observer) Option {
+	return func(o *options) { o.observers = append(o.observers, obs) }
+}
+
+// WithEventLog streams a JSONL EventRecord per job state change to w, the
+// Observer equivalent of the legacy Config.EventLog hook. A write error
+// aborts the run.
+func WithEventLog(w io.Writer) Option {
+	return func(o *options) { o.observers = append(o.observers, newJSONLObserver(w)) }
+}
+
+// Simulator is a stateful, reusable trace-driven simulation engine: jobs
+// arrive per the trace, a window-based scheduling pass (core.Plugin
+// wrapping any §4.3 method) runs on every arrival and completion, EASY
+// backfilling mops up fragmentation, and metrics are integrated over the
+// measured interval.
+//
+// A Simulator advances either one event instant at a time (Step,
+// RunUntil) — inspecting queue depth, utilization, and the clock between
+// steps — or to completion (Run, with context cancellation). Observers
+// registered at construction receive every job state change and
+// scheduling pass. A Simulator simulates one workload once; build a new
+// one (or use RunSweep) for repeated runs.
+type Simulator struct {
+	opt      options
+	workload trace.Workload // private clone; jobs mutate as the run advances
+
+	cl     *cluster.Cluster
+	q      *queue.Queue
+	plugin *core.Plugin
+	totals sched.Totals
+	rand   *rng.Stream
+
+	events   eventHeap
+	now      int64
+	running  map[int]*runningJob
+	done     map[int]bool
+	finished []*job.Job
+
+	warmEnd, coolStart int64
+
+	observers []Observer
+	failing   []failingObserver
+
+	collector   metrics.Collector
+	invocations int
+	decideTotal time.Duration
+	decideMax   time.Duration
+
+	// live usage counters, kept incrementally
+	usage metrics.Usage
+
+	result *Result
+}
+
+// NewSimulator builds a Simulator over a private clone of the workload
+// (the input is never mutated) driving the given window job-selection
+// method. Defaults match the paper: w=20 window with starvation bound 50,
+// EASY backfilling on, 0.1 warm-up/cool-down trim, 60 s slowdown floor.
+func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simulator, error) {
+	opt := defaultOptions()
+	for _, apply := range opts {
+		apply(&opt)
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if method == nil {
+		return nil, fmt.Errorf("sim: nil method")
+	}
+
+	wc := w.Clone()
+	if err := wc.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cl, err := cluster.New(wc.System.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	pol, err := queue.ByName(string(wc.System.Policy))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	plugin, err := core.NewPlugin(opt.plugin, method)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	horizon := int64(0)
+	for _, j := range wc.Jobs {
+		if j.SubmitTime > horizon {
+			horizon = j.SubmitTime
+		}
+	}
+	s := &Simulator{
+		opt:       opt,
+		workload:  wc,
+		cl:        cl,
+		q:         queue.New(pol),
+		plugin:    plugin,
+		totals:    sched.TotalsOf(wc.System.Cluster),
+		rand:      rng.New(opt.seed).Split("sim:" + wc.Name + ":" + method.Name()),
+		observers: opt.observers,
+		running:   make(map[int]*runningJob),
+		done:      make(map[int]bool),
+		warmEnd:   int64(float64(horizon) * opt.warmupFrac),
+		coolStart: horizon - int64(float64(horizon)*opt.cooldownFrac),
+	}
+	for _, o := range s.observers {
+		if f, ok := o.(failingObserver); ok {
+			s.failing = append(s.failing, f)
+		}
+	}
+	if s.coolStart > s.warmEnd {
+		s.collector.SetWindow(s.warmEnd, s.coolStart)
+	}
+	// Persistent burst-buffer reservations (§4.1) are taken before any job
+	// arrives and never released; they shrink the schedulable pool and
+	// count as used burst buffer for the whole run.
+	if p := wc.System.PersistentBBGB; p > 0 {
+		if err := cl.ReserveBB(persistentReservationID, p); err != nil {
+			return nil, fmt.Errorf("sim: persistent reservation: %w", err)
+		}
+		s.usage.BBGB += p
+	}
+	heap.Init(&s.events)
+	for _, j := range wc.Jobs {
+		heap.Push(&s.events, event{t: j.SubmitTime, kind: evArrive, j: j})
+	}
+	s.collector.Observe(0, metrics.Usage{})
+	return s, nil
+}
+
+// Done reports whether the simulation has drained: no pending events
+// remain and Result is available.
+func (s *Simulator) Done() bool { return s.events.Len() == 0 }
+
+// Now returns the simulation clock in seconds (the time of the last
+// processed event instant).
+func (s *Simulator) Now() int64 { return s.now }
+
+// QueueDepth returns the number of jobs waiting in the queue.
+func (s *Simulator) QueueDepth() int { return s.q.Len() }
+
+// RunningJobs returns the number of jobs holding resources (including
+// jobs whose compute phase ended but whose burst buffer is still
+// draining).
+func (s *Simulator) RunningJobs() int { return len(s.running) }
+
+// Usage returns the instantaneous resource usage.
+func (s *Simulator) Usage() metrics.Usage { return s.usage }
+
+// Utilization returns the instantaneous node and burst-buffer usage as
+// machine fractions (0 when the machine has no such resource).
+func (s *Simulator) Utilization() (nodeFrac, bbFrac float64) {
+	if s.totals.Nodes > 0 {
+		nodeFrac = float64(s.usage.Nodes) / float64(s.totals.Nodes)
+	}
+	if s.totals.BBGB > 0 {
+		bbFrac = float64(s.usage.BBGB) / float64(s.totals.BBGB)
+	}
+	return nodeFrac, bbFrac
+}
+
+// Invocations returns the number of scheduling passes run so far.
+func (s *Simulator) Invocations() int { return s.invocations }
+
+// Method returns the window job-selection method under test.
+func (s *Simulator) Method() sched.Method { return s.plugin.Method() }
+
+// Step advances the simulation by one event instant: it drains every
+// event at the next pending timestamp (arrivals, completions, burst-buffer
+// releases) and then runs one scheduling pass. It returns false when the
+// simulation had already drained and no work remains.
+func (s *Simulator) Step() (bool, error) {
+	if s.events.Len() == 0 {
+		return false, nil
+	}
+	t := s.events[0].t
+	s.now = t
+	// Drain every event at this instant before scheduling once.
+	for s.events.Len() > 0 && s.events[0].t == t {
+		ev := heap.Pop(&s.events).(event)
+		switch ev.kind {
+		case evArrive:
+			if err := s.q.Add(ev.j); err != nil {
+				return false, fmt.Errorf("sim: %w", err)
+			}
+			if err := s.emitJob("submit", ev.j); err != nil {
+				return false, err
+			}
+		case evEnd:
+			if err := s.finish(ev.j); err != nil {
+				return false, err
+			}
+		case evBBRelease:
+			if err := s.releaseBB(ev.j); err != nil {
+				return false, err
+			}
+		}
+	}
+	if err := s.schedule(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RunUntil advances the simulation through every event instant at or
+// before time t (it never stops mid-instant, so the state afterwards is
+// always consistent). The clock does not advance past the last processed
+// instant; use Run to drain completely.
+func (s *Simulator) RunUntil(t int64) error {
+	for s.events.Len() > 0 && s.events[0].t <= t {
+		if _, err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run drains the simulation and returns the final Result. The context is
+// checked between event instants; cancellation aborts the run with the
+// context's error. Run may resume a partially Stepped simulation.
+func (s *Simulator) Run(ctx context.Context) (*Result, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		more, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	return s.Result()
+}
+
+// Result finalizes the run and returns its metrics. It errors until the
+// simulation has drained (Done); afterwards it returns the same Result on
+// every call.
+func (s *Simulator) Result() (*Result, error) {
+	if s.result != nil {
+		return s.result, nil
+	}
+	if !s.Done() {
+		return nil, fmt.Errorf("sim: simulation not drained (%d events pending)", s.events.Len())
+	}
+	if len(s.running) != 0 || s.q.Len() != 0 {
+		return nil, fmt.Errorf("sim: %d running, %d queued after drain", len(s.running), s.q.Len())
+	}
+	if err := s.cl.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	// Close the usage integral at the last event time.
+	s.collector.Observe(s.now, s.usage)
+	var measured []*job.Job
+	for _, j := range s.finished {
+		if j.SubmitTime >= s.warmEnd && j.SubmitTime <= s.coolStart {
+			measured = append(measured, j)
+		}
+	}
+	capTotals := metrics.Capacity{Nodes: s.totals.Nodes, BBGB: s.totals.BBGB, SSDGB: s.totals.SSDGB}
+	rep := metrics.Compute(&s.collector, capTotals, measured, s.opt.slowdownFloor, s.opt.buckets)
+	res := &Result{
+		Report:           rep,
+		Workload:         s.workload.Name,
+		Method:           s.plugin.Method().Name(),
+		TotalJobs:        len(s.workload.Jobs),
+		MeasuredJobs:     len(measured),
+		SchedInvocations: s.invocations,
+		MaxDecisionTime:  s.decideMax,
+		MakespanSec:      s.now,
+	}
+	if s.invocations > 0 {
+		res.AvgDecisionTime = s.decideTotal / time.Duration(s.invocations)
+	}
+	s.result = res
+	return res, nil
+}
+
+// emitJob notifies every observer of a job state change and surfaces the
+// first sink failure.
+func (s *Simulator) emitJob(kind string, j *job.Job) error {
+	if len(s.observers) == 0 {
+		return nil
+	}
+	ev := Event{
+		T: s.now, Job: j,
+		UsedNodes: s.cl.UsedNodes(), UsedBBGB: s.cl.UsedBB(),
+		Queued: s.q.Len(),
+	}
+	for _, o := range s.observers {
+		switch kind {
+		case "submit":
+			o.OnJobSubmit(ev)
+		case "start":
+			o.OnJobStart(ev)
+		case "end":
+			o.OnJobEnd(ev)
+		case "bb_release":
+			o.OnBBRelease(ev)
+		}
+	}
+	return s.observerErr()
+}
+
+func (s *Simulator) observerErr() error {
+	for _, f := range s.failing {
+		if err := f.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish completes a running job: its nodes release now; its burst buffer
+// releases now too unless a stage-out phase holds it longer.
+func (s *Simulator) finish(j *job.Job) error {
+	r, ok := s.running[j.ID]
+	if !ok {
+		return fmt.Errorf("sim: job %d finished but not running", j.ID)
+	}
+	if err := j.Transition(job.Finished); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	j.EndTime = s.now
+	s.done[j.ID] = true
+	s.finished = append(s.finished, j)
+
+	if j.StageOutSec > 0 && j.Demand.BB() > 0 {
+		if err := s.cl.ReleaseNodes(j.ID); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		r.staging = true
+		r.bbRelease = s.now + j.StageOutSec
+		heap.Push(&s.events, event{t: r.bbRelease, kind: evBBRelease, j: j})
+		s.observeNodeRelease(r)
+		return s.emitJob("end", j)
+	}
+	delete(s.running, j.ID)
+	if err := s.cl.Release(j.ID); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	s.observeNodeRelease(r)
+	s.observeBBRelease(r)
+	return s.emitJob("end", j)
+}
+
+// releaseBB ends a job's stage-out phase.
+func (s *Simulator) releaseBB(j *job.Job) error {
+	r, ok := s.running[j.ID]
+	if !ok || !r.staging {
+		return fmt.Errorf("sim: job %d has no staging burst buffer", j.ID)
+	}
+	delete(s.running, j.ID)
+	if err := s.cl.Release(j.ID); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	s.observeBBRelease(r)
+	return s.emitJob("bb_release", j)
+}
+
+func (s *Simulator) observeStart(r *runningJob) {
+	s.usage.Nodes += r.j.Demand.NodeCount()
+	s.usage.BBGB += r.j.Demand.BB()
+	s.usage.SSDRequestedGB += r.j.Demand.TotalSSD()
+	s.usage.SSDAssignedGB += r.j.Demand.TotalSSD() + r.alloc.WastedSSD
+	s.collector.Observe(s.now, s.usage)
+}
+
+func (s *Simulator) observeNodeRelease(r *runningJob) {
+	s.usage.Nodes -= r.j.Demand.NodeCount()
+	s.usage.SSDRequestedGB -= r.j.Demand.TotalSSD()
+	s.usage.SSDAssignedGB -= r.j.Demand.TotalSSD() + r.alloc.WastedSSD
+	s.collector.Observe(s.now, s.usage)
+}
+
+func (s *Simulator) observeBBRelease(r *runningJob) {
+	s.usage.BBGB -= r.j.Demand.BB()
+	s.collector.Observe(s.now, s.usage)
+}
+
+// schedule runs one window pass plus backfilling.
+func (s *Simulator) schedule() error {
+	if s.q.Len() == 0 {
+		return nil
+	}
+	started := time.Now()
+	s.invocations++
+	launched := 0
+
+	inv := s.rand.SplitIndex(uint64(s.invocations))
+	depsDone := func(id int) bool { return s.done[id] }
+
+	// Window pass: only worth invoking when something could start.
+	if s.cl.FreeNodes() > 0 {
+		picked, err := s.plugin.Decide(core.DecideContext{
+			Now:      s.now,
+			Queue:    s.q,
+			Snap:     s.cl.Snapshot(),
+			Totals:   s.totals,
+			DepsDone: depsDone,
+			Rand:     inv,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		for _, j := range picked {
+			if err := s.start(j); err != nil {
+				return err
+			}
+		}
+		launched += len(picked)
+	}
+
+	// EASY backfilling over the remaining queue (§4.3: all methods use
+	// EASY backfilling to mitigate resource fragmentation).
+	if s.opt.backfill && s.q.Len() > 0 && s.cl.FreeNodes() > 0 {
+		waiting := s.depReady(s.q.Sorted(s.now))
+		// Walk the running set in job-ID order: map iteration order would
+		// leak into backfill.Plan's tie-breaking among equal release times
+		// and make runs non-reproducible across processes.
+		ids := make([]int, 0, len(s.running))
+		for id := range s.running {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		runs := make([]backfill.Running, 0, len(s.running))
+		for _, id := range ids {
+			r := s.running[id]
+			switch {
+			case r.staging:
+				// Nodes already free; only the burst buffer is pending.
+				runs = append(runs, backfill.Running{ReleaseTime: r.bbRelease, BB: r.j.Demand.BB()})
+			case r.j.StageOutSec > 0 && r.j.Demand.BB() > 0:
+				runs = append(runs,
+					backfill.Running{ReleaseTime: r.release, NodesByClass: r.alloc.NodesByClass},
+					backfill.Running{ReleaseTime: r.release + r.j.StageOutSec, BB: r.j.Demand.BB()})
+			default:
+				runs = append(runs, backfill.Running{
+					ReleaseTime:  r.release,
+					NodesByClass: r.alloc.NodesByClass,
+					BB:           r.j.Demand.BB(),
+				})
+			}
+		}
+		filled := backfill.Plan(s.cl.Snapshot(), runs, waiting, s.now)
+		for _, j := range filled {
+			if err := s.start(j); err != nil {
+				return err
+			}
+		}
+		launched += len(filled)
+	}
+
+	d := time.Since(started)
+	s.decideTotal += d
+	if d > s.decideMax {
+		s.decideMax = d
+	}
+	for _, o := range s.observers {
+		o.OnSchedule(ScheduleInfo{
+			T: s.now, Invocation: s.invocations,
+			Started: launched, QueueDepth: s.q.Len(),
+			Duration: d,
+		})
+	}
+	return s.observerErr()
+}
+
+// depReady filters out jobs whose dependencies have not finished.
+func (s *Simulator) depReady(jobs []*job.Job) []*job.Job {
+	out := jobs[:0:0]
+	for _, j := range jobs {
+		ok := true
+		for _, d := range j.Deps {
+			if !s.done[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// start allocates and launches a job at the current time.
+func (s *Simulator) start(j *job.Job) error {
+	alloc, err := s.cl.Allocate(j)
+	if err != nil {
+		return fmt.Errorf("sim: starting job %d: %w", j.ID, err)
+	}
+	if err := s.q.Remove(j.ID); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := j.Transition(job.Running); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	j.StartTime = s.now
+	r := &runningJob{j: j, alloc: alloc, release: s.now + j.WalltimeEst}
+	s.running[j.ID] = r
+	heap.Push(&s.events, event{t: s.now + j.Runtime, kind: evEnd, j: j})
+	s.observeStart(r)
+	return s.emitJob("start", j)
+}

@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bbsched/internal/core"
+	"bbsched/internal/job"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// engineOpts mirrors runCfg for the options API.
+func engineOpts(extra ...Option) []Option {
+	return append([]Option{
+		WithWindow(5, 50),
+		WithSeed(1),
+		WithMeasurement(0, 0),
+	}, extra...)
+}
+
+// TestStepAndRunByteIdentical proves the determinism contract of the
+// engine: a Step()-driven simulation and a Run()-driven one produce
+// byte-identical event streams and identical Reports for the same seed.
+func TestStepAndRunByteIdentical(t *testing.T) {
+	sys := trace.Scale(trace.Cori(), 128)
+	w := trace.Generate(trace.GenConfig{System: sys, Jobs: 80, Seed: 5})
+
+	var runLog bytes.Buffer
+	ran, err := NewSimulator(w, fastBBSched(), engineOpts(WithEventLog(&runLog))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRes, err := ran.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stepLog bytes.Buffer
+	stepped, err := NewSimulator(w, fastBBSched(), engineOpts(WithEventLog(&stepLog))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		more, err := stepped.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		steps++
+	}
+	if steps == 0 {
+		t.Fatal("no steps taken")
+	}
+	stepRes, err := stepped.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(runLog.Bytes(), stepLog.Bytes()) {
+		t.Fatalf("event streams differ:\nrun:  %d bytes\nstep: %d bytes", runLog.Len(), stepLog.Len())
+	}
+	if !reflect.DeepEqual(runRes.Report, stepRes.Report) {
+		t.Fatalf("reports differ:\nrun:  %+v\nstep: %+v", runRes.Report, stepRes.Report)
+	}
+	if runRes.MakespanSec != stepRes.MakespanSec || runRes.SchedInvocations != stepRes.SchedInvocations {
+		t.Fatalf("run identity differs: makespan %d vs %d, invocations %d vs %d",
+			runRes.MakespanSec, stepRes.MakespanSec, runRes.SchedInvocations, stepRes.SchedInvocations)
+	}
+}
+
+// recordingObserver collects every callback for the round-trip test.
+type recordingObserver struct {
+	records   []EventRecord
+	schedules []ScheduleInfo
+}
+
+func (r *recordingObserver) OnJobSubmit(ev Event) { r.records = append(r.records, ev.Record("submit")) }
+func (r *recordingObserver) OnJobStart(ev Event)  { r.records = append(r.records, ev.Record("start")) }
+func (r *recordingObserver) OnJobEnd(ev Event)    { r.records = append(r.records, ev.Record("end")) }
+func (r *recordingObserver) OnBBRelease(ev Event) {
+	r.records = append(r.records, ev.Record("bb_release"))
+}
+func (r *recordingObserver) OnSchedule(s ScheduleInfo) { r.schedules = append(r.schedules, s) }
+
+// TestObserverEventLogRoundTrip proves the Observer callbacks carry the
+// same information as the JSONL hook: records rebuilt from an Observer
+// match ReadEventLog on the stream written concurrently by WithEventLog.
+func TestObserverEventLogRoundTrip(t *testing.T) {
+	a := job.MustNew(0, 0, 100, 100, job.NewDemand(4, 50, 0))
+	a.StageOutSec = 30
+	b := job.MustNew(1, 10, 20, 20, job.NewDemand(2, 0, 0))
+	w := mkWorkload(tinySystem(10, 100), a, b)
+
+	var buf bytes.Buffer
+	rec := &recordingObserver{}
+	s, err := NewSimulator(w, sched.Baseline{}, engineOpts(WithEventLog(&buf), WithObserver(rec))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := ReadEventLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) == 0 {
+		t.Fatal("empty event log")
+	}
+	if !reflect.DeepEqual(parsed, rec.records) {
+		t.Fatalf("observer records diverge from event log:\nlog:      %+v\nobserver: %+v", parsed, rec.records)
+	}
+	if len(rec.schedules) != res.SchedInvocations {
+		t.Fatalf("observed %d scheduling passes, result says %d", len(rec.schedules), res.SchedInvocations)
+	}
+	started := 0
+	for _, si := range rec.schedules {
+		started += si.Started
+	}
+	if started != res.TotalJobs {
+		t.Fatalf("schedule callbacks started %d jobs, want %d", started, res.TotalJobs)
+	}
+}
+
+// TestRunUntilMidRunInspection drives half the horizon, inspects live
+// state, then resumes to completion and checks the result matches an
+// uninterrupted run.
+func TestRunUntilMidRunInspection(t *testing.T) {
+	sys := trace.Scale(trace.Cori(), 128)
+	w := trace.Generate(trace.GenConfig{System: sys, Jobs: 60, Seed: 7})
+	full, err := Run(Config{
+		Workload: w, Method: fastBBSched(),
+		Plugin: core.PluginConfig{WindowSize: 5, StarvationBound: 50},
+		Seed:   1, WarmupFrac: -1, CooldownFrac: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSimulator(w, fastBBSched(), engineOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := full.MakespanSec / 2
+	if err := s.RunUntil(mid); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Fatal("simulation drained at half the makespan")
+	}
+	if s.Now() > mid {
+		t.Fatalf("clock %d advanced past RunUntil bound %d", s.Now(), mid)
+	}
+	if s.RunningJobs() == 0 && s.QueueDepth() == 0 {
+		t.Fatal("nothing running or queued mid-run")
+	}
+	if _, err := s.Result(); err == nil {
+		t.Fatal("Result succeeded before drain")
+	}
+	nodeFrac, _ := s.Utilization()
+	if s.RunningJobs() > 0 && nodeFrac <= 0 {
+		t.Fatalf("nodeFrac = %v with %d running jobs", nodeFrac, s.RunningJobs())
+	}
+	if got := s.Usage().Nodes; got < 0 {
+		t.Fatalf("negative node usage %d", got)
+	}
+	if s.Invocations() == 0 {
+		t.Fatal("no scheduling invocations mid-run")
+	}
+
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Report, full.Report) || res.MakespanSec != full.MakespanSec {
+		t.Fatalf("resumed run diverged from uninterrupted run:\nresumed: %+v\nfull:    %+v", res.Report, full.Report)
+	}
+	// Result is stable across calls.
+	again, err := s.Result()
+	if err != nil || again != res {
+		t.Fatalf("Result not cached: %v, %v", again, err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	sys := trace.Scale(trace.Cori(), 128)
+	w := trace.Generate(trace.GenConfig{System: sys, Jobs: 40, Seed: 3})
+	s, err := NewSimulator(w, sched.Baseline{}, engineOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+	// The engine survives cancellation: a fresh context drains it.
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJobs != 40 {
+		t.Fatalf("total jobs = %d", res.TotalJobs)
+	}
+}
+
+// TestExplicitZeroMeasurement proves the options API distinguishes unset
+// from zero: WithMeasurement(0, 0) measures every job, while the legacy
+// Config's zero values silently take the 0.1 defaults (and negative
+// values opt into exact zero).
+func TestExplicitZeroMeasurement(t *testing.T) {
+	var jobs []*job.Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, job.MustNew(i, int64(i*100), 10, 10, job.NewDemand(1, 0, 0)))
+	}
+	w := mkWorkload(tinySystem(10, 0), jobs...)
+
+	s, err := NewSimulator(w, sched.Baseline{}, WithWindow(5, 50), WithMeasurement(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredJobs != 10 {
+		t.Fatalf("explicit zero trim measured %d jobs, want all 10", res.MeasuredJobs)
+	}
+
+	// Legacy quirk: zero means default (0.1/0.1 trims the edges).
+	legacy, err := Run(Config{Workload: w, Method: sched.Baseline{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.MeasuredJobs >= 10 {
+		t.Fatalf("legacy zero values measured %d jobs, want trimmed (<10)", legacy.MeasuredJobs)
+	}
+
+	// Legacy escape hatch: negative means exact zero.
+	legacyZero, err := Run(Config{Workload: w, Method: sched.Baseline{}, WarmupFrac: -1, CooldownFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacyZero.MeasuredJobs != 10 {
+		t.Fatalf("negative fracs measured %d jobs, want all 10", legacyZero.MeasuredJobs)
+	}
+}
+
+// TestLegacyConfigWindowPolicyPreserved guards the withDefaults fix: a
+// Config whose Plugin sets only a WindowPolicy (zero WindowSize) must use
+// that policy rather than silently falling back to the static default.
+func TestLegacyConfigWindowPolicyPreserved(t *testing.T) {
+	pol := &countingWindowPolicy{}
+	var jobs []*job.Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, job.MustNew(i, int64(i), 20, 20, job.NewDemand(2, 0, 0)))
+	}
+	w := mkWorkload(tinySystem(4, 0), jobs...)
+	if _, err := Run(Config{Workload: w, Method: sched.Baseline{}, Plugin: core.PluginConfig{WindowPolicy: pol}}); err != nil {
+		t.Fatal(err)
+	}
+	if pol.calls == 0 {
+		t.Fatal("window policy was dropped by withDefaults")
+	}
+}
+
+type countingWindowPolicy struct{ calls int }
+
+func (p *countingWindowPolicy) Name() string { return "counting" }
+func (p *countingWindowPolicy) Size(queueLen int) int {
+	p.calls++
+	if queueLen < 1 {
+		return 1
+	}
+	return queueLen
+}
+
+// TestLegacyRunFixedSeedRegression pins the exact pre-refactor Results of
+// the legacy entry point: values captured from the seed implementation
+// (PR 1 tree) before Run became a wrapper over Simulator. Identical
+// floats prove the wrapper is bit-for-bit compatible.
+func TestLegacyRunFixedSeedRegression(t *testing.T) {
+	sys := trace.Scale(trace.Cori(), 128)
+	w := trace.Generate(trace.GenConfig{System: sys, Jobs: 100, Seed: 13})
+	want := []struct {
+		method                             sched.Method
+		nodeUsage, bbUsage, wait, slowdown string
+		makespan                           int64
+		measured, invocations              int
+	}{
+		{sched.Baseline{}, "0.74122931442080375", "1.2974288468528264e-05",
+			"1092.1948051948052", "1.7077347509666958", 45284, 77, 193},
+		{fastBBSched(), "0.82362411347517728", "2.5284849634159832e-06",
+			"936.80519480519479", "1.955131907796601", 39403, 77, 195},
+	}
+	for _, tc := range want {
+		res, err := Run(Config{
+			Workload: w,
+			Method:   tc.method,
+			Plugin:   core.PluginConfig{WindowSize: 5, StarvationBound: 50},
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.method.Name(), err)
+		}
+		got := []struct{ name, got, want string }{
+			{"NodeUsage", fmt.Sprintf("%.17g", res.NodeUsage), tc.nodeUsage},
+			{"BBUsage", fmt.Sprintf("%.17g", res.BBUsage), tc.bbUsage},
+			{"AvgWaitSec", fmt.Sprintf("%.17g", res.AvgWaitSec), tc.wait},
+			{"AvgSlowdown", fmt.Sprintf("%.17g", res.AvgSlowdown), tc.slowdown},
+		}
+		for _, g := range got {
+			if g.got != g.want {
+				t.Errorf("%s: %s = %s, want %s", tc.method.Name(), g.name, g.got, g.want)
+			}
+		}
+		if res.MakespanSec != tc.makespan || res.MeasuredJobs != tc.measured || res.SchedInvocations != tc.invocations {
+			t.Errorf("%s: makespan/measured/invocations = %d/%d/%d, want %d/%d/%d",
+				tc.method.Name(), res.MakespanSec, res.MeasuredJobs, res.SchedInvocations,
+				tc.makespan, tc.measured, tc.invocations)
+		}
+	}
+}
+
+// failWriter fails after n writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestEventLogWriteFailureAbortsRun(t *testing.T) {
+	sys := trace.Scale(trace.Cori(), 128)
+	w := trace.Generate(trace.GenConfig{System: sys, Jobs: 20, Seed: 11})
+	s, err := NewSimulator(w, sched.Baseline{}, engineOpts(WithEventLog(&failWriter{n: 3}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Fatal("failing event-log writer did not abort the run")
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	j := job.MustNew(0, 0, 100, 100, job.NewDemand(1, 0, 0))
+	w := mkWorkload(tinySystem(10, 0), j)
+	if _, err := NewSimulator(w, nil); err == nil {
+		t.Fatal("nil method accepted")
+	}
+	if _, err := NewSimulator(w, sched.Baseline{}, WithMeasurement(-0.1, 0)); err == nil {
+		t.Fatal("negative warm-up fraction accepted")
+	}
+	if _, err := NewSimulator(w, sched.Baseline{}, WithMeasurement(0, 1.5)); err == nil {
+		t.Fatal("cool-down fraction > 1 accepted")
+	}
+	if _, err := NewSimulator(w, sched.Baseline{}, WithSlowdownFloor(-1)); err == nil {
+		t.Fatal("negative slowdown floor accepted")
+	}
+	if _, err := NewSimulator(w, sched.Baseline{}, WithWindow(-3, 0)); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// Sweep describes a grid of simulation runs: every workload × method ×
+// seed combination, each an independent Simulator run sharing the same
+// base Options. The paper's evaluation (§4, §5) is exactly such a grid.
+type Sweep struct {
+	// Workloads are the traces to replay.
+	Workloads []trace.Workload
+	// Methods are the window job-selection methods under test. Instances
+	// are shared across runs — all shipped methods are safe for
+	// concurrent use and reuse their pooled solver evaluators across
+	// runs, but a custom stateful method (e.g. core.Adaptive) must not be
+	// swept over more than one run.
+	Methods []sched.Method
+	// Seeds drive the methods' stochastic solvers, one run per seed.
+	Seeds []uint64
+	// Options apply to every run (the grid seed is appended after them
+	// and wins over any WithSeed here). An Observer registered here is
+	// shared by concurrent runs and must tolerate that; prefer PerRun for
+	// stateful per-run observers.
+	Options []Option
+	// PerRun, when non-nil, returns extra options for one run, appended
+	// last — after Options and the grid seed — so it can specialize
+	// anything per run (per-workload metric buckets, per-run observers).
+	PerRun func(w trace.Workload, m sched.Method, seed uint64) []Option
+	// Workers bounds concurrent runs (0 = GOMAXPROCS). Results are
+	// deterministic regardless of worker count.
+	Workers int
+}
+
+// SweepRun is one completed run of a sweep.
+type SweepRun struct {
+	// Workload, Method, and Seed identify the run.
+	Workload, Method string
+	Seed             uint64
+	// Result is the run's metrics.
+	Result *Result
+}
+
+// RunSweep executes every run of the sweep on a worker pool and returns
+// the results in deterministic workload-major order (workload, then
+// method, then seed) — the same runs, in the same order, with the same
+// per-run Reports, for any worker count. A failure cancels the remaining
+// runs and the lowest-indexed genuine failure (cancellation fallout is
+// filtered out) is returned; the returned slice still holds every run
+// that completed. Cancelling ctx aborts in-flight runs.
+func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
+	if len(sw.Workloads) == 0 {
+		return nil, fmt.Errorf("sim: sweep with no workloads")
+	}
+	if len(sw.Methods) == 0 {
+		return nil, fmt.Errorf("sim: sweep with no methods")
+	}
+	if len(sw.Seeds) == 0 {
+		return nil, fmt.Errorf("sim: sweep with no seeds")
+	}
+	type task struct {
+		w    trace.Workload
+		m    sched.Method
+		seed uint64
+	}
+	var tasks []task
+	for _, w := range sw.Workloads {
+		for _, m := range sw.Methods {
+			for _, seed := range sw.Seeds {
+				tasks = append(tasks, task{w: w, m: m, seed: seed})
+			}
+		}
+	}
+
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]SweepRun, len(tasks))
+	errs := make([]error, len(tasks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				tk := tasks[i]
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				opts := append([]Option(nil), sw.Options...)
+				opts = append(opts, WithSeed(tk.seed))
+				if sw.PerRun != nil {
+					opts = append(opts, sw.PerRun(tk.w, tk.m, tk.seed)...)
+				}
+				s, err := NewSimulator(tk.w, tk.m, opts...)
+				if err == nil {
+					var res *Result
+					if res, err = s.Run(ctx); err == nil {
+						results[i] = SweepRun{
+							Workload: tk.w.Name, Method: tk.m.Name(), Seed: tk.seed,
+							Result: res,
+						}
+						continue
+					}
+				}
+				errs[i] = fmt.Errorf("sim: sweep %s/%s/seed %d: %w",
+					tk.w.Name, tk.m.Name(), tk.seed, err)
+				cancel()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Prefer the lowest-indexed genuine failure; runs that merely aborted
+	// because some other run failed first report context.Canceled and only
+	// surface when there is nothing more specific (the caller cancelled).
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return results, err
+	}
+	if firstCancel != nil {
+		return results, firstCancel
+	}
+	return results, nil
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bbsched/internal/job"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+func sweepWorkloads(t *testing.T) []trace.Workload {
+	t.Helper()
+	sys := trace.Scale(trace.Cori(), 128)
+	a := trace.Generate(trace.GenConfig{System: sys, Jobs: 50, Seed: 5})
+	a.Name = "sweep-a"
+	b := trace.Generate(trace.GenConfig{System: sys, Jobs: 50, Seed: 6})
+	b.Name = "sweep-b"
+	return []trace.Workload{a, b}
+}
+
+// TestRunSweepParallelMatchesSerial is the determinism contract of the
+// parallel driver: N workers yield the same runs, in the same order, with
+// the same per-run Reports as serial execution.
+func TestRunSweepParallelMatchesSerial(t *testing.T) {
+	sw := Sweep{
+		Workloads: sweepWorkloads(t),
+		Methods:   []sched.Method{sched.Baseline{}, fastBBSched()},
+		Seeds:     []uint64{1, 2},
+		Options:   engineOpts(),
+	}
+
+	sw.Workers = 1
+	serial, err := RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Workers = 8
+	parallel, err := RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != 8 || len(parallel) != 8 {
+		t.Fatalf("run counts: serial %d, parallel %d, want 8", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Workload != p.Workload || s.Method != p.Method || s.Seed != p.Seed {
+			t.Fatalf("run %d identity differs: %s/%s/%d vs %s/%s/%d",
+				i, s.Workload, s.Method, s.Seed, p.Workload, p.Method, p.Seed)
+		}
+		if !reflect.DeepEqual(s.Result.Report, p.Result.Report) {
+			t.Fatalf("run %d (%s/%s/%d) reports differ", i, s.Workload, s.Method, s.Seed)
+		}
+		if s.Result.MakespanSec != p.Result.MakespanSec {
+			t.Fatalf("run %d makespan %d vs %d", i, s.Result.MakespanSec, p.Result.MakespanSec)
+		}
+	}
+}
+
+// TestRunSweepMatchesIndividualRuns: each sweep cell equals a standalone
+// Simulator run with the same inputs (shared method instances do not leak
+// state across runs).
+func TestRunSweepMatchesIndividualRuns(t *testing.T) {
+	ws := sweepWorkloads(t)[:1]
+	m := fastBBSched()
+	runs, err := RunSweep(context.Background(), Sweep{
+		Workloads: ws,
+		Methods:   []sched.Method{m},
+		Seeds:     []uint64{1, 9},
+		Options:   engineOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		s, err := NewSimulator(ws[0], fastBBSched(), WithWindow(5, 50), WithMeasurement(0, 0), WithSeed(r.Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(solo.Report, r.Result.Report) {
+			t.Fatalf("seed %d: sweep report differs from standalone run", r.Seed)
+		}
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	ws := sweepWorkloads(t)[:1]
+	ms := []sched.Method{sched.Baseline{}}
+	seeds := []uint64{1}
+	for _, sw := range []Sweep{
+		{Methods: ms, Seeds: seeds},
+		{Workloads: ws, Seeds: seeds},
+		{Workloads: ws, Methods: ms},
+	} {
+		if _, err := RunSweep(context.Background(), sw); err == nil {
+			t.Fatalf("incomplete sweep %+v accepted", sw)
+		}
+	}
+}
+
+func TestRunSweepFailureSurfacesRunIdentity(t *testing.T) {
+	// An oversized job makes the second workload unrunnable; the error
+	// must name it and still be deterministic under parallelism.
+	good := sweepWorkloads(t)[0]
+	bad := mkWorkload(tinySystem(2, 0), job.MustNew(0, 0, 10, 10, job.NewDemand(100, 0, 0)))
+	bad.Name = "sweep-bad"
+	_, err := RunSweep(context.Background(), Sweep{
+		Workloads: []trace.Workload{good, bad},
+		Methods:   []sched.Method{sched.Baseline{}},
+		Seeds:     []uint64{1},
+		Options:   engineOpts(),
+		Workers:   4,
+	})
+	if err == nil {
+		t.Fatal("unrunnable workload did not fail the sweep")
+	}
+	if want := "sweep-bad"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the failing run %q", err, want)
+	}
+}
+
+func TestRunSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSweep(ctx, Sweep{
+		Workloads: sweepWorkloads(t),
+		Methods:   []sched.Method{sched.Baseline{}},
+		Seeds:     []uint64{1},
+		Options:   engineOpts(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v", err)
+	}
+}

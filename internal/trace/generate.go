@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"bbsched/internal/job"
 	"bbsched/internal/rng"
@@ -349,6 +350,66 @@ func WithStageOut(w Workload, drainGBps float64) Workload {
 	return out
 }
 
+// Variants lists the workload variant names in presentation order:
+// "Original" (the generated base trace), the §4 burst-buffer expansions
+// S1–S4, and the §5 local-SSD mixes S5–S7 (layered on the S2 expansion,
+// on SSD-equipped machines). Variant names are case-insensitive in
+// ApplyVariant.
+func Variants() []string {
+	return []string{"Original", "S1", "S2", "S3", "S4", "S5", "S6", "S7"}
+}
+
+// IsSSDVariant reports whether the named variant carries local-SSD
+// requests (S5–S7) and therefore pairs with the §5 method roster.
+func IsSSDVariant(variant string) bool {
+	switch strings.ToUpper(strings.TrimSpace(variant)) {
+	case "S5", "S6", "S7":
+		return true
+	}
+	return false
+}
+
+// ApplyVariant derives the named variant (see Variants; case-insensitive,
+// "" means Original) from a base generated workload, using the same
+// expansion fractions, resample floors, and seed offsets as the paper
+// matrices — Matrix and SSDMatrix are built on it. The result is named
+// "<cluster>-<variant>".
+func ApplyVariant(base Workload, variant string, seed uint64) (Workload, error) {
+	v := strings.ToUpper(strings.TrimSpace(variant))
+	name := base.System.Cluster.Name
+	if v == "" || v == "ORIGINAL" {
+		out := base.Clone()
+		out.Name = name + "-Original"
+		return out, nil
+	}
+	floor5, floor20 := BBFloors(base)
+	switch v {
+	case "S1":
+		return ExpandBB(base, name+"-S1", 0.50, floor5, seed+1), nil
+	case "S2":
+		return ExpandBB(base, name+"-S2", 0.75, floor5, seed+2), nil
+	case "S3":
+		return ExpandBB(base, name+"-S3", 0.50, floor20, seed+3), nil
+	case "S4":
+		return ExpandBB(base, name+"-S4", 0.75, floor20, seed+4), nil
+	case "S5", "S6", "S7":
+		mix := map[string]SSDMix{"S5": S5, "S6": S6, "S7": S7}[v]
+		off := map[string]uint64{"S5": 5, "S6": 6, "S7": 7}[v]
+		s2 := ExpandBB(base, name+"-S2", 0.75, floor5, seed+2)
+		return AddSSD(s2, name+"-"+v, mix, seed+off), nil
+	}
+	return Workload{}, fmt.Errorf("trace: unknown variant %q (have %s)", variant, strings.Join(Variants(), ", "))
+}
+
+// mustVariant applies a variant the caller knows is valid.
+func mustVariant(base Workload, variant string, seed uint64) Workload {
+	w, err := ApplyVariant(base, variant, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // Matrix returns the paper's ten §4 workloads — {Cori, Theta} × {Original,
 // S1..S4} — generated at the given job count and seed against the supplied
 // (possibly scaled) system models.
@@ -357,14 +418,9 @@ func Matrix(cori, theta SystemModel, jobsPerTrace int, seed uint64) []Workload {
 	for _, sys := range []SystemModel{cori, theta} {
 		base := Generate(GenConfig{System: sys, Jobs: jobsPerTrace, Seed: seed})
 		base.Name = sys.Cluster.Name + "-Original"
-		floor5, floor20 := BBFloors(base)
-		out = append(out,
-			base,
-			ExpandBB(base, sys.Cluster.Name+"-S1", 0.50, floor5, seed+1),
-			ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2),
-			ExpandBB(base, sys.Cluster.Name+"-S3", 0.50, floor20, seed+3),
-			ExpandBB(base, sys.Cluster.Name+"-S4", 0.75, floor20, seed+4),
-		)
+		for _, v := range Variants()[:5] {
+			out = append(out, mustVariant(base, v, seed))
+		}
 	}
 	return out
 }
@@ -376,13 +432,9 @@ func SSDMatrix(cori, theta SystemModel, jobsPerTrace int, seed uint64) []Workloa
 	for _, sys := range []SystemModel{cori, theta} {
 		base := Generate(GenConfig{System: sys, Jobs: jobsPerTrace, Seed: seed})
 		base.Name = sys.Cluster.Name + "-Original"
-		floor5, _ := BBFloors(base)
-		s2 := ExpandBB(base, sys.Cluster.Name+"-S2", 0.75, floor5, seed+2)
-		out = append(out,
-			AddSSD(s2, sys.Cluster.Name+"-S5", S5, seed+5),
-			AddSSD(s2, sys.Cluster.Name+"-S6", S6, seed+6),
-			AddSSD(s2, sys.Cluster.Name+"-S7", S7, seed+7),
-		)
+		for _, v := range Variants()[5:] {
+			out = append(out, mustVariant(base, v, seed))
+		}
 	}
 	return out
 }

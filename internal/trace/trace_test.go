@@ -255,6 +255,48 @@ func TestSSDMatrixProducesSixWorkloads(t *testing.T) {
 	}
 }
 
+// TestApplyVariantMatchesMatrix: the variant registry reproduces the
+// paper matrices cell for cell (same fractions, floors, seed offsets).
+func TestApplyVariantMatchesMatrix(t *testing.T) {
+	base := Generate(GenConfig{System: smallTheta(), Jobs: 200, Seed: 1})
+	base.Name = smallTheta().Cluster.Name + "-Original"
+	byName := map[string]Workload{}
+	for _, w := range Matrix(smallCori(), smallTheta(), 200, 1) {
+		byName[w.Name] = w
+	}
+	for _, w := range SSDMatrix(smallCori(), smallTheta(), 200, 1) {
+		byName[w.Name] = w
+	}
+	for _, v := range Variants() {
+		got, err := ApplyVariant(base, v, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		want, ok := byName[got.Name]
+		if !ok {
+			t.Fatalf("%s: name %q not produced by the matrices", v, got.Name)
+		}
+		if len(got.Jobs) != len(want.Jobs) {
+			t.Fatalf("%s: %d jobs vs matrix %d", v, len(got.Jobs), len(want.Jobs))
+		}
+		for i, j := range got.Jobs {
+			if j.Demand != want.Jobs[i].Demand || j.SubmitTime != want.Jobs[i].SubmitTime {
+				t.Fatalf("%s: job %d differs from matrix build", v, i)
+			}
+		}
+	}
+	// Case-insensitive, and unknown variants rejected.
+	if _, err := ApplyVariant(base, "s4", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyVariant(base, "S99", 1); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if !IsSSDVariant("s6") || IsSSDVariant("S4") || IsSSDVariant("original") {
+		t.Fatal("IsSSDVariant misclassifies")
+	}
+}
+
 func TestCSVRoundTrip(t *testing.T) {
 	w := Generate(GenConfig{System: smallTheta(), Jobs: 150, Seed: 23, DependencyFraction: 0.2})
 	var buf bytes.Buffer
