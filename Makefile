@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench bench-smoke sweep-smoke lint fmt vet staticcheck clean
+.PHONY: all build test test-full race bench bench-smoke sweep-smoke fuzz-smoke cover-gate lint fmt vet staticcheck clean
 
 all: lint build test
 
@@ -36,6 +36,23 @@ bench-solver:
 # tiny method × seed grids (2 × 2) under -race, parallel vs serial.
 sweep-smoke:
 	$(GO) test -race -run '^TestRunSweep|^TestFacadeEngineSweepRegistry$$' ./internal/sim .
+
+# Fuzz the trace parsers for 30s per target (CI smoke; seed corpora under
+# internal/trace/testdata/fuzz run in every plain `go test` too).
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseCSV$$' -fuzztime 30s
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseSWF$$' -fuzztime 30s
+
+# Coverage gate: internal/cluster + internal/sched statement coverage must
+# not drop below the floor captured when the N-dimension test harness
+# landed (84.2% / 69.0%, 75.6% combined; floor set just beneath).
+COVER_FLOOR = 75.0
+cover-gate:
+	$(GO) test -short -coverprofile=cover.out ./internal/cluster ./internal/sched
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "cluster+sched coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+	  { echo "FAIL: coverage fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 lint: fmt vet
 

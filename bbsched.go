@@ -64,15 +64,22 @@ const (
 // NewDemand builds a demand vector; NewJob a validated job; MustNewJob
 // panics on invalid input (tests and literals).
 var (
-	NewDemand  = job.NewDemand
-	NewJob     = job.New
-	MustNewJob = job.MustNew
+	NewDemand = job.NewDemand
+	// NewDemandVector builds a demand carrying extra-dimension amounts
+	// aligned to the cluster's extra resource specs.
+	NewDemandVector = job.NewDemandVector
+	NewJob          = job.New
+	MustNewJob      = job.MustNew
 )
 
 // Machine model.
 type (
-	// ClusterConfig describes a machine (nodes, burst buffer, SSD classes).
+	// ClusterConfig describes a machine (nodes, burst buffer, SSD classes,
+	// extra resource dimensions).
 	ClusterConfig = cluster.Config
+	// ResourceSpec names one extra pool-style resource dimension and its
+	// machine capacity (power budget, NVRAM tier, ...).
+	ResourceSpec = cluster.ResourceSpec
 	// SSDClass is one group of nodes with identical local SSD capacity.
 	SSDClass = cluster.SSDClass
 	// Cluster is live machine state.
@@ -163,6 +170,14 @@ var (
 	TotalsOf = sched.TotalsOf
 	// NewWeighted builds a two-objective weighted method.
 	NewWeighted = sched.NewWeighted
+	// NewWeightedFor builds an equally weighted method over any
+	// objective list (typically ObjectivesFor).
+	NewWeightedFor = sched.NewWeightedFor
+	// ObjectivesFor generates one utilization objective per resource
+	// dimension from a cluster's resource spec.
+	ObjectivesFor = sched.ObjectivesFor
+	// ExtraUtil is the utilization objective of extra dimension k.
+	ExtraUtil = sched.ExtraUtil
 )
 
 // BBSched itself.
@@ -253,17 +268,25 @@ var (
 	ScaleSystem = trace.Scale
 	// WithSSD splits a system's nodes into 128/256 GB SSD classes.
 	WithSSD = trace.WithSSD
+	// WithExtraResource appends an extra pool-style resource dimension
+	// to a system model.
+	WithExtraResource = trace.WithExtraResource
 	// Generate synthesizes a workload.
 	Generate = trace.Generate
 	// ExpandBB applies the S1–S4 burst-buffer expansion.
 	ExpandBB = trace.ExpandBB
 	// AddSSD applies the S5–S7 local-SSD mixes.
 	AddSSD = trace.AddSSD
+	// AddExtraDemand retrofits per-node demands in an extra resource
+	// dimension onto a generated workload.
+	AddExtraDemand = trace.AddExtraDemand
 	// WorkloadMatrix returns the ten §4 workloads.
 	WorkloadMatrix = trace.Matrix
 	// ReadTraceCSV and WriteTraceCSV persist workloads.
 	ReadTraceCSV  = trace.ReadCSV
 	WriteTraceCSV = trace.WriteCSV
+	// ReadTraceCSVNamed also returns the extra-dimension column names.
+	ReadTraceCSVNamed = trace.ReadCSVNamed
 	// ReadSWF and WriteSWF exchange Standard Workload Format logs.
 	ReadSWF  = trace.ReadSWF
 	WriteSWF = trace.WriteSWF
@@ -358,6 +381,9 @@ var (
 	// NewMethod instantiates a registered method by name (the ssd flag
 	// selects the four-objective §5 build when the method has one).
 	NewMethod = registry.New
+	// NewMethodForCluster instantiates a method with per-dimension
+	// objectives generated from a concrete machine's resource spec.
+	NewMethodForCluster = registry.NewForCluster
 	// Section4Methods and Section5Methods build the §4.3 and §5 rosters.
 	Section4Methods = registry.Section4
 	Section5Methods = registry.Section5

@@ -6,6 +6,13 @@
 // Methods are listed and instantiated from the shared method registry, so
 // -methods always matches what the experiments harness runs.
 //
+// Beyond the canonical node + burst-buffer pair, any number of extra
+// pool-style resource dimensions can be declared with -extra (repeatable)
+// and given synthetic per-node demands with -extra-demand; methods then
+// optimize one utilization objective per dimension:
+//
+//	bbsim -extra power_kw:400:kW -extra-demand power_kw:1-4 -method BBSched
+//
 // Usage:
 //
 //	bbsim -system theta -scale 32 -jobs 500 -variant S4 -method BBSched
@@ -21,13 +28,78 @@ import (
 	"strconv"
 	"strings"
 
+	"bbsched/internal/cluster"
 	"bbsched/internal/core"
+	"bbsched/internal/job"
 	"bbsched/internal/moo"
 	"bbsched/internal/registry"
 	"bbsched/internal/sched"
 	"bbsched/internal/sim"
 	"bbsched/internal/trace"
 )
+
+// extraResFlag is one -extra declaration: name:capacity[:unit].
+type extraResFlag struct{ specs []cluster.ResourceSpec }
+
+func (f *extraResFlag) String() string { return fmt.Sprintf("%v", f.specs) }
+
+func (f *extraResFlag) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want name:capacity[:unit], got %q", v)
+	}
+	capacity, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("capacity in %q: %w", v, err)
+	}
+	spec := cluster.ResourceSpec{Name: parts[0], Capacity: capacity}
+	if len(parts) == 3 {
+		spec.Unit = parts[2]
+	}
+	f.specs = append(f.specs, spec)
+	return nil
+}
+
+// extraDemandFlag is one -extra-demand declaration: name:min-max[:frac],
+// assigning each job (with probability frac, default 1) a demand of
+// nodes × uniform[min, max] in the named dimension.
+type extraDemandFlag struct {
+	demands []extraDemand
+}
+
+type extraDemand struct {
+	name     string
+	min, max int64
+	frac     float64
+}
+
+func (f *extraDemandFlag) String() string { return fmt.Sprintf("%v", f.demands) }
+
+func (f *extraDemandFlag) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want name:min-max[:frac], got %q", v)
+	}
+	lohi := strings.SplitN(parts[1], "-", 2)
+	d := extraDemand{name: parts[0], frac: 1}
+	var err error
+	if d.min, err = strconv.ParseInt(lohi[0], 10, 64); err != nil {
+		return fmt.Errorf("min in %q: %w", v, err)
+	}
+	d.max = d.min
+	if len(lohi) == 2 {
+		if d.max, err = strconv.ParseInt(lohi[1], 10, 64); err != nil {
+			return fmt.Errorf("max in %q: %w", v, err)
+		}
+	}
+	if len(parts) == 3 {
+		if d.frac, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return fmt.Errorf("frac in %q: %w", v, err)
+		}
+	}
+	f.demands = append(f.demands, d)
+	return nil
+}
 
 func main() {
 	var (
@@ -51,7 +123,12 @@ func main() {
 		sweep      = flag.String("sweep", "", "comma-separated methods (or 'all') to sweep instead of one -method run")
 		seedList   = flag.String("seeds", "", "comma-separated sweep seeds (default: -seed)")
 		workers    = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
+
+		extraRes     extraResFlag
+		extraDemands extraDemandFlag
 	)
+	flag.Var(&extraRes, "extra", "declare an extra resource dimension as name:capacity[:unit] (repeatable)")
+	flag.Var(&extraDemands, "extra-demand", "give jobs demands in an -extra dimension as name:min-max[:frac] per node (repeatable)")
 	flag.Parse()
 
 	if *listM {
@@ -63,12 +140,34 @@ func main() {
 
 	ga := moo.GAConfig{Generations: *gens, Population: *pop, MutationProb: 0.0005}
 
-	w, err := loadWorkload(*traceFile, *system, *jobs, *seed, *scale, *variant)
+	w, csvExtraNames, err := loadWorkload(*traceFile, *system, *jobs, *seed, *scale, *variant)
 	if err != nil {
 		fail(err)
 	}
 	if *stageOut > 0 {
 		w = trace.WithStageOut(w, *stageOut)
+	}
+	// Extra resource dimensions: extend the machine, bind any CSV extra
+	// columns to the declared dimensions by name, then retrofit the
+	// requested synthetic demands onto the workload.
+	for _, spec := range extraRes.specs {
+		w.System = trace.WithExtraResource(w.System, spec)
+	}
+	if w, err = bindTraceExtras(w, csvExtraNames); err != nil {
+		fail(err)
+	}
+	for _, d := range extraDemands.demands {
+		dim := -1
+		for i, spec := range w.System.Cluster.Extra {
+			if spec.Name == d.name {
+				dim = i
+				break
+			}
+		}
+		if dim < 0 {
+			fail(fmt.Errorf("-extra-demand %s: no such -extra dimension", d.name))
+		}
+		w = trace.AddExtraDemand(w, "", dim, d.min, d.max, d.frac, *seed+uint64(dim))
 	}
 	// SSD-equipped workloads pair with the four-objective §5 method
 	// variants; plain workloads with the two-objective §4 ones.
@@ -97,7 +196,7 @@ func main() {
 		return
 	}
 
-	method, err := registry.New(*methodName, ga, ssd)
+	method, err := registry.NewForCluster(*methodName, ga, w.System.Cluster, ssd)
 	if err != nil {
 		fail(err)
 	}
@@ -134,17 +233,16 @@ func main() {
 func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, ga moo.GAConfig, ssd bool, workers int, opts []sim.Option) error {
 	var methods []sched.Method
 	if methodCSV == "all" {
-		if ssd {
-			methods = registry.Section5(ga)
-		} else {
-			methods = registry.Section4(ga)
+		var err error
+		if methods, err = registry.RosterForCluster(ga, w.System.Cluster, ssd); err != nil {
+			return err
 		}
 	} else {
 		for _, n := range strings.Split(methodCSV, ",") {
 			if n = strings.TrimSpace(n); n == "" {
 				continue
 			}
-			m, err := registry.New(n, ga, ssd)
+			m, err := registry.NewForCluster(n, ga, w.System.Cluster, ssd)
 			if err != nil {
 				return err
 			}
@@ -185,27 +283,64 @@ func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, g
 	return nil
 }
 
-func loadWorkload(traceFile, system string, jobs int, seed uint64, scale int, variant string) (trace.Workload, error) {
+// loadWorkload loads or generates the workload. For a CSV trace it also
+// returns the file's extra-resource column names (res:<name>), in file
+// order; the caller binds them to declared -extra dimensions by name.
+func loadWorkload(traceFile, system string, jobs int, seed uint64, scale int, variant string) (trace.Workload, []string, error) {
 	if traceFile == "" {
-		return buildGenerated(system, jobs, seed, scale, variant)
+		w, err := buildGenerated(system, jobs, seed, scale, variant)
+		return w, nil, err
 	}
 	f, err := os.Open(traceFile)
 	if err != nil {
-		return trace.Workload{}, err
+		return trace.Workload{}, nil, err
 	}
 	defer f.Close()
-	js, err := trace.ReadCSV(f)
+	js, extraNames, err := trace.ReadCSVNamed(f)
 	if err != nil {
-		return trace.Workload{}, err
+		return trace.Workload{}, nil, err
 	}
 	sys, err := systemModel(system, scale)
 	if err != nil {
-		return trace.Workload{}, err
+		return trace.Workload{}, nil, err
 	}
 	if trace.IsSSDVariant(variant) {
 		sys = trace.WithSSD(sys)
 	}
-	return trace.Workload{Name: traceFile, System: sys, Jobs: js}, nil
+	return trace.Workload{Name: traceFile, System: sys, Jobs: js}, extraNames, nil
+}
+
+// bindTraceExtras re-aligns CSV extra-demand columns (in csvNames order)
+// to the machine's declared extra dimensions, matching by name. Every
+// column must name a declared -extra dimension: binding by position
+// would silently charge one resource's demands against another's budget.
+func bindTraceExtras(w trace.Workload, csvNames []string) (trace.Workload, error) {
+	if len(csvNames) == 0 {
+		return w, nil
+	}
+	specs := w.System.Cluster.Extra
+	perm := make([]int, len(csvNames)) // csv column -> spec index
+	for k, name := range csvNames {
+		perm[k] = -1
+		for i, spec := range specs {
+			if spec.Name == name {
+				perm[k] = i
+				break
+			}
+		}
+		if perm[k] < 0 {
+			return trace.Workload{}, fmt.Errorf(
+				"trace column res:%s names no declared dimension; declare it with -extra %s:<capacity>", name, name)
+		}
+	}
+	for _, j := range w.Jobs {
+		aligned := make([]int64, len(specs))
+		for k, i := range perm {
+			aligned[i] = j.Demand.Extra(k)
+		}
+		j.Demand = job.NewDemandVector(j.Demand.NodeCount(), j.Demand.BB(), j.Demand.SSDPerNode(), aligned...)
+	}
+	return w, nil
 }
 
 func systemModel(system string, scale int) (trace.SystemModel, error) {
@@ -237,6 +372,9 @@ func printResult(r *sim.Result) {
 	if r.SSDUsage > 0 {
 		fmt.Printf("ssd usage:         %.2f%%\n", r.SSDUsage*100)
 		fmt.Printf("wasted ssd:        %.2f%%\n", r.WastedSSDFrac*100)
+	}
+	for _, dim := range r.ExtraUsage {
+		fmt.Printf("%-18s %.2f%%\n", dim.Name+" usage:", dim.Usage*100)
 	}
 	fmt.Printf("avg wait:          %.0fs\n", r.AvgWaitSec)
 	fmt.Printf("avg slowdown:      %.2f\n", r.AvgSlowdown)

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
 	"bbsched/internal/trace"
 )
 
@@ -41,7 +43,7 @@ func TestLoadWorkloadFromCSV(t *testing.T) {
 	}
 	f.Close()
 
-	loaded, err := loadWorkload(path, "theta", 0, 3, 32, "original")
+	loaded, _, err := loadWorkload(path, "theta", 0, 3, 32, "original")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,51 @@ func TestLoadWorkloadFromCSV(t *testing.T) {
 }
 
 func TestLoadWorkloadMissingFile(t *testing.T) {
-	if _, err := loadWorkload("/nonexistent/trace.csv", "theta", 0, 32, 32, "original"); err == nil {
+	if _, _, err := loadWorkload("/nonexistent/trace.csv", "theta", 0, 32, 32, "original"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestBindTraceExtrasByName guards the CSV extra-column binding: columns
+// bind to declared -extra dimensions by NAME, never by position, and an
+// undeclared column is an error rather than a silently mischarged budget.
+func TestBindTraceExtrasByName(t *testing.T) {
+	jobs := []*job.Job{
+		job.MustNew(0, 0, 600, 900, job.NewDemandVector(4, 100, 0, 7, 40)),
+	}
+	path := filepath.Join(t.TempDir(), "extras.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File order: nvram_gb first, power_kw second.
+	if err := trace.WriteCSV(f, jobs, "nvram_gb", "power_kw"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, names, err := loadWorkload(path, "theta", 0, 1, 32, "original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "nvram_gb" || names[1] != "power_kw" {
+		t.Fatalf("extra column names = %v", names)
+	}
+	// Declared order: power_kw first — the demands must swap accordingly.
+	w.System = trace.WithExtraResource(w.System, cluster.ResourceSpec{Name: "power_kw", Capacity: 100, Unit: "kW"})
+	w.System = trace.WithExtraResource(w.System, cluster.ResourceSpec{Name: "nvram_gb", Capacity: 500, Unit: "GB"})
+	bound, err := bindTraceExtras(w, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bound.Jobs[0].Demand
+	if d.Extra(0) != 40 || d.Extra(1) != 7 {
+		t.Fatalf("extras bound positionally, not by name: [%d %d], want [40 7]", d.Extra(0), d.Extra(1))
+	}
+
+	// An undeclared column must fail loudly.
+	w.System.Cluster.Extra = w.System.Cluster.Extra[:1] // drop nvram_gb
+	if _, err := bindTraceExtras(w, names); err == nil {
+		t.Fatal("undeclared trace column accepted")
 	}
 }

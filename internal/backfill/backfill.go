@@ -26,6 +26,10 @@ type Running struct {
 	NodesByClass []int
 	// BB is the burst buffer held in GB.
 	BB int64
+	// Extra is the amount held per extra resource dimension. Extra
+	// dimensions are compute-coupled, so they ride the same release entry
+	// as the nodes.
+	Extra []int64
 }
 
 // Plan returns the waiting jobs to start now, in start order. waiting must
@@ -57,12 +61,13 @@ func Plan(snap cluster.Snapshot, running []Running, waiting []*job.Job, now int6
 		started = append(started, j)
 		end := now + j.WalltimeEst
 		if j.StageOutSec > 0 {
-			// Stage-out: nodes come back at the walltime estimate, the
-			// burst buffer only after the drain completes.
-			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass})
+			// Stage-out: nodes (and compute-coupled extras) come back at
+			// the walltime estimate, the burst buffer only after the drain
+			// completes.
+			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass, Extra: placed.Extra})
 			releases = insertRelease(releases, Running{ReleaseTime: end + j.StageOutSec, BB: j.Demand.BB()})
 		} else {
-			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass, BB: j.Demand.BB()})
+			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), Extra: placed.Extra})
 		}
 	}
 	if i >= len(waiting) {
@@ -113,6 +118,9 @@ func reservation(free cluster.Snapshot, releases []Running, head job.Demand) (sh
 			work.FreeByClass[c] += n
 		}
 		work.FreeBB += r.BB
+		for k, v := range r.Extra {
+			work.FreeExtra[k] += v
+		}
 		if work.CanFit(head) {
 			if _, err := work.Alloc(head); err != nil {
 				return 0, cluster.Snapshot{}, false

@@ -26,6 +26,29 @@ type SSDClass struct {
 	Count int
 }
 
+// ResourceSpec names one schedulable resource dimension and its machine
+// capacity. The canonical node and burst-buffer dimensions have implicit
+// specs derived from Config.Nodes/Config.BurstBufferGB; Config.Extra adds
+// further pool-style dimensions (a power budget, NVRAM tier, network
+// injection bandwidth, …) that jobs consume for their lifetime and release
+// with their nodes.
+type ResourceSpec struct {
+	// Name identifies the dimension in demands, traces, and reports
+	// (e.g. "power_kw"). Must be unique and non-empty.
+	Name string
+	// Capacity is the machine's total pool in the dimension's unit.
+	Capacity int64
+	// Unit labels the capacity for reports (e.g. "kW"); informational.
+	Unit string
+}
+
+// Canonical resource dimension names, mirroring job.Resource order.
+const (
+	ResourceNodes = "nodes"
+	ResourceBB    = "bb_gb"
+	ResourceSSD   = "ssd_gb_per_node"
+)
+
 // Config describes a machine.
 type Config struct {
 	// Name labels the system in logs and experiment output.
@@ -38,6 +61,23 @@ type Config struct {
 	// the machine has no local SSDs (all nodes form one class of capacity
 	// zero). If non-empty, class counts must sum to Nodes.
 	SSDClasses []SSDClass
+	// Extra lists additional pool-style resource dimensions beyond the
+	// canonical nodes/burst-buffer pair. Order is significant: extra
+	// dimension i aligns with job.Demand extra index i.
+	Extra []ResourceSpec
+}
+
+// Resources returns the machine's ordered resource dimensions: the two
+// canonical pool dimensions (nodes, shared burst buffer) followed by the
+// extra specs. The per-node local SSD dimension is class-structured, not a
+// single pool, and is reported separately (see SSDClasses).
+func (c Config) Resources() []ResourceSpec {
+	out := make([]ResourceSpec, 0, 2+len(c.Extra))
+	out = append(out,
+		ResourceSpec{Name: ResourceNodes, Capacity: int64(c.Nodes), Unit: "nodes"},
+		ResourceSpec{Name: ResourceBB, Capacity: c.BurstBufferGB, Unit: "GB"},
+	)
+	return append(out, c.Extra...)
 }
 
 // Validate checks the configuration invariants.
@@ -47,6 +87,19 @@ func (c Config) Validate() error {
 	}
 	if c.BurstBufferGB < 0 {
 		return fmt.Errorf("cluster %q: negative burst buffer %d", c.Name, c.BurstBufferGB)
+	}
+	seen := map[string]bool{ResourceNodes: true, ResourceBB: true, ResourceSSD: true}
+	for _, r := range c.Extra {
+		if r.Name == "" {
+			return fmt.Errorf("cluster %q: extra resource with empty name", c.Name)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("cluster %q: duplicate resource name %q", c.Name, r.Name)
+		}
+		seen[r.Name] = true
+		if r.Capacity < 0 {
+			return fmt.Errorf("cluster %q: resource %q has negative capacity %d", c.Name, r.Name, r.Capacity)
+		}
 	}
 	if len(c.SSDClasses) == 0 {
 		return nil
@@ -89,6 +142,11 @@ type Allocation struct {
 	// WastedSSD is Σ over assigned nodes of (node SSD capacity − requested
 	// per-node SSD), the per-job contribution to objective f4 (§5).
 	WastedSSD int64
+	// Extra[i] is the amount held in extra resource dimension i. Extra
+	// dimensions are compute-coupled (a power draw, an NVRAM working set):
+	// they release together with the nodes, not with a staged-out burst
+	// buffer. Nil on machines without extra dimensions.
+	Extra []int64
 }
 
 // TotalNodes returns the allocation's node count.
@@ -127,6 +185,12 @@ func New(cfg Config) (*Cluster, error) {
 		free.FreeByClass[i] = cl.Count
 		free.classCapacity[i] = cl.CapacityGB
 	}
+	if len(cfg.Extra) > 0 {
+		free.FreeExtra = make([]int64, len(cfg.Extra))
+		for i, r := range cfg.Extra {
+			free.FreeExtra[i] = r.Capacity
+		}
+	}
 	return &Cluster{cfg: cfg, classes: classes, free: free, allocs: make(map[int]Allocation)}, nil
 }
 
@@ -160,6 +224,31 @@ func (c *Cluster) UsedNodes() int { return c.cfg.Nodes - c.FreeNodes() }
 // UsedBB returns the burst buffer currently allocated, in GB.
 func (c *Cluster) UsedBB() int64 { return c.cfg.BurstBufferGB - c.free.FreeBB }
 
+// NumExtra returns the number of extra resource dimensions.
+func (c *Cluster) NumExtra() int { return len(c.cfg.Extra) }
+
+// FreeExtras returns the currently unallocated amount per extra dimension
+// (a copy; nil when the machine has none).
+func (c *Cluster) FreeExtras() []int64 {
+	if len(c.free.FreeExtra) == 0 {
+		return nil
+	}
+	return append([]int64(nil), c.free.FreeExtra...)
+}
+
+// UsedExtras returns the currently allocated amount per extra dimension
+// (nil when the machine has none).
+func (c *Cluster) UsedExtras() []int64 {
+	if len(c.cfg.Extra) == 0 {
+		return nil
+	}
+	used := make([]int64, len(c.cfg.Extra))
+	for i, r := range c.cfg.Extra {
+		used[i] = r.Capacity - c.free.FreeExtra[i]
+	}
+	return used
+}
+
 // RunningJobs returns the number of live allocations.
 func (c *Cluster) RunningJobs() int { return len(c.allocs) }
 
@@ -184,7 +273,7 @@ func (c *Cluster) Allocate(j *job.Job) (Allocation, error) {
 	if err != nil {
 		return Allocation{}, err
 	}
-	a := Allocation{JobID: j.ID, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), WastedSSD: placed.WastedSSD}
+	a := Allocation{JobID: j.ID, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), WastedSSD: placed.WastedSSD, Extra: placed.Extra}
 	c.allocs[j.ID] = a
 	return a, nil
 }
@@ -200,13 +289,17 @@ func (c *Cluster) Release(jobID int) error {
 		c.free.FreeByClass[i] += n
 	}
 	c.free.FreeBB += a.BB
+	for i, v := range a.Extra {
+		c.free.FreeExtra[i] += v
+	}
 	return nil
 }
 
-// ReleaseNodes returns only job jobID's compute nodes, keeping its burst
-// buffer held. Models Slurm-style stage-out: data drains from the burst
-// buffer to the parallel file system after the job's nodes are freed, so
-// the BB allocation outlives the node allocation. Release (or a second
+// ReleaseNodes returns only job jobID's compute nodes — and its extra
+// dimensions, which are compute-coupled — keeping its burst buffer held.
+// Models Slurm-style stage-out: data drains from the burst buffer to the
+// parallel file system after the job's nodes are freed, so the BB
+// allocation outlives the node allocation. Release (or a second
 // ReleaseNodes + Release) finishes the job later. Idempotent on nodes.
 func (c *Cluster) ReleaseNodes(jobID int) error {
 	a, ok := c.allocs[jobID]
@@ -216,6 +309,10 @@ func (c *Cluster) ReleaseNodes(jobID int) error {
 	for i, n := range a.NodesByClass {
 		c.free.FreeByClass[i] += n
 		a.NodesByClass[i] = 0
+	}
+	for i, v := range a.Extra {
+		c.free.FreeExtra[i] += v
+		a.Extra[i] = 0
 	}
 	c.allocs[jobID] = a
 	return nil
@@ -244,12 +341,16 @@ func (c *Cluster) ReserveBB(ownerID int, amount int64) error {
 // totals in every dimension. Tests call it after random workloads.
 func (c *Cluster) CheckInvariants() error {
 	usedByClass := make([]int, len(c.classes))
+	usedExtra := make([]int64, len(c.cfg.Extra))
 	var usedBB int64
 	for _, a := range c.allocs {
 		for i, n := range a.NodesByClass {
 			usedByClass[i] += n
 		}
 		usedBB += a.BB
+		for i, v := range a.Extra {
+			usedExtra[i] += v
+		}
 	}
 	for i, cl := range c.classes {
 		if c.free.FreeByClass[i]+usedByClass[i] != cl.Count {
@@ -266,6 +367,15 @@ func (c *Cluster) CheckInvariants() error {
 	if c.free.FreeBB < 0 {
 		return errors.New("bb: negative free")
 	}
+	for i, r := range c.cfg.Extra {
+		if c.free.FreeExtra[i]+usedExtra[i] != r.Capacity {
+			return fmt.Errorf("%s: free %d + used %d != total %d",
+				r.Name, c.free.FreeExtra[i], usedExtra[i], r.Capacity)
+		}
+		if c.free.FreeExtra[i] < 0 {
+			return fmt.Errorf("%s: negative free", r.Name)
+		}
+	}
 	return nil
 }
 
@@ -275,6 +385,9 @@ type Placement struct {
 	NodesByClass []int
 	// WastedSSD is the assigned-minus-requested SSD volume in GB.
 	WastedSSD int64
+	// Extra[i] is the amount taken from extra dimension i (nil when the
+	// machine has no extra dimensions or the demand requests none).
+	Extra []int64
 }
 
 // Snapshot is a copyable view of free resources. Schedulers use it to test
@@ -284,6 +397,10 @@ type Snapshot struct {
 	FreeBB int64
 	// FreeByClass is the free node count per class (ascending capacity).
 	FreeByClass []int
+	// FreeExtra is the unallocated amount per extra resource dimension,
+	// aligned to the cluster config's Extra specs. Nil when the machine
+	// has none.
+	FreeExtra []int64
 	// classCapacity mirrors the class SSD capacities.
 	classCapacity []int64
 }
@@ -292,6 +409,9 @@ type Snapshot struct {
 func (s Snapshot) Clone() Snapshot {
 	c := s
 	c.FreeByClass = append([]int(nil), s.FreeByClass...)
+	if s.FreeExtra != nil {
+		c.FreeExtra = append([]int64(nil), s.FreeExtra...)
+	}
 	// classCapacity is immutable after construction; sharing it is safe.
 	return c
 }
@@ -307,8 +427,20 @@ func (s *Snapshot) CopyFrom(src Snapshot) {
 	}
 	s.FreeByClass = s.FreeByClass[:len(src.FreeByClass)]
 	copy(s.FreeByClass, src.FreeByClass)
+	if src.FreeExtra == nil {
+		s.FreeExtra = nil
+	} else {
+		if cap(s.FreeExtra) < len(src.FreeExtra) {
+			s.FreeExtra = make([]int64, len(src.FreeExtra))
+		}
+		s.FreeExtra = s.FreeExtra[:len(src.FreeExtra)]
+		copy(s.FreeExtra, src.FreeExtra)
+	}
 	s.classCapacity = src.classCapacity
 }
+
+// NumExtra returns the number of extra resource dimensions tracked.
+func (s Snapshot) NumExtra() int { return len(s.FreeExtra) }
 
 // FreeNodes returns the snapshot's total free node count.
 func (s Snapshot) FreeNodes() int {
@@ -344,6 +476,19 @@ func (s *Snapshot) AllocInto(d job.Demand, buf []int) (Placement, error) {
 	if d.BB() > s.FreeBB {
 		return Placement{}, ErrNoFit
 	}
+	for k := 0; k < d.NumExtra(); k++ {
+		if k >= len(s.FreeExtra) {
+			// A demand may carry trailing dimensions the machine lacks only
+			// if it requests nothing there.
+			if d.Extra(k) > 0 {
+				return Placement{}, ErrNoFit
+			}
+			continue
+		}
+		if d.Extra(k) > s.FreeExtra[k] {
+			return Placement{}, ErrNoFit
+		}
+	}
 	placed := buf[:len(s.FreeByClass)]
 	for i := range placed {
 		placed[i] = 0
@@ -369,7 +514,18 @@ func (s *Snapshot) AllocInto(d job.Demand, buf []int) (Placement, error) {
 		s.FreeByClass[i] -= n
 	}
 	s.FreeBB -= d.BB()
-	return Placement{NodesByClass: placed, WastedSSD: wasted}, nil
+	pl := Placement{NodesByClass: placed, WastedSSD: wasted}
+	if n := d.NumExtra(); n > 0 && len(s.FreeExtra) > 0 {
+		if n > len(s.FreeExtra) {
+			n = len(s.FreeExtra) // trailing machine-absent dims are zero (checked above)
+		}
+		pl.Extra = make([]int64, n)
+		for k := 0; k < n; k++ {
+			pl.Extra[k] = d.Extra(k)
+			s.FreeExtra[k] -= pl.Extra[k]
+		}
+	}
+	return pl, nil
 }
 
 // CanFit reports whether the demand would fit without mutating the snapshot.

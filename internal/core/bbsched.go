@@ -64,6 +64,15 @@ func NewFourObjective() *BBSched {
 	return &BBSched{Objectives: sched.FourObjectives(), GA: moo.DefaultGAConfig(), TradeoffFactor: 4}
 }
 
+// NewForObjectives returns BBSched over an arbitrary objective list —
+// typically sched.ObjectivesFor(cfg, ssd), one utilization objective per
+// resource dimension. Objectives[0] must be sched.NodeUtil. The trade-off
+// factor scales with the objective count, matching the paper's choices (2
+// for the two-objective problem, 4 for four objectives).
+func NewForObjectives(objectives []sched.Objective) *BBSched {
+	return &BBSched{Objectives: objectives, GA: moo.DefaultGAConfig(), TradeoffFactor: float64(len(objectives))}
+}
+
 // Name implements sched.Method.
 func (b *BBSched) Name() string { return "BBSched" }
 
@@ -128,16 +137,8 @@ func Decide(front []moo.Solution, objectives []sched.Objective, totals sched.Tot
 	if len(front) == 0 {
 		panic("core: decision over empty Pareto front")
 	}
-	denom := make([]float64, len(objectives))
-	for k, o := range objectives {
-		switch o {
-		case sched.NodeUtil:
-			denom[k] = float64(totals.Nodes)
-		case sched.BBUtil:
-			denom[k] = float64(totals.BBGB)
-		case sched.SSDUtil, sched.SSDWasteNeg:
-			denom[k] = float64(totals.SSDGB)
-		}
+	denom := totals.Denominators(objectives)
+	for k := range denom {
 		if denom[k] == 0 {
 			denom[k] = 1
 		}

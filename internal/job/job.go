@@ -14,7 +14,11 @@ import (
 	"sort"
 )
 
-// Resource identifies one schedulable resource dimension.
+// Resource identifies one schedulable resource dimension: the three
+// canonical dimensions below, then any number of cluster-defined extra
+// dimensions at NumResources, NumResources+1, … (power caps, NVRAM tiers,
+// network injection bandwidth — whatever the cluster's resource spec
+// names).
 type Resource int
 
 const (
@@ -24,9 +28,15 @@ const (
 	BurstBufferGB
 	// LocalSSDGBPerNode is the per-node local SSD demand in GB (§5).
 	LocalSSDGBPerNode
-	// NumResources is the dimensionality of a Demand vector.
+	// NumResources is the count of canonical dimensions; extra dimensions
+	// follow from this index in a Demand vector.
 	NumResources
 )
+
+// MaxDemand bounds any single dimension's value. Far above every real
+// machine (≈10^12 GB), it exists so aggregate arithmetic over a whole
+// window of demands can never overflow int64.
+const MaxDemand = int64(1) << 40
 
 // String returns the resource's short name.
 func (r Resource) String() string {
@@ -42,49 +52,140 @@ func (r Resource) String() string {
 	}
 }
 
-// Demand is a job's requested amount of every schedulable resource.
-// The zero Demand requests nothing.
-type Demand [NumResources]int64
+// Demand is a job's requested amount of every schedulable resource: an
+// ordered vector aligned to the cluster's resource dimensions. Res[0..2]
+// are the canonical dimensions (nodes, shared burst buffer, per-node local
+// SSD); Res[3:] aligns with the cluster config's extra resource specs.
+// The zero Demand requests nothing; dimensions beyond len(Res) read as 0.
+type Demand struct {
+	// Res holds one requested amount per dimension.
+	Res []int64
+}
 
 // NewDemand builds a Demand from the three canonical dimensions.
 func NewDemand(nodes int, bbGB, ssdPerNodeGB int64) Demand {
-	var d Demand
-	d[Nodes] = int64(nodes)
-	d[BurstBufferGB] = bbGB
-	d[LocalSSDGBPerNode] = ssdPerNodeGB
-	return d
+	return Demand{Res: []int64{int64(nodes), bbGB, ssdPerNodeGB}}
+}
+
+// NewDemandVector builds a Demand from the canonical dimensions plus
+// extra-dimension amounts aligned to the cluster's extra resource specs.
+func NewDemandVector(nodes int, bbGB, ssdPerNodeGB int64, extra ...int64) Demand {
+	res := make([]int64, NumResources+Resource(len(extra)))
+	res[Nodes] = int64(nodes)
+	res[BurstBufferGB] = bbGB
+	res[LocalSSDGBPerNode] = ssdPerNodeGB
+	copy(res[NumResources:], extra)
+	return Demand{Res: res}
+}
+
+// Get returns dimension r, reading absent dimensions as zero.
+func (d Demand) Get(r Resource) int64 {
+	if int(r) < 0 || int(r) >= len(d.Res) {
+		return 0
+	}
+	return d.Res[r]
+}
+
+// Set writes dimension r, growing the vector as needed.
+func (d *Demand) Set(r Resource, v int64) {
+	for len(d.Res) <= int(r) {
+		d.Res = append(d.Res, 0)
+	}
+	d.Res[r] = v
+}
+
+// NumExtra returns the number of extra (non-canonical) dimensions carried.
+func (d Demand) NumExtra() int {
+	if len(d.Res) <= int(NumResources) {
+		return 0
+	}
+	return len(d.Res) - int(NumResources)
+}
+
+// Extra returns extra dimension i (aligned to the cluster's extra resource
+// specs), reading absent dimensions as zero.
+func (d Demand) Extra(i int) int64 { return d.Get(NumResources + Resource(i)) }
+
+// Extras returns a copy of the extra-dimension amounts.
+func (d Demand) Extras() []int64 {
+	if d.NumExtra() == 0 {
+		return nil
+	}
+	return append([]int64(nil), d.Res[NumResources:]...)
 }
 
 // NodeCount returns the node dimension as an int.
-func (d Demand) NodeCount() int { return int(d[Nodes]) }
+func (d Demand) NodeCount() int { return int(d.Get(Nodes)) }
 
 // BB returns the shared burst-buffer demand in GB.
-func (d Demand) BB() int64 { return d[BurstBufferGB] }
+func (d Demand) BB() int64 { return d.Get(BurstBufferGB) }
 
 // SSDPerNode returns the per-node local SSD demand in GB.
-func (d Demand) SSDPerNode() int64 { return d[LocalSSDGBPerNode] }
+func (d Demand) SSDPerNode() int64 { return d.Get(LocalSSDGBPerNode) }
 
 // TotalSSD returns the aggregate local SSD demand (per-node demand times
 // node count), the quantity objective f3 of the paper maximizes.
-func (d Demand) TotalSSD() int64 { return d[LocalSSDGBPerNode] * d[Nodes] }
+func (d Demand) TotalSSD() int64 { return d.Get(LocalSSDGBPerNode) * d.Get(Nodes) }
 
-// Add returns d + o element-wise.
+// Add returns d + o element-wise over max(len) dimensions.
 func (d Demand) Add(o Demand) Demand {
-	for i := range d {
-		d[i] += o[i]
+	n := len(d.Res)
+	if len(o.Res) > n {
+		n = len(o.Res)
 	}
-	return d
+	res := make([]int64, n)
+	copy(res, d.Res)
+	for i, v := range o.Res {
+		res[i] += v
+	}
+	return Demand{Res: res}
 }
 
-// Validate reports whether every dimension is non-negative and at least one
-// node is requested.
+// Clone returns an independent copy of the demand vector.
+func (d Demand) Clone() Demand {
+	if d.Res == nil {
+		return Demand{}
+	}
+	return Demand{Res: append([]int64(nil), d.Res...)}
+}
+
+// Equal reports element-wise equality, with absent dimensions reading as
+// zero (so a demand never touching an extra dimension equals one carrying
+// an explicit zero there).
+func (d Demand) Equal(o Demand) bool {
+	n := len(d.Res)
+	if len(o.Res) > n {
+		n = len(o.Res)
+	}
+	for i := 0; i < n; i++ {
+		if d.Get(Resource(i)) != o.Get(Resource(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector compactly for errors and logs.
+func (d Demand) String() string {
+	s := fmt.Sprintf("[nodes=%d bb_gb=%d ssd_gb_per_node=%d", d.Get(Nodes), d.Get(BurstBufferGB), d.Get(LocalSSDGBPerNode))
+	for i := 0; i < d.NumExtra(); i++ {
+		s += fmt.Sprintf(" extra%d=%d", i, d.Extra(i))
+	}
+	return s + "]"
+}
+
+// Validate reports whether every dimension is in [0, MaxDemand] and at
+// least one node is requested.
 func (d Demand) Validate() error {
-	for i, v := range d {
+	for i, v := range d.Res {
 		if v < 0 {
 			return fmt.Errorf("demand %s is negative: %d", Resource(i), v)
 		}
+		if v > MaxDemand {
+			return fmt.Errorf("demand %s is %d, above the %d cap", Resource(i), v, MaxDemand)
+		}
 	}
-	if d[Nodes] == 0 {
+	if d.Get(Nodes) == 0 {
 		return errors.New("demand requests zero nodes")
 	}
 	return nil
@@ -242,10 +343,12 @@ func (j *Job) Slowdown(minRuntime int64) float64 {
 	return float64(j.WaitTime()+j.Runtime) / float64(r)
 }
 
-// Clone returns a deep copy (Deps included). The simulator clones workloads
-// so that repeated runs over the same trace never share mutable state.
+// Clone returns a deep copy (Deps and the demand vector included). The
+// simulator clones workloads so that repeated runs over the same trace
+// never share mutable state.
 func (j *Job) Clone() *Job {
 	c := *j
+	c.Demand = j.Demand.Clone()
 	if j.Deps != nil {
 		c.Deps = append([]int(nil), j.Deps...)
 	}

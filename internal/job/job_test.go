@@ -27,11 +27,11 @@ func TestDemandAdd(t *testing.T) {
 	b := NewDemand(3, 50, 0)
 	got := a.Add(b)
 	want := NewDemand(13, 150, 5)
-	if got != want {
+	if !got.Equal(want) {
 		t.Errorf("Add = %v, want %v", got, want)
 	}
 	// Add must not mutate its receiver (value semantics).
-	if a != NewDemand(10, 100, 5) {
+	if !a.Equal(NewDemand(10, 100, 5)) {
 		t.Error("Add mutated receiver")
 	}
 }
@@ -40,7 +40,7 @@ func TestDemandAddCommutative(t *testing.T) {
 	f := func(n1, n2 uint8, b1, b2 uint16) bool {
 		a := NewDemand(int(n1), int64(b1), 0)
 		b := NewDemand(int(n2), int64(b2), 0)
-		return a.Add(b) == b.Add(a)
+		return a.Add(b).Equal(b.Add(a))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

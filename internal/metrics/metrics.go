@@ -24,6 +24,9 @@ type Usage struct {
 	// SSDRequestedGB is the aggregate requested SSD volume of running jobs
 	// (assigned − requested = wasted, §5's f4).
 	SSDRequestedGB int64
+	// Extra is the allocated amount per extra resource dimension, aligned
+	// to the cluster config's Extra specs. Nil on 2-dimension machines.
+	Extra []int64
 }
 
 // Collector integrates piecewise-constant resource usage over time and
@@ -34,9 +37,13 @@ type Collector struct {
 	lastT   int64
 	started bool
 	cur     Usage
+	// curExtra owns cur.Extra's storage: Observe deep-copies the sample's
+	// Extra slice so callers may keep mutating theirs between samples.
+	curExtra []int64
 
 	// integrals in resource-seconds
 	nodeSec, bbSec, ssdAssignedSec, ssdRequestedSec float64
+	extraSec                                        []float64
 
 	firstT int64
 	lastTs int64
@@ -79,9 +86,23 @@ func (c *Collector) Observe(now int64, u Usage) {
 			c.bbSec += float64(c.cur.BBGB) * dt
 			c.ssdAssignedSec += float64(c.cur.SSDAssignedGB) * dt
 			c.ssdRequestedSec += float64(c.cur.SSDRequestedGB) * dt
+			for k, v := range c.cur.Extra {
+				c.extraSec[k] += float64(v) * dt
+			}
 		}
 	}
 	c.cur = u
+	if len(u.Extra) > 0 {
+		// Deep-copy: the caller typically keeps one live Usage and mutates
+		// its Extra slice in place between samples.
+		c.curExtra = append(c.curExtra[:0], u.Extra...)
+		c.cur.Extra = c.curExtra
+		for len(c.extraSec) < len(u.Extra) {
+			c.extraSec = append(c.extraSec, 0)
+		}
+	} else {
+		c.cur.Extra = nil
+	}
 	c.lastT = now
 	c.lastTs = now
 }
@@ -114,6 +135,23 @@ func (c *Collector) Integrals() (nodeSec, bbSec, ssdAssignedSec, ssdRequestedSec
 	return c.nodeSec, c.bbSec, c.ssdAssignedSec, c.ssdRequestedSec
 }
 
+// ExtraIntegrals returns the accumulated resource-seconds per extra
+// dimension (nil when none were observed).
+func (c *Collector) ExtraIntegrals() []float64 {
+	if c.extraSec == nil {
+		return nil
+	}
+	return append([]float64(nil), c.extraSec...)
+}
+
+// DimCapacity names one extra resource dimension's machine capacity.
+type DimCapacity struct {
+	// Name identifies the dimension (the cluster resource spec's name).
+	Name string
+	// Total is the machine capacity in the dimension's unit.
+	Total int64
+}
+
 // Capacity describes the machine totals usage ratios are taken against.
 type Capacity struct {
 	// Nodes is the machine node count.
@@ -122,6 +160,8 @@ type Capacity struct {
 	BBGB int64
 	// SSDGB is the aggregate local SSD capacity in GB.
 	SSDGB int64
+	// Extra lists the extra resource dimensions, aligned to Usage.Extra.
+	Extra []DimCapacity
 }
 
 // Report is the §4.2 metric set over one simulation run.
@@ -136,6 +176,10 @@ type Report struct {
 	// WastedSSDFrac is (assigned − requested) SSD-hours / elapsed
 	// SSD-capacity-hours; lower is better (§5 f4).
 	WastedSSDFrac float64
+	// ExtraUsage is the per-extra-dimension usage ratio (used
+	// dimension-hours / elapsed capacity-hours), aligned to the machine's
+	// extra resource specs. Nil on 2-dimension machines.
+	ExtraUsage []DimUsage
 	// AvgWaitSec is the mean job wait time in seconds (§4.2).
 	AvgWaitSec float64
 	// AvgSlowdown is the mean bounded slowdown (§4.2).
@@ -149,6 +193,14 @@ type Report struct {
 	WaitByBB []BucketStat
 	// WaitByRuntime breaks AvgWaitSec down by actual runtime (Fig. 11).
 	WaitByRuntime []BucketStat
+}
+
+// DimUsage is one extra resource dimension's usage ratio.
+type DimUsage struct {
+	// Name identifies the dimension.
+	Name string
+	// Usage is used dimension-hours / elapsed capacity-hours.
+	Usage float64
 }
 
 // BucketStat is one bar of a breakdown figure.
@@ -202,6 +254,13 @@ func Compute(c *Collector, cap Capacity, finished []*job.Job, slowdownFloor int6
 		if cap.SSDGB > 0 {
 			r.SSDUsage = c.ssdRequestedSec / (float64(cap.SSDGB) * elapsed)
 			r.WastedSSDFrac = (c.ssdAssignedSec - c.ssdRequestedSec) / (float64(cap.SSDGB) * elapsed)
+		}
+		for k, dim := range cap.Extra {
+			u := DimUsage{Name: dim.Name}
+			if dim.Total > 0 && k < len(c.extraSec) {
+				u.Usage = c.extraSec[k] / (float64(dim.Total) * elapsed)
+			}
+			r.ExtraUsage = append(r.ExtraUsage, u)
 		}
 	}
 	if len(finished) == 0 {

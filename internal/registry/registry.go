@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bbsched/internal/cluster"
 	"bbsched/internal/core"
 	"bbsched/internal/moo"
 	"bbsched/internal/sched"
@@ -36,12 +37,28 @@ type MethodSpec struct {
 	// NewSSD builds the §5 four-objective variant; nil when the method
 	// has no SSD-specific build (New is used in both rosters).
 	NewSSD Builder
+	// NewDim builds a variant over an explicit per-dimension objective
+	// list generated from a cluster's resource spec (see
+	// sched.ObjectivesFor); nil when the method is dimension-agnostic
+	// (it adapts to any machine through feasibility alone) or has no
+	// generalized build. NewForCluster uses it on machines with extra
+	// resource dimensions.
+	NewDim DimBuilder
+	// Dimensions names the resource dimensions the method's standard
+	// builds optimize (e.g. ["nodes", "bb_gb"]), for listings and
+	// tooling. Nil means the method is dimension-agnostic: it optimizes
+	// (or respects) every dimension the machine defines.
+	Dimensions []string
 	// Section4 and Section5 flag membership in the §4.3 and §5 rosters
 	// returned by the Section4/Section5 builders. Custom methods
 	// registered by downstream code may leave both false: they are
 	// instantiable by name without joining the paper rosters.
 	Section4, Section5 bool
 }
+
+// DimBuilder constructs a method over an explicit objective list, one
+// utilization objective per optimized resource dimension.
+type DimBuilder func(ga moo.GAConfig, objectives []sched.Objective) sched.Method
 
 // builder selects the build for a variant: the four-objective one when
 // asked for (or when it is the only one), the two-objective one
@@ -127,6 +144,26 @@ func New(name string, ga moo.GAConfig, ssd bool) (sched.Method, error) {
 	return spec.builder(ssd)(ga), nil
 }
 
+// NewForCluster instantiates the named method for a concrete machine. On
+// a machine with extra resource dimensions, methods with a NewDim build
+// receive the per-dimension objective list generated from the cluster's
+// resource spec (sched.ObjectivesFor); dimension-agnostic methods and
+// machines without extra dimensions fall back to New, so 2-dimension
+// behaviour is exactly the paper's.
+func NewForCluster(name string, ga moo.GAConfig, cfg cluster.Config, ssd bool) (sched.Method, error) {
+	if len(cfg.Extra) == 0 {
+		return New(name, ga, ssd)
+	}
+	spec, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown method %q (have %v)", name, Names())
+	}
+	if spec.NewDim == nil {
+		return spec.builder(ssd)(ga), nil
+	}
+	return spec.NewDim(ga, sched.ObjectivesFor(cfg, ssd)), nil
+}
+
 // Section4 builds the eight §4.3 comparison methods in the paper's order.
 func Section4(ga moo.GAConfig) []sched.Method {
 	return roster(ga, false)
@@ -151,59 +188,90 @@ func roster(ga moo.GAConfig, ssd bool) []sched.Method {
 	return out
 }
 
+// RosterForCluster builds the §4.3 (or, with ssd, §5) roster for a
+// concrete machine: the same section membership as Section4/Section5,
+// with each member instantiated via NewForCluster so methods with a
+// NewDim build pick up the machine's per-dimension objectives. On a
+// machine without extra dimensions it is exactly Section4/Section5.
+func RosterForCluster(ga moo.GAConfig, cfg cluster.Config, ssd bool) ([]sched.Method, error) {
+	var out []sched.Method
+	for _, spec := range Methods() {
+		if (ssd && !spec.Section5) || (!ssd && !spec.Section4) {
+			continue
+		}
+		m, err := NewForCluster(spec.Name, ga, cfg, ssd)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
 func init() {
 	MustRegister(MethodSpec{
 		Name:     "Baseline",
 		Desc:     "Slurm-style naive: walk the queue in base order until a job does not fit",
 		New:      func(moo.GAConfig) sched.Method { return sched.Baseline{} },
 		Section4: true, Section5: true,
+		// Dimension-agnostic: feasibility in every dimension gates the walk.
 	})
 	MustRegister(MethodSpec{
-		Name:     "Weighted",
-		Desc:     "maximize an equally weighted utilization sum (§4: node+BB 50/50; §5: four objectives 25/25/25/25)",
-		New:      func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted", 0.5, 0.5, ga) },
-		NewSSD:   weightedSSD,
-		Section4: true, Section5: true,
+		Name:   "Weighted",
+		Desc:   "maximize an equally weighted utilization sum (§4: node+BB 50/50; §5: four objectives; N dims: 1/n each)",
+		New:    func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted", 0.5, 0.5, ga) },
+		NewSSD: weightedSSD,
+		NewDim: func(ga moo.GAConfig, objs []sched.Objective) sched.Method {
+			return sched.NewWeightedFor("Weighted", objs, ga)
+		},
+		Dimensions: []string{cluster.ResourceNodes, cluster.ResourceBB},
+		Section4:   true, Section5: true,
 	})
 	MustRegister(MethodSpec{
-		Name:     "Weighted_CPU",
-		Desc:     "weighted utilization sum favoring nodes (80/20)",
-		New:      func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted_CPU", 0.8, 0.2, ga) },
-		Section4: true,
+		Name:       "Weighted_CPU",
+		Desc:       "weighted utilization sum favoring nodes (80/20)",
+		New:        func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted_CPU", 0.8, 0.2, ga) },
+		Dimensions: []string{cluster.ResourceNodes, cluster.ResourceBB},
+		Section4:   true,
 	})
 	MustRegister(MethodSpec{
-		Name:     "Weighted_BB",
-		Desc:     "weighted utilization sum favoring burst buffer (20/80)",
-		New:      func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted_BB", 0.2, 0.8, ga) },
-		Section4: true,
+		Name:       "Weighted_BB",
+		Desc:       "weighted utilization sum favoring burst buffer (20/80)",
+		New:        func(ga moo.GAConfig) sched.Method { return sched.NewWeighted("Weighted_BB", 0.2, 0.8, ga) },
+		Dimensions: []string{cluster.ResourceNodes, cluster.ResourceBB},
+		Section4:   true,
 	})
 	MustRegister(MethodSpec{
-		Name:     "Constrained_CPU",
-		Desc:     "maximize node utilization under the other resources' constraints",
-		New:      constrained("Constrained_CPU", sched.NodeUtil),
-		Section4: true, Section5: true,
+		Name:       "Constrained_CPU",
+		Desc:       "maximize node utilization under the other resources' constraints",
+		New:        constrained("Constrained_CPU", sched.NodeUtil),
+		Dimensions: []string{cluster.ResourceNodes},
+		Section4:   true, Section5: true,
 	})
 	MustRegister(MethodSpec{
-		Name:     "Constrained_BB",
-		Desc:     "maximize burst-buffer utilization under the other resources' constraints",
-		New:      constrained("Constrained_BB", sched.BBUtil),
-		Section4: true, Section5: true,
+		Name:       "Constrained_BB",
+		Desc:       "maximize burst-buffer utilization under the other resources' constraints",
+		New:        constrained("Constrained_BB", sched.BBUtil),
+		Dimensions: []string{cluster.ResourceBB},
+		Section4:   true, Section5: true,
 	})
 	MustRegister(MethodSpec{
-		Name:     "Constrained_SSD",
-		Desc:     "maximize local-SSD utilization under the other resources' constraints (§5 only)",
-		NewSSD:   constrained("Constrained_SSD", sched.SSDUtil),
-		Section5: true,
+		Name:       "Constrained_SSD",
+		Desc:       "maximize local-SSD utilization under the other resources' constraints (§5 only)",
+		NewSSD:     constrained("Constrained_SSD", sched.SSDUtil),
+		Dimensions: []string{cluster.ResourceSSD},
+		Section5:   true,
 	})
 	MustRegister(MethodSpec{
 		Name:     "Bin_Packing",
 		Desc:     "Tetris-style alignment heuristic: repeatedly start the best-aligned fitting job",
 		New:      func(moo.GAConfig) sched.Method { return sched.BinPacking{} },
 		Section4: true, Section5: true,
+		// Dimension-agnostic: the alignment score spans every machine dimension.
 	})
 	MustRegister(MethodSpec{
 		Name: "BBSched",
-		Desc: "the paper's method: MOO solve + §3.2.4 decision rule (§5: four objectives, 4x trade-off)",
+		Desc: "the paper's method: MOO solve + §3.2.4 decision rule (§5: four objectives, 4x trade-off; N dims: one objective per dimension)",
 		New: func(ga moo.GAConfig) sched.Method {
 			b := core.New()
 			b.GA = ga
@@ -211,6 +279,11 @@ func init() {
 		},
 		NewSSD: func(ga moo.GAConfig) sched.Method {
 			b := core.NewFourObjective()
+			b.GA = ga
+			return b
+		},
+		NewDim: func(ga moo.GAConfig, objs []sched.Objective) sched.Method {
+			b := core.NewForObjectives(objs)
 			b.GA = ga
 			return b
 		},

@@ -88,6 +88,17 @@ func NewWeighted(name string, wNode, wBB float64, ga GASolverConfig) *Weighted {
 	return &Weighted{MethodName: name, Objectives: TwoObjectives(), Weights: []float64{wNode, wBB}, GA: ga}
 }
 
+// NewWeightedFor builds an equally weighted method over an arbitrary
+// objective list — typically ObjectivesFor(cfg, ssd), giving every
+// resource dimension weight 1/n.
+func NewWeightedFor(name string, objectives []Objective, ga GASolverConfig) *Weighted {
+	weights := make([]float64, len(objectives))
+	for i := range weights {
+		weights[i] = 1 / float64(len(objectives))
+	}
+	return &Weighted{MethodName: name, Objectives: objectives, Weights: weights, GA: ga}
+}
+
 // Name implements Method.
 func (w *Weighted) Name() string { return w.MethodName }
 
@@ -100,7 +111,7 @@ func (w *Weighted) Select(ctx *Context) ([]int, error) {
 		return nil, nil
 	}
 	inner := NewSelectionProblem(ctx.Window, ctx.Snap, w.Objectives)
-	p := &scalarized{inner: inner, weights: w.Weights, denom: ctx.Totals.denominators(w.Objectives)}
+	p := &scalarized{inner: inner, weights: w.Weights, denom: ctx.Totals.Denominators(w.Objectives)}
 	ev, _ := w.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
 	front, err := moo.SolveGA(ev, w.GA, ctx.Rand)
@@ -213,7 +224,8 @@ func (BinPacking) Select(ctx *Context) ([]int, error) {
 }
 
 // alignment is the Tetris score: ⟨demand, free⟩ with every dimension
-// normalized by machine totals so nodes and bytes are comparable.
+// normalized by machine totals so nodes, bytes, and any extra dimension's
+// units are comparable.
 func alignment(d job.Demand, snap cluster.Snapshot, t Totals) float64 {
 	score := 0.0
 	if t.Nodes > 0 {
@@ -228,6 +240,11 @@ func alignment(d job.Demand, snap cluster.Snapshot, t Totals) float64 {
 			freeSSD += int64(snap.FreeByClass[i]) * snap.ClassCapacity(i)
 		}
 		score += (float64(d.TotalSSD()) / float64(t.SSDGB)) * (float64(freeSSD) / float64(t.SSDGB))
+	}
+	for k := 0; k < snap.NumExtra() && k < len(t.Extra); k++ {
+		if total := t.Extra[k]; total > 0 {
+			score += (float64(d.Extra(k)) / float64(total)) * (float64(snap.FreeExtra[k]) / float64(total))
+		}
 	}
 	return score
 }

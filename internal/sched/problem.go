@@ -15,7 +15,9 @@ import (
 	"bbsched/internal/moo"
 )
 
-// Objective identifies one of the paper's four objectives.
+// Objective identifies one maximized objective: one of the paper's four
+// canonical objectives, or the utilization of an extra resource dimension
+// (see ExtraUtil).
 type Objective int
 
 const (
@@ -30,6 +32,32 @@ const (
 	SSDWasteNeg
 )
 
+// extraUtilBase offsets extra-dimension utilization objectives so they
+// never collide with the canonical objective constants.
+const extraUtilBase Objective = 1 << 16
+
+// ExtraUtil returns the objective maximizing allocation in extra resource
+// dimension k (aligned to the cluster config's Extra specs): Σ eᵢₖ·xᵢ,
+// the natural generalization of f1/f2 to any pool-style dimension.
+func ExtraUtil(k int) Objective {
+	if k < 0 {
+		panic(fmt.Sprintf("sched: negative extra dimension %d", k))
+	}
+	return extraUtilBase + Objective(k)
+}
+
+// IsExtra reports whether o is an extra-dimension utilization objective.
+func (o Objective) IsExtra() bool { return o >= extraUtilBase }
+
+// ExtraIndex returns the extra dimension an ExtraUtil objective targets;
+// it panics on canonical objectives.
+func (o Objective) ExtraIndex() int {
+	if !o.IsExtra() {
+		panic(fmt.Sprintf("sched: %s is not an extra-dimension objective", o))
+	}
+	return int(o - extraUtilBase)
+}
+
 // String returns the objective's short name.
 func (o Objective) String() string {
 	switch o {
@@ -41,9 +69,11 @@ func (o Objective) String() string {
 		return "ssd_util"
 	case SSDWasteNeg:
 		return "ssd_waste_neg"
-	default:
-		return fmt.Sprintf("objective(%d)", int(o))
 	}
+	if o.IsExtra() {
+		return fmt.Sprintf("extra_util(%d)", o.ExtraIndex())
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
 }
 
 // TwoObjectives is the §3.2 CPU + burst-buffer formulation.
@@ -53,6 +83,24 @@ func TwoObjectives() []Objective { return []Objective{NodeUtil, BBUtil} }
 // (negated) SSD waste.
 func FourObjectives() []Objective {
 	return []Objective{NodeUtil, BBUtil, SSDUtil, SSDWasteNeg}
+}
+
+// ObjectivesFor generates the per-dimension utilization objective list
+// from a machine's resource spec instead of the fixed node/BB pair: node
+// and burst-buffer utilization, one ExtraUtil per extra dimension, and —
+// when ssd is set — the §5 SSD utilization/waste pair. On a machine with
+// no extra dimensions this reduces exactly to TwoObjectives (or
+// FourObjectives with ssd), so spec-driven methods coincide with the
+// paper's formulations there.
+func ObjectivesFor(cfg cluster.Config, ssd bool) []Objective {
+	objs := []Objective{NodeUtil, BBUtil}
+	for k := range cfg.Extra {
+		objs = append(objs, ExtraUtil(k))
+	}
+	if ssd {
+		objs = append(objs, SSDUtil, SSDWasteNeg)
+	}
+	return objs
 }
 
 // SelectionProblem is the window job-selection MOO problem of §3.2.1: bit
@@ -66,11 +114,14 @@ type SelectionProblem struct {
 	// Pre-extracted demand columns; on single-node-class machines (no
 	// SSD heterogeneity) Evaluate runs entirely off these sums with no
 	// snapshot clone — the GA calls Evaluate G×P times per scheduling
-	// decision, so this path dominates whole-simulation cost.
+	// decision, so this path dominates whole-simulation cost. extras
+	// holds one column per extra resource dimension of the machine.
 	nodes, bb []int64
+	extras    [][]int64
 	fastPath  bool
 	freeNodes int64
 	freeBB    int64
+	freeExtra []int64
 
 	// scratch pools per-evaluation cluster state so the slow (SSD-class)
 	// path reuses one snapshot + placement buffer across the GA's G×P
@@ -85,6 +136,7 @@ type evalScratch struct {
 	snap   cluster.Snapshot
 	placed []int
 	ones   []int
+	sums   []int64 // per-extra-dimension selection totals
 }
 
 // NewSelectionProblem builds the problem over the window jobs and the
@@ -97,25 +149,49 @@ func NewSelectionProblem(window []*job.Job, snap cluster.Snapshot, objectives []
 	p := &SelectionProblem{jobs: window, snap: snap.Clone(), objectives: objectives}
 	p.nodes = make([]int64, len(window))
 	p.bb = make([]int64, len(window))
+	nExtra := snap.NumExtra()
+	if nExtra > 0 {
+		p.extras = make([][]int64, nExtra)
+		for k := range p.extras {
+			p.extras[k] = make([]int64, len(window))
+		}
+		p.freeExtra = append([]int64(nil), snap.FreeExtra...)
+	}
 	for i, j := range window {
 		p.nodes[i] = int64(j.Demand.NodeCount())
 		p.bb[i] = j.Demand.BB()
+		for k := range p.extras {
+			p.extras[k][i] = j.Demand.Extra(k)
+		}
 	}
 	if snap.NumClasses() == 1 {
 		p.fastPath = true
 		p.freeNodes = int64(snap.FreeNodes())
 		p.freeBB = snap.FreeBB
-		// A per-node SSD demand on a single-class machine still consumes
-		// capacity uniformly; feasibility reduces to the class capacity
-		// check, which Alloc enforces — fall back if any job wants SSD.
 		for _, j := range window {
-			if j.Demand.SSDPerNode() > 0 {
+			// A per-node SSD demand on a single-class machine still consumes
+			// capacity uniformly; feasibility reduces to the class capacity
+			// check, which Alloc enforces — fall back if any job wants SSD.
+			// Likewise fall back when a demand carries dimensions beyond the
+			// machine's (only Alloc knows they make the job unfittable).
+			if j.Demand.SSDPerNode() > 0 || j.Demand.NumExtra() > nExtra {
 				p.fastPath = false
 				break
 			}
 		}
 	}
 	return p
+}
+
+// exceeds reports whether any extra-dimension selection total sums[k]
+// overruns the free pool.
+func (p *SelectionProblem) exceeds(sums []int64) bool {
+	for k, v := range sums {
+		if v > p.freeExtra[k] {
+			return true
+		}
+	}
+	return false
 }
 
 // Dim implements moo.Problem.
@@ -135,6 +211,15 @@ func (p *SelectionProblem) Evaluate(g moo.Genome) ([]float64, bool) {
 		panic(fmt.Sprintf("sched: evaluating %d bits over %d jobs", g.Len(), len(p.jobs)))
 	}
 	var nodes, bb, ssd, waste int64
+	var sc *evalScratch
+	var ex []int64
+	if len(p.extras) > 0 {
+		sc = p.getScratch()
+		ex = sc.sums[:len(p.extras)]
+		for k := range ex {
+			ex[k] = 0
+		}
+	}
 	if p.fastPath {
 		for wi, w := range g.Words() {
 			base := wi * 64
@@ -143,13 +228,21 @@ func (p *SelectionProblem) Evaluate(g moo.Genome) ([]float64, bool) {
 				w &= w - 1
 				nodes += p.nodes[i]
 				bb += p.bb[i]
+				for k := range p.extras {
+					ex[k] += p.extras[k][i]
+				}
 			}
 		}
-		if nodes > p.freeNodes || bb > p.freeBB {
+		if nodes > p.freeNodes || bb > p.freeBB || (ex != nil && p.exceeds(ex)) {
+			if sc != nil {
+				p.scratch.Put(sc)
+			}
 			return nil, false
 		}
 	} else {
-		sc := p.getScratch()
+		if sc == nil {
+			sc = p.getScratch()
+		}
 		sc.snap.CopyFrom(p.snap)
 		ok := true
 		for wi, w := range g.Words() {
@@ -167,30 +260,40 @@ func (p *SelectionProblem) Evaluate(g moo.Genome) ([]float64, bool) {
 				bb += p.bb[i]
 				ssd += d.TotalSSD()
 				waste += placed.WastedSSD
+				for k := range p.extras {
+					ex[k] += p.extras[k][i]
+				}
 			}
 			if !ok {
 				break
 			}
 		}
-		p.scratch.Put(sc)
 		if !ok {
+			p.scratch.Put(sc)
 			return nil, false
 		}
 	}
 	objs := make([]float64, len(p.objectives))
 	for k, o := range p.objectives {
-		switch o {
-		case NodeUtil:
+		switch {
+		case o == NodeUtil:
 			objs[k] = float64(nodes)
-		case BBUtil:
+		case o == BBUtil:
 			objs[k] = float64(bb)
-		case SSDUtil:
+		case o == SSDUtil:
 			objs[k] = float64(ssd)
-		case SSDWasteNeg:
+		case o == SSDWasteNeg:
 			objs[k] = -float64(waste)
+		case o.IsExtra() && o.ExtraIndex() < len(ex):
+			objs[k] = float64(ex[o.ExtraIndex()])
+		case o.IsExtra():
+			objs[k] = 0 // objective over a dimension this machine lacks
 		default:
 			panic("sched: unknown objective " + o.String())
 		}
+	}
+	if sc != nil {
+		p.scratch.Put(sc)
 	}
 	return objs, true
 }
@@ -199,7 +302,10 @@ func (p *SelectionProblem) Evaluate(g moo.Genome) ([]float64, bool) {
 func (p *SelectionProblem) getScratch() *evalScratch {
 	sc, _ := p.scratch.Get().(*evalScratch)
 	if sc == nil {
-		sc = &evalScratch{placed: make([]int, p.snap.NumClasses())}
+		sc = &evalScratch{
+			placed: make([]int, p.snap.NumClasses()),
+			sums:   make([]int64, len(p.extras)),
+		}
 	}
 	return sc
 }
@@ -214,16 +320,26 @@ func (p *SelectionProblem) Repair(g moo.Genome, drop func(n int) int) {
 	on := g.AppendOnes(sc.ones[:0])
 	if p.fastPath {
 		var nodes, bb int64
+		ex := sc.sums[:len(p.extras)]
+		for k := range ex {
+			ex[k] = 0
+		}
 		for _, i := range on {
 			nodes += p.nodes[i]
 			bb += p.bb[i]
+			for k := range p.extras {
+				ex[k] += p.extras[k][i]
+			}
 		}
-		for (nodes > p.freeNodes || bb > p.freeBB) && len(on) > 0 {
+		for (nodes > p.freeNodes || bb > p.freeBB || (len(ex) > 0 && p.exceeds(ex))) && len(on) > 0 {
 			k := drop(len(on))
 			i := on[k]
 			g.SetBit(i, false)
 			nodes -= p.nodes[i]
 			bb -= p.bb[i]
+			for e := range p.extras {
+				ex[e] -= p.extras[e][i]
+			}
 			on = append(on[:k], on[k+1:]...)
 		}
 	} else {
@@ -282,7 +398,7 @@ func (s *scalarized) Evaluate(g moo.Genome) ([]float64, bool) {
 func (s *scalarized) Repair(g moo.Genome, drop func(n int) int) { s.inner.Repair(g, drop) }
 
 // Totals carries machine capacity totals used to normalize objectives in
-// the weighted methods' scalarization.
+// the weighted methods' scalarization and the decision rule.
 type Totals struct {
 	// Nodes is the machine node count.
 	Nodes int
@@ -290,6 +406,11 @@ type Totals struct {
 	BBGB int64
 	// SSDGB is the aggregate local SSD capacity in GB.
 	SSDGB int64
+	// Extra holds the capacity of each extra resource dimension, aligned
+	// to the cluster config's Extra specs. Nil on 2-dimension machines.
+	Extra []int64
+	// ExtraNames labels Extra for reports.
+	ExtraNames []string
 }
 
 // TotalsOf derives Totals from a cluster config.
@@ -298,20 +419,35 @@ func TotalsOf(cfg cluster.Config) Totals {
 	for _, cl := range cfg.SSDClasses {
 		t.SSDGB += cl.CapacityGB * int64(cl.Count)
 	}
+	for _, r := range cfg.Extra {
+		t.Extra = append(t.Extra, r.Capacity)
+		t.ExtraNames = append(t.ExtraNames, r.Name)
+	}
 	return t
 }
 
-// denominators maps objectives to normalization constants.
-func (t Totals) denominators(objectives []Objective) []float64 {
+// ExtraTotal returns extra dimension k's capacity (0 when absent).
+func (t Totals) ExtraTotal(k int) int64 {
+	if k < 0 || k >= len(t.Extra) {
+		return 0
+	}
+	return t.Extra[k]
+}
+
+// Denominators maps objectives to their machine-capacity normalization
+// constants (0 when the machine lacks the dimension).
+func (t Totals) Denominators(objectives []Objective) []float64 {
 	out := make([]float64, len(objectives))
 	for k, o := range objectives {
-		switch o {
-		case NodeUtil:
+		switch {
+		case o == NodeUtil:
 			out[k] = float64(t.Nodes)
-		case BBUtil:
+		case o == BBUtil:
 			out[k] = float64(t.BBGB)
-		case SSDUtil, SSDWasteNeg:
+		case o == SSDUtil || o == SSDWasteNeg:
 			out[k] = float64(t.SSDGB)
+		case o.IsExtra():
+			out[k] = float64(t.ExtraTotal(o.ExtraIndex()))
 		}
 	}
 	return out

@@ -20,9 +20,16 @@ type EventRecord struct {
 	// Nodes and BBGB are the job's demand.
 	Nodes int   `json:"nodes"`
 	BBGB  int64 `json:"bb_gb,omitempty"`
+	// Extra is the job's demand per extra resource dimension; omitted on
+	// 2-dimension machines, so their logs are byte-identical to the
+	// pre-generalization format.
+	Extra []int64 `json:"extra,omitempty"`
 	// UsedNodes and UsedBBGB are machine usage after the event.
 	UsedNodes int   `json:"used_nodes"`
 	UsedBBGB  int64 `json:"used_bb_gb"`
+	// UsedExtra is machine usage per extra dimension after the event;
+	// omitted on 2-dimension machines.
+	UsedExtra []int64 `json:"used_extra,omitempty"`
 	// Queued is the waiting-queue length after the event.
 	Queued int `json:"queued"`
 }
@@ -30,12 +37,22 @@ type EventRecord struct {
 // Record converts an Observer event into its JSONL representation. kind is
 // the EventRecord.Event value ("submit", "start", "end", "bb_release").
 func (ev Event) Record(kind string) EventRecord {
-	return EventRecord{
+	rec := EventRecord{
 		T: ev.T, Event: kind, Job: ev.Job.ID,
 		Nodes: ev.Job.Demand.NodeCount(), BBGB: ev.Job.Demand.BB(),
 		UsedNodes: ev.UsedNodes, UsedBBGB: ev.UsedBBGB,
-		Queued: ev.Queued,
+		UsedExtra: ev.UsedExtra,
+		Queued:    ev.Queued,
 	}
+	if len(ev.UsedExtra) > 0 {
+		// Pad the demand to the machine's dimensionality so every record
+		// carries aligned vectors.
+		rec.Extra = make([]int64, len(ev.UsedExtra))
+		for k := range rec.Extra {
+			rec.Extra[k] = ev.Job.Demand.Extra(k)
+		}
+	}
+	return rec
 }
 
 // jsonlObserver streams EventRecords to a writer, one JSON object per

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/trace"
+)
+
+// TestThreeResourceScenarioEndToEnd drives the scenario the 2-dimension
+// engine could not express: a nodes + burst-buffer + power-budget cluster
+// with a deliberately tight power cap, end to end through generation,
+// variant expansion, demand retrofit, dimension-aware method construction,
+// simulation, and per-dimension reporting.
+func TestThreeResourceScenarioEndToEnd(t *testing.T) {
+	sys := trace.Scale(trace.Theta(), 64)
+	// ~2 kW/node would need ~136 kW to power the whole machine; 90 kW
+	// guarantees the power dimension binds before the node dimension.
+	sys = trace.WithExtraResource(sys, cluster.ResourceSpec{Name: "power_kw", Capacity: 90, Unit: "kW"})
+	base := trace.Generate(trace.GenConfig{System: sys, Jobs: 120, Seed: 33})
+	base.Name = "Theta/64-Original"
+	w, err := trace.ApplyVariant(base, "S2", 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = trace.AddExtraDemand(w, "Theta/64-S2+power", 0, 1, 4, 1.0, 33)
+
+	for _, method := range []string{"Baseline", "Weighted", "BBSched"} {
+		recs, res := runRecorded(t, w, method, true)
+		if res.MeasuredJobs == 0 {
+			t.Fatalf("%s: no jobs measured", method)
+		}
+		// The power cap must never be exceeded at any event instant.
+		peak := int64(0)
+		for i, rec := range recs {
+			if len(rec.UsedExtra) != 1 {
+				t.Fatalf("%s: event %d has %d extra dims, want 1", method, i, len(rec.UsedExtra))
+			}
+			if rec.UsedExtra[0] > 90 {
+				t.Fatalf("%s: event %d uses %d kW over the 90 kW budget", method, i, rec.UsedExtra[0])
+			}
+			if rec.UsedExtra[0] > peak {
+				peak = rec.UsedExtra[0]
+			}
+		}
+		if peak == 0 {
+			t.Fatalf("%s: power dimension never used", method)
+		}
+		// Per-dimension utilization must be reported and meaningful.
+		if len(res.ExtraUsage) != 1 || res.ExtraUsage[0].Name != "power_kw" {
+			t.Fatalf("%s: ExtraUsage = %+v, want one power_kw entry", method, res.ExtraUsage)
+		}
+		if u := res.ExtraUsage[0].Usage; u <= 0 || u > 1 {
+			t.Fatalf("%s: power usage ratio %v outside (0, 1]", method, u)
+		}
+	}
+}
+
+// TestSimulatorUtilizationVector checks the mid-run per-dimension
+// inspection API on a 3-resource machine.
+func TestSimulatorUtilizationVector(t *testing.T) {
+	sys := trace.Scale(trace.Theta(), 64)
+	sys = trace.WithExtraResource(sys, cluster.ResourceSpec{Name: "power_kw", Capacity: 100, Unit: "kW"})
+	base := trace.Generate(trace.GenConfig{System: sys, Jobs: 40, Seed: 5})
+	base.Name = "Theta/64-Original"
+	w := trace.AddExtraDemand(base, "powered", 0, 1, 3, 1.0, 5)
+
+	s, err := NewSimulator(w, fastBBSched(), WithWindow(5, 50), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := s.ResourceNames()
+	if len(names) != 3 || names[0] != "nodes" || names[1] != "bb_gb" || names[2] != "power_kw" {
+		t.Fatalf("ResourceNames = %v", names)
+	}
+	sawPower := false
+	for {
+		more, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		v := s.UtilizationVector()
+		if len(v) != 3 {
+			t.Fatalf("UtilizationVector has %d entries, want 3", len(v))
+		}
+		for k, f := range v {
+			if f < 0 || f > 1 {
+				t.Fatalf("dimension %s utilization %v outside [0,1]", names[k], f)
+			}
+		}
+		if v[2] > 0 {
+			sawPower = true
+		}
+	}
+	if !sawPower {
+		t.Fatal("power utilization never rose above zero")
+	}
+}

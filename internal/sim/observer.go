@@ -18,6 +18,10 @@ type Event struct {
 	// UsedNodes and UsedBBGB are machine usage after the event.
 	UsedNodes int
 	UsedBBGB  int64
+	// UsedExtra is machine usage per extra resource dimension after the
+	// event, aligned to the cluster config's Extra specs. Nil on
+	// 2-dimension machines.
+	UsedExtra []int64
 	// Queued is the waiting-queue length after the event.
 	Queued int
 }

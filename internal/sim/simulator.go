@@ -142,6 +142,7 @@ type Simulator struct {
 	q      *queue.Queue
 	plugin *core.Plugin
 	totals sched.Totals
+	extra  []cluster.ResourceSpec // the machine's extra resource dimensions
 	rand   *rng.Stream
 
 	events   eventHeap
@@ -212,12 +213,16 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 		q:         queue.New(pol),
 		plugin:    plugin,
 		totals:    sched.TotalsOf(wc.System.Cluster),
+		extra:     wc.System.Cluster.Extra,
 		rand:      rng.New(opt.seed).Split("sim:" + wc.Name + ":" + method.Name()),
 		observers: opt.observers,
 		running:   make(map[int]*runningJob),
 		done:      make(map[int]bool),
 		warmEnd:   int64(float64(horizon) * opt.warmupFrac),
 		coolStart: horizon - int64(float64(horizon)*opt.cooldownFrac),
+	}
+	if len(s.extra) > 0 {
+		s.usage.Extra = make([]int64, len(s.extra))
 	}
 	for _, o := range s.observers {
 		if f, ok := o.(failingObserver); ok {
@@ -273,6 +278,30 @@ func (s *Simulator) Utilization() (nodeFrac, bbFrac float64) {
 		bbFrac = float64(s.usage.BBGB) / float64(s.totals.BBGB)
 	}
 	return nodeFrac, bbFrac
+}
+
+// ResourceNames returns the machine's pool-dimension names in vector
+// order: "nodes", "bb_gb", then every extra resource spec's name.
+func (s *Simulator) ResourceNames() []string {
+	names := []string{cluster.ResourceNodes, cluster.ResourceBB}
+	for _, r := range s.extra {
+		names = append(names, r.Name)
+	}
+	return names
+}
+
+// UtilizationVector returns the instantaneous usage fraction of every
+// pool dimension, aligned to ResourceNames (0 where the machine has no
+// capacity in a dimension).
+func (s *Simulator) UtilizationVector() []float64 {
+	out := make([]float64, 2+len(s.extra))
+	out[0], out[1] = s.Utilization()
+	for k, r := range s.extra {
+		if r.Capacity > 0 {
+			out[2+k] = float64(s.usage.Extra[k]) / float64(r.Capacity)
+		}
+	}
+	return out
 }
 
 // Invocations returns the number of scheduling passes run so far.
@@ -375,6 +404,9 @@ func (s *Simulator) Result() (*Result, error) {
 		}
 	}
 	capTotals := metrics.Capacity{Nodes: s.totals.Nodes, BBGB: s.totals.BBGB, SSDGB: s.totals.SSDGB}
+	for _, r := range s.extra {
+		capTotals.Extra = append(capTotals.Extra, metrics.DimCapacity{Name: r.Name, Total: r.Capacity})
+	}
 	rep := metrics.Compute(&s.collector, capTotals, measured, s.opt.slowdownFloor, s.opt.buckets)
 	res := &Result{
 		Report:           rep,
@@ -402,7 +434,8 @@ func (s *Simulator) emitJob(kind string, j *job.Job) error {
 	ev := Event{
 		T: s.now, Job: j,
 		UsedNodes: s.cl.UsedNodes(), UsedBBGB: s.cl.UsedBB(),
-		Queued: s.q.Len(),
+		UsedExtra: s.cl.UsedExtras(),
+		Queued:    s.q.Len(),
 	}
 	for _, o := range s.observers {
 		switch kind {
@@ -480,6 +513,11 @@ func (s *Simulator) observeStart(r *runningJob) {
 	s.usage.BBGB += r.j.Demand.BB()
 	s.usage.SSDRequestedGB += r.j.Demand.TotalSSD()
 	s.usage.SSDAssignedGB += r.j.Demand.TotalSSD() + r.alloc.WastedSSD
+	// Read extras off the demand, not the allocation: like NodesByClass,
+	// alloc.Extra is zeroed in place by ReleaseNodes.
+	for k := range s.usage.Extra {
+		s.usage.Extra[k] += r.j.Demand.Extra(k)
+	}
 	s.collector.Observe(s.now, s.usage)
 }
 
@@ -487,6 +525,10 @@ func (s *Simulator) observeNodeRelease(r *runningJob) {
 	s.usage.Nodes -= r.j.Demand.NodeCount()
 	s.usage.SSDRequestedGB -= r.j.Demand.TotalSSD()
 	s.usage.SSDAssignedGB -= r.j.Demand.TotalSSD() + r.alloc.WastedSSD
+	// Extra dimensions are compute-coupled: they free with the nodes.
+	for k := range s.usage.Extra {
+		s.usage.Extra[k] -= r.j.Demand.Extra(k)
+	}
 	s.collector.Observe(s.now, s.usage)
 }
 
@@ -549,13 +591,14 @@ func (s *Simulator) schedule() error {
 				runs = append(runs, backfill.Running{ReleaseTime: r.bbRelease, BB: r.j.Demand.BB()})
 			case r.j.StageOutSec > 0 && r.j.Demand.BB() > 0:
 				runs = append(runs,
-					backfill.Running{ReleaseTime: r.release, NodesByClass: r.alloc.NodesByClass},
+					backfill.Running{ReleaseTime: r.release, NodesByClass: r.alloc.NodesByClass, Extra: r.alloc.Extra},
 					backfill.Running{ReleaseTime: r.release + r.j.StageOutSec, BB: r.j.Demand.BB()})
 			default:
 				runs = append(runs, backfill.Running{
 					ReleaseTime:  r.release,
 					NodesByClass: r.alloc.NodesByClass,
 					BB:           r.j.Demand.BB(),
+					Extra:        r.alloc.Extra,
 				})
 			}
 		}

@@ -10,14 +10,29 @@ import (
 	"bbsched/internal/job"
 )
 
-// csvHeader is the column layout of the on-disk trace format, an SWF-like
-// CSV with explicit multi-resource columns.
+// csvHeader is the fixed column prefix of the on-disk trace format, an
+// SWF-like CSV with explicit multi-resource columns. Extra resource
+// dimensions append one "res:<name>" column each after the fixed prefix,
+// aligned to the cluster config's Extra specs; a file without res:
+// columns is byte-identical to the pre-generalization format.
 var csvHeader = []string{"id", "user", "submit", "runtime", "walltime", "nodes", "bb_gb", "ssd_gb_per_node", "stageout", "deps"}
 
-// WriteCSV serializes jobs to w in the repository's trace format.
-func WriteCSV(w io.Writer, jobs []*job.Job) error {
+// extraColPrefix marks an extra-resource-dimension column.
+const extraColPrefix = "res:"
+
+// WriteCSV serializes jobs to w in the repository's trace format. Each
+// extraNames entry appends one "res:<name>" column carrying the jobs'
+// demand in that extra dimension (in spec order).
+func WriteCSV(w io.Writer, jobs []*job.Job, extraNames ...string) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	header := csvHeader
+	if len(extraNames) > 0 {
+		header = append(append([]string(nil), csvHeader...), make([]string, len(extraNames))...)
+		for i, n := range extraNames {
+			header[len(csvHeader)+i] = extraColPrefix + n
+		}
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, j := range jobs {
@@ -37,6 +52,9 @@ func WriteCSV(w io.Writer, jobs []*job.Job) error {
 			strconv.FormatInt(j.StageOutSec, 10),
 			strings.Join(deps, ";"),
 		}
+		for k := range extraNames {
+			rec = append(rec, strconv.FormatInt(j.Demand.Extra(k), 10))
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -45,19 +63,40 @@ func WriteCSV(w io.Writer, jobs []*job.Job) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace written by WriteCSV and validates the workload.
+// ReadCSV parses a trace written by WriteCSV and validates the workload,
+// discarding the extra-dimension names (see ReadCSVNamed).
 func ReadCSV(r io.Reader) ([]*job.Job, error) {
+	jobs, _, err := ReadCSVNamed(r)
+	return jobs, err
+}
+
+// ReadCSVNamed parses a trace written by WriteCSV, returning the jobs and
+// the names of any extra resource dimensions found ("res:<name>" columns,
+// in file order — the demand vector's extra indices align with it).
+func ReadCSVNamed(r io.Reader) ([]*job.Job, []string, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) < len(csvHeader) {
+		return nil, nil, fmt.Errorf("trace: header has %d columns, want at least %d", len(header), len(csvHeader))
 	}
 	for i, col := range csvHeader {
 		if header[i] != col {
-			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], col)
+			return nil, nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], col)
 		}
 	}
+	var extraNames []string
+	for _, col := range header[len(csvHeader):] {
+		name := strings.TrimPrefix(col, extraColPrefix)
+		if name == col || name == "" {
+			return nil, nil, fmt.Errorf("trace: extra header column %q must be %q-prefixed and named", col, extraColPrefix)
+		}
+		extraNames = append(extraNames, name)
+	}
+	// The header fixed the record width; the csv reader now enforces it
+	// (FieldsPerRecord was set from the first read).
 	var jobs []*job.Job
 	line := 1
 	for {
@@ -66,22 +105,22 @@ func ReadCSV(r io.Reader) ([]*job.Job, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		line++
-		j, err := parseRecord(rec)
+		j, err := parseRecord(rec, len(extraNames))
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		jobs = append(jobs, j)
 	}
 	if err := job.ValidateWorkload(jobs); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		return nil, nil, fmt.Errorf("trace: %w", err)
 	}
-	return jobs, nil
+	return jobs, extraNames, nil
 }
 
-func parseRecord(rec []string) (*job.Job, error) {
+func parseRecord(rec []string, nExtra int) (*job.Job, error) {
 	id, err := strconv.Atoi(rec[0])
 	if err != nil {
 		return nil, fmt.Errorf("id: %w", err)
@@ -94,7 +133,15 @@ func parseRecord(rec []string) (*job.Job, error) {
 		}
 		ints[i] = v
 	}
-	d := job.NewDemand(int(ints[3]), ints[4], ints[5])
+	extras := make([]int64, nExtra)
+	for k := range extras {
+		v, err := strconv.ParseInt(rec[len(csvHeader)+k], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("extra column %d: %w", k, err)
+		}
+		extras[k] = v
+	}
+	d := job.NewDemandVector(int(ints[3]), ints[4], ints[5], extras...)
 	j, err := job.New(id, ints[0], ints[1], ints[2], d)
 	if err != nil {
 		return nil, err

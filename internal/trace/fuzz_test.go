@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"bbsched/internal/job"
+)
+
+// Native Go fuzz targets for the two trace parsers. Both properties are
+// the same: arbitrary input must never panic — malformed fields, negative
+// demands, and huge widths surface as errors — and any input the parser
+// accepts must form a valid workload that survives a write/re-read round
+// trip. Seed corpora live in testdata/fuzz/<target>/; CI runs each target
+// for 30s per push on top of the seeds executing in every `go test`.
+
+func FuzzParseCSV(f *testing.F) {
+	var plain, extras bytes.Buffer
+	js := []*job.Job{
+		job.MustNew(0, 0, 100, 200, job.NewDemand(4, 512, 0)),
+		job.MustNew(1, 5, 60, 60, job.NewDemand(1, 0, 128)),
+	}
+	js[1].Deps = []int{0}
+	js[1].User = "alice"
+	if err := WriteCSV(&plain, js); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	jv := []*job.Job{job.MustNew(0, 0, 100, 200, job.NewDemandVector(4, 512, 0, 75, 3))}
+	if err := WriteCSV(&extras, jv, "power_kw", "nvram_gb"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(extras.Bytes())
+	f.Add([]byte("id,user,submit\n"))
+	f.Add([]byte("id,user,submit,runtime,walltime,nodes,bb_gb,ssd_gb_per_node,stageout,deps\n9,bob,-3,1,1,1,0,0,0,"))
+	f.Add([]byte("id,user,submit,runtime,walltime,nodes,bb_gb,ssd_gb_per_node,stageout,deps,res:x\n0,u,0,1,1,1,0,0,0,,99999999999999999999\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, names, err := ReadCSVNamed(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		if err := job.ValidateWorkload(jobs); err != nil {
+			t.Fatalf("accepted workload fails validation: %v", err)
+		}
+		// Round trip: what we serialize must parse back to the same jobs.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, jobs, names...); err != nil {
+			t.Fatalf("re-serializing accepted workload: %v", err)
+		}
+		again, names2, err := ReadCSVNamed(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing serialized workload: %v", err)
+		}
+		if len(again) != len(jobs) || len(names2) != len(names) {
+			t.Fatalf("round trip: %d jobs/%d dims, want %d/%d", len(again), len(names2), len(jobs), len(names))
+		}
+		for i, j := range jobs {
+			r := again[i]
+			if r.ID != j.ID || r.SubmitTime != j.SubmitTime || r.Runtime != j.Runtime ||
+				r.WalltimeEst != j.WalltimeEst || r.StageOutSec != j.StageOutSec ||
+				!r.Demand.Equal(j.Demand) || len(r.Deps) != len(j.Deps) {
+				t.Fatalf("round trip changed job %d: %+v vs %+v", i, r, j)
+			}
+		}
+	})
+}
+
+func FuzzParseSWF(f *testing.F) {
+	f.Add([]byte("; comment\n1 0 -1 100 64 -1 -1 64 200 -1 1 3 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 0 -1 100 64 -1 2048 64 200 4096 1 3 -1 -1 -1 -1 -1 -1\n" +
+		"2 50 -1 60 8 -1 -1 8 60 -1 1 4 -1 -1 -1 -1 1 -1\n"))
+	f.Add([]byte("1 0 -1 1e300 64 -1 -1 64 NaN -1 1 3 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 -5 -1 100 9223372036854775807 -1 -1 9e18 200 -1 1 3 -1 -1 -1 -1 -1 -1\n"))
+
+	optSets := []SWFOptions{
+		{MaxJobs: 200},
+		{CoresPerNode: 4, SkipFailed: true, MaxJobs: 200},
+		{MemoryAsDim: "mem_kb", MaxJobs: 200},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opts := range optSets {
+			jobs, err := ReadSWF(bytes.NewReader(data), opts)
+			if err != nil {
+				continue // rejected input; no panic is the requirement
+			}
+			if err := job.ValidateWorkload(jobs); err != nil {
+				t.Fatalf("opts %+v: accepted workload fails validation: %v", opts, err)
+			}
+			for i, j := range jobs {
+				if j.ID != i {
+					t.Fatalf("opts %+v: job IDs not dense: jobs[%d].ID = %d", opts, i, j.ID)
+				}
+				if i > 0 && j.SubmitTime < jobs[i-1].SubmitTime {
+					t.Fatalf("opts %+v: jobs not sorted by submit at %d", opts, i)
+				}
+				if j.WalltimeEst < j.Runtime {
+					t.Fatalf("opts %+v: job %d walltime %d < runtime %d", opts, i, j.WalltimeEst, j.Runtime)
+				}
+			}
+		}
+	})
+}

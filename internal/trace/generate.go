@@ -241,7 +241,7 @@ func ExpandBB(w Workload, name string, frac float64, floorGB int64, seed uint64)
 		need = len(without)
 	}
 	for _, j := range without[:need] {
-		j.Demand[job.BurstBufferGB] = draw()
+		j.Demand.Set(job.BurstBufferGB, draw())
 	}
 	return out
 }
@@ -283,7 +283,7 @@ func AddSSD(w Workload, name string, mix SSDMix, seed uint64) Workload {
 		} else {
 			ssd = 128 + s.Int63n(128) + 1 // (128,256]
 		}
-		j.Demand[job.LocalSSDGBPerNode] = ssd
+		j.Demand.Set(job.LocalSSDGBPerNode, ssd)
 	}
 	return out
 }
@@ -329,6 +329,43 @@ func BBFloors(w Workload) (moderate, heavy int64) {
 		heavy = moderate * 4
 	}
 	return moderate, heavy
+}
+
+// AddExtraDemand returns a copy of w (renamed unless name is empty) whose
+// jobs carry demands in extra resource dimension dim: with probability
+// frac a job requests nodes × uniform[perNodeMin, perNodeMax], clamped to
+// the machine's capacity in that dimension so the workload stays
+// schedulable. Like AddSSD/ExpandBB it retrofits demands onto an already
+// generated workload, leaving the generator's RNG streams — and therefore
+// every other column of the trace — untouched.
+func AddExtraDemand(w Workload, name string, dim int, perNodeMin, perNodeMax int64, frac float64, seed uint64) Workload {
+	out := w.Clone()
+	if name != "" {
+		out.Name = name
+	}
+	if dim < 0 || dim >= len(out.System.Cluster.Extra) {
+		panic(fmt.Sprintf("trace: extra dimension %d outside the system's %d extra resources", dim, len(out.System.Cluster.Extra)))
+	}
+	capTotal := out.System.Cluster.Extra[dim].Capacity
+	if perNodeMax < perNodeMin {
+		perNodeMax = perNodeMin
+	}
+	s := rng.New(seed).Split("extra:" + out.Name + ":" + out.System.Cluster.Extra[dim].Name)
+	for _, j := range out.Jobs {
+		if !s.Bool(frac) {
+			continue
+		}
+		perNode := perNodeMin
+		if span := perNodeMax - perNodeMin; span > 0 {
+			perNode += s.Int63n(span + 1)
+		}
+		v := perNode * int64(j.Demand.NodeCount())
+		if v > capTotal {
+			v = capTotal
+		}
+		j.Demand.Set(job.NumResources+job.Resource(dim), v)
+	}
+	return out
 }
 
 // WithStageOut returns a copy of w whose burst-buffer jobs carry stage-out

@@ -109,6 +109,16 @@ func Scale(m SystemModel, factor int) SystemModel {
 	if floor := out.Cluster.BurstBufferGB / 4; out.MaxBBRequestGB < floor {
 		out.MaxBBRequestGB = floor
 	}
+	if len(m.Cluster.Extra) > 0 {
+		extra := make([]cluster.ResourceSpec, len(m.Cluster.Extra))
+		copy(extra, m.Cluster.Extra)
+		for i := range extra {
+			if extra[i].Capacity = extra[i].Capacity / int64(factor); extra[i].Capacity < 1 {
+				extra[i].Capacity = 1
+			}
+		}
+		out.Cluster.Extra = extra
+	}
 	if len(m.Cluster.SSDClasses) > 0 {
 		classes := make([]cluster.SSDClass, len(m.Cluster.SSDClasses))
 		copy(classes, m.Cluster.SSDClasses)
@@ -137,6 +147,18 @@ func WithPersistentBB(m SystemModel, frac float64) SystemModel {
 	}
 	out := m
 	out.PersistentBBGB = int64(frac * float64(m.Cluster.BurstBufferGB))
+	return out
+}
+
+// WithExtraResource returns a copy of m whose cluster gains one extra
+// pool-style resource dimension (a power budget, NVRAM tier, network
+// injection bandwidth, …). Dimension order is append order; jobs address
+// it as extra index len(Extra)-1.
+func WithExtraResource(m SystemModel, spec cluster.ResourceSpec) SystemModel {
+	out := m
+	extra := make([]cluster.ResourceSpec, 0, len(m.Cluster.Extra)+1)
+	extra = append(extra, m.Cluster.Extra...)
+	out.Cluster.Extra = append(extra, spec)
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -27,6 +28,12 @@ type SWFOptions struct {
 	SkipFailed bool
 	// MaxJobs caps the import (0 = no cap).
 	MaxJobs int
+	// MemoryAsDim, when non-empty, maps the SWF requested-memory column
+	// (KB per processor; falls back to used memory when absent) onto
+	// extra resource dimension 0 as a total-KB demand (memory ×
+	// processors, saturating at job.MaxDemand). Pair the import with a
+	// system whose first extra resource spec carries this name.
+	MemoryAsDim string
 }
 
 // swf field indices (0-based) per the SWF v2.2 definition.
@@ -86,6 +93,17 @@ func ReadSWF(r io.Reader, opts SWFOptions) ([]*job.Job, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: swf line %d field %d: %w", line, i+1, err)
 			}
+			if math.IsNaN(fv) {
+				return nil, fmt.Errorf("trace: swf line %d field %d: NaN value", line, i+1)
+			}
+			// Clamp before converting: float→int64 overflow behaviour is
+			// implementation-defined in Go, and no SWF semantics exceed the
+			// demand cap anyway.
+			if fv > float64(job.MaxDemand) {
+				fv = float64(job.MaxDemand)
+			} else if fv < -float64(job.MaxDemand) {
+				fv = -float64(job.MaxDemand)
+			}
 			v[i] = int64(fv)
 		}
 		if opts.SkipFailed && v[swfStatus] != 1 {
@@ -116,7 +134,18 @@ func ReadSWF(r io.Reader, opts SWFOptions) ([]*job.Job, error) {
 		if submit < 0 {
 			submit = 0
 		}
-		j, err := job.New(len(jobs), submit, runtime, walltime, job.NewDemand(nodes, 0, 0))
+		d := job.NewDemand(nodes, 0, 0)
+		if opts.MemoryAsDim != "" {
+			mem := v[swfReqMem]
+			if mem <= 0 {
+				mem = v[swfUsedMem]
+			}
+			if mem < 0 {
+				mem = 0
+			}
+			d = job.NewDemandVector(nodes, 0, 0, saturatingMul(mem, procs))
+		}
+		j, err := job.New(len(jobs), submit, runtime, walltime, d)
 		if err != nil {
 			return nil, fmt.Errorf("trace: swf line %d: %w", line, err)
 		}
@@ -156,6 +185,21 @@ func ReadSWF(r io.Reader, opts SWFOptions) ([]*job.Job, error) {
 		return nil, fmt.Errorf("trace: swf: %w", err)
 	}
 	return jobs, nil
+}
+
+// saturatingMul multiplies non-negative a×b, clamping to job.MaxDemand so
+// hostile or corrupt archive values can never overflow int64 demand math.
+func saturatingMul(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > job.MaxDemand/b {
+		return job.MaxDemand
+	}
+	if v := a * b; v <= job.MaxDemand {
+		return v
+	}
+	return job.MaxDemand
 }
 
 // WriteSWF serializes jobs as SWF. Nodes export as processor counts times

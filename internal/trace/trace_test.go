@@ -80,7 +80,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	b := Generate(GenConfig{System: smallTheta(), Jobs: 200, Seed: 7})
 	for i := range a.Jobs {
 		ja, jb := a.Jobs[i], b.Jobs[i]
-		if ja.Demand != jb.Demand || ja.SubmitTime != jb.SubmitTime ||
+		if !ja.Demand.Equal(jb.Demand) || ja.SubmitTime != jb.SubmitTime ||
 			ja.Runtime != jb.Runtime || ja.WalltimeEst != jb.WalltimeEst || ja.User != jb.User {
 			t.Fatalf("job %d differs between identical seeds", i)
 		}
@@ -88,7 +88,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	c := Generate(GenConfig{System: smallTheta(), Jobs: 200, Seed: 8})
 	diff := 0
 	for i := range a.Jobs {
-		if a.Jobs[i].Demand != c.Jobs[i].Demand || a.Jobs[i].Runtime != c.Jobs[i].Runtime {
+		if !a.Jobs[i].Demand.Equal(c.Jobs[i].Demand) || a.Jobs[i].Runtime != c.Jobs[i].Runtime {
 			diff++
 		}
 	}
@@ -280,7 +280,7 @@ func TestApplyVariantMatchesMatrix(t *testing.T) {
 			t.Fatalf("%s: %d jobs vs matrix %d", v, len(got.Jobs), len(want.Jobs))
 		}
 		for i, j := range got.Jobs {
-			if j.Demand != want.Jobs[i].Demand || j.SubmitTime != want.Jobs[i].SubmitTime {
+			if !j.Demand.Equal(want.Jobs[i].Demand) || j.SubmitTime != want.Jobs[i].SubmitTime {
 				t.Fatalf("%s: job %d differs from matrix build", v, i)
 			}
 		}
@@ -313,7 +313,7 @@ func TestCSVRoundTrip(t *testing.T) {
 	for i, j := range w.Jobs {
 		b := back[i]
 		if b.ID != j.ID || b.SubmitTime != j.SubmitTime || b.Runtime != j.Runtime ||
-			b.WalltimeEst != j.WalltimeEst || b.Demand != j.Demand || b.User != j.User {
+			b.WalltimeEst != j.WalltimeEst || !b.Demand.Equal(j.Demand) || b.User != j.User {
 			t.Fatalf("job %d mismatch after round trip:\n got %+v\nwant %+v", i, b, j)
 		}
 		if len(b.Deps) != len(j.Deps) {
@@ -418,7 +418,7 @@ func TestWorkloadCloneIndependent(t *testing.T) {
 
 func TestValidateCatchesOversizedJob(t *testing.T) {
 	w := Generate(GenConfig{System: smallCori(), Jobs: 10, Seed: 37})
-	w.Jobs[0].Demand[job.Nodes] = int64(w.System.Cluster.Nodes + 1)
+	w.Jobs[0].Demand.Set(job.Nodes, int64(w.System.Cluster.Nodes+1))
 	if err := w.Validate(); err == nil {
 		t.Fatal("oversized job accepted")
 	}
