@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench bench-smoke sweep-smoke fuzz-smoke cover-gate lint fmt vet staticcheck clean
+.PHONY: all build test test-full race bench bench-smoke bench-json bench-check sweep-smoke fuzz-smoke cover-gate lint fmt vet staticcheck clean
 
 all: lint build test
 
@@ -31,6 +31,20 @@ bench-smoke:
 
 bench-solver:
 	$(GO) test -bench='^BenchmarkSolveGA' -benchtime=20x -run='^$$' ./internal/moo
+
+# Engine throughput trajectory: run the 20k-job sim benches (reworked
+# engine + frozen pre-rework reference) and write/refresh the committed
+# BENCH_sim.json baseline.
+bench-json:
+	$(GO) test -bench '^BenchmarkSimThroughput' -benchtime=3x -run '^$$' ./internal/sim | \
+		$(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# Regression gate: re-run the engine bench and fail if jobs/sec drops
+# >20% (or allocs/event grows >20%) vs the committed baseline. The
+# nightly CI job runs this.
+bench-check:
+	$(GO) test -bench '^BenchmarkSimThroughput$$' -benchtime=3x -run '^$$' ./internal/sim | \
+		$(GO) run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.20
 
 # Guard the parallel RunSweep driver against races and nondeterminism:
 # tiny method × seed grids (2 × 2) under -race, parallel vs serial.

@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -123,6 +125,8 @@ func main() {
 		sweep      = flag.String("sweep", "", "comma-separated methods (or 'all') to sweep instead of one -method run")
 		seedList   = flag.String("seeds", "", "comma-separated sweep seeds (default: -seed)")
 		workers    = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 
 		extraRes     extraResFlag
 		extraDemands extraDemandFlag
@@ -130,6 +134,15 @@ func main() {
 	flag.Var(&extraRes, "extra", "declare an extra resource dimension as name:capacity[:unit] (repeatable)")
 	flag.Var(&extraDemands, "extra-demand", "give jobs demands in an -extra dimension as name:min-max[:frac] per node (repeatable)")
 	flag.Parse()
+
+	// Profiling hooks: grab pprof data from real single runs and sweeps,
+	// so perf work can profile production-shaped workloads instead of
+	// synthetic benches. stopProfiles runs on every exit path (fail()
+	// included) to keep the CPU profile well-formed.
+	if err := startProfiles(*cpuProf, *memProf); err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	if *listM {
 		for _, spec := range registry.Methods() {
@@ -383,7 +396,58 @@ func printResult(r *sim.Result) {
 		r.SchedInvocations, r.AvgDecisionTime, r.MaxDecisionTime)
 }
 
+// profileCleanup finishes any active profiles; set by startProfiles.
+var profileCleanup func()
+
+// startProfiles begins CPU profiling and/or arms the exit-time heap
+// profile write. Either path may be empty.
+func startProfiles(cpuPath, memPath string) error {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle accounting so the profile reflects live heap
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "bbsim: memprofile:", err)
+			}
+		})
+	}
+	profileCleanup = func() {
+		for _, stop := range stops {
+			stop()
+		}
+		profileCleanup = nil
+	}
+	return nil
+}
+
+func stopProfiles() {
+	if profileCleanup != nil {
+		profileCleanup()
+	}
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "bbsim:", err)
+	stopProfiles()
 	os.Exit(1)
 }

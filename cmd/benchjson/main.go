@@ -1,0 +1,262 @@
+// Command benchjson turns `go test -bench` output into a committed JSON
+// perf trajectory and gates CI on it.
+//
+// Two modes:
+//
+//	# parse bench output from stdin and write/refresh the baseline
+//	go test -bench '^BenchmarkSimThroughput$' -benchtime=3x -run '^$' ./internal/sim | \
+//	    go run ./cmd/benchjson -out BENCH_sim.json
+//
+//	# parse a fresh run from stdin and fail if it regressed vs the baseline
+//	go test -bench '^BenchmarkSimThroughput$' -benchtime=3x -run '^$' ./internal/sim | \
+//	    go run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.2
+//
+// The check compares every benchmark present in both runs: jobs/sec (and
+// any other higher-is-better rate metric) must not drop more than
+// -max-regress relative to the baseline, and allocs/event — which is
+// machine-independent, so it gates reliably even when CI hardware differs
+// from the machine that produced the baseline — must not grow more than
+// the same fraction.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -cpus suffix stripped.
+	Name string `json:"name"`
+	// Iters is the harness iteration count.
+	Iters int64 `json:"iters"`
+	// Metrics maps unit -> value (ns/op, B/op, allocs/op, plus every
+	// b.ReportMetric unit such as jobs/sec and allocs/event).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the committed BENCH_*.json layout.
+type File struct {
+	// GeneratedAt is the RFC 3339 timestamp of the run.
+	GeneratedAt string `json:"generated_at"`
+	// Pkg and Host record the package and CPU lines from the bench
+	// header, for provenance when comparing across machines.
+	Pkg  string `json:"pkg,omitempty"`
+	Host string `json:"host,omitempty"`
+	// Benchmarks lists the parsed results, sorted by name.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the parsed run to this JSON file")
+		check      = flag.String("check", "", "compare the parsed run against this baseline JSON file")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum tolerated fractional regression")
+	)
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -check is required")
+		os.Exit(2)
+	}
+
+	cur, err := Parse(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	if *out != "" {
+		cur.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchjson: wrote %d benchmark(s) to %s\n", len(cur.Benchmarks), *out)
+		return
+	}
+
+	base, err := readFile(*check)
+	if err != nil {
+		fail(err)
+	}
+	report, ok := Compare(base, cur, *maxRegress)
+	fmt.Print(report)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchjson: FAIL: performance regressed beyond the threshold")
+		os.Exit(1)
+	}
+	fmt.Println("benchjson: OK")
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Parse reads `go test -bench` output and extracts every benchmark line.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:"):
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			f.Host = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			f.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	return f, nil
+}
+
+// parseLine parses one benchmark line: name, iteration count, then
+// (value, unit) pairs.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	b := Benchmark{Name: stripCPUSuffix(fields[0]), Metrics: map[string]float64{}}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	b.Iters = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q in %q: %w", fields[i], line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+// stripCPUSuffix removes the trailing -<gomaxprocs> the bench harness
+// appends to names (Benchmark names themselves never end in -<digits>).
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// higherIsBetter classifies a metric unit: rates (anything per second)
+// improve upward; costs (ns/op, B/op, allocs/op, allocs/event, B/event)
+// improve downward.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/sec") || strings.HasSuffix(unit, "/s")
+}
+
+// gatedMetrics are the units the -check mode enforces; everything else is
+// reported but informational. ns/op and jobs/sec track wall clock;
+// allocs/event is machine-independent and catches pooling regressions
+// even across differing CI hardware.
+var gatedMetrics = map[string]bool{
+	"jobs/sec":     true,
+	"allocs/event": true,
+}
+
+// Compare reports per-benchmark metric deltas and whether every gated
+// metric stayed within the tolerated regression.
+func Compare(base, cur *File, maxRegress float64) (string, bool) {
+	var sb strings.Builder
+	ok := true
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	for _, c := range cur.Benchmarks {
+		b, found := baseBy[c.Name]
+		if !found {
+			fmt.Fprintf(&sb, "%s: new benchmark (no baseline)\n", c.Name)
+			continue
+		}
+		// A gated metric the baseline tracks must still be reported by the
+		// current run — otherwise the gate would silently become a no-op.
+		for u := range b.Metrics {
+			if _, inCur := c.Metrics[u]; gatedMetrics[u] && !inCur {
+				fmt.Fprintf(&sb, "%s %s: gated metric missing from current run FAIL\n", c.Name, u)
+				ok = false
+			}
+		}
+		units := make([]string, 0, len(c.Metrics))
+		for u := range c.Metrics {
+			if _, inBase := b.Metrics[u]; inBase {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			was, now := b.Metrics[u], c.Metrics[u]
+			delta := 0.0
+			if was != 0 {
+				delta = (now - was) / was
+			}
+			status := "ok"
+			gated := gatedMetrics[u]
+			regressed := false
+			if higherIsBetter(u) {
+				regressed = was > 0 && now < was*(1-maxRegress)
+			} else {
+				regressed = now > was*(1+maxRegress) && now-was > 1e-9
+			}
+			if regressed {
+				if gated {
+					status = "FAIL"
+					ok = false
+				} else {
+					status = "regressed (informational)"
+				}
+			}
+			fmt.Fprintf(&sb, "%s %s: %.4g -> %.4g (%+.1f%%) %s\n", c.Name, u, was, now, delta*100, status)
+		}
+	}
+	return sb.String(), ok
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: bbsched/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimThroughput-8          	       3	3244015706 ns/op	       168.8 B/event	         1.413 allocs/event	      6165 jobs/sec	 6750130 B/op	   56533 allocs/op
+BenchmarkSimThroughputReference-8 	       3	21915984978 ns/op	     81252 B/event	      1437 allocs/event	       912.6 jobs/sec	3250062386 B/op	57467801 allocs/op
+PASS
+ok  	bbsched/internal/sim	100.286s
+`
+
+func parseSample(t *testing.T, s string) *File {
+	t.Helper()
+	f, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParse(t *testing.T) {
+	f := parseSample(t, sampleOutput)
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	// Sorted by name: SimThroughput before SimThroughputReference.
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkSimThroughput" {
+		t.Fatalf("name = %q (cpu suffix should be stripped)", b.Name)
+	}
+	if b.Iters != 3 {
+		t.Fatalf("iters = %d, want 3", b.Iters)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":        3244015706,
+		"B/event":      168.8,
+		"allocs/event": 1.413,
+		"jobs/sec":     6165,
+		"allocs/op":    56533,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if f.Host == "" || !strings.Contains(f.Host, "Xeon") {
+		t.Errorf("host not captured: %q", f.Host)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 3 12 ns/op trailing\n")); err == nil {
+		t.Fatal("odd field count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX notanint 12 ns/op\n")); err == nil {
+		t.Fatal("bad iteration count accepted")
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	cur := parseSample(t, strings.ReplaceAll(sampleOutput, "6165 jobs/sec", "5200 jobs/sec"))
+	report, ok := Compare(base, cur, 0.20)
+	if !ok {
+		t.Fatalf("15%% drop within a 20%% threshold should pass:\n%s", report)
+	}
+}
+
+func TestCompareFailsOnRateRegression(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	cur := parseSample(t, strings.ReplaceAll(sampleOutput, "6165 jobs/sec", "4000 jobs/sec"))
+	report, ok := Compare(base, cur, 0.20)
+	if ok {
+		t.Fatalf("35%% jobs/sec drop should fail:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report should flag the failure:\n%s", report)
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	cur := parseSample(t, strings.ReplaceAll(sampleOutput, "1.413 allocs/event", "14.13 allocs/event"))
+	if report, ok := Compare(base, cur, 0.20); ok {
+		t.Fatalf("10x allocs/event growth should fail:\n%s", report)
+	}
+}
+
+func TestCompareIgnoresInformationalMetrics(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	// ns/op doubles (machine-speed-sensitive) but the gated metrics hold:
+	// the check reports it without failing.
+	cur := parseSample(t, strings.ReplaceAll(sampleOutput, "3244015706 ns/op", "6488031412 ns/op"))
+	report, ok := Compare(base, cur, 0.20)
+	if !ok {
+		t.Fatalf("ungated ns/op regression should not fail the check:\n%s", report)
+	}
+	if !strings.Contains(report, "informational") {
+		t.Fatalf("ns/op regression should still be reported:\n%s", report)
+	}
+}
+
+func TestCompareNewBenchmark(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	cur := parseSample(t, sampleOutput+"BenchmarkBrandNew-8 1 5 ns/op\n")
+	report, ok := Compare(base, cur, 0.20)
+	if !ok {
+		t.Fatalf("unknown benchmark must not fail the check:\n%s", report)
+	}
+	if !strings.Contains(report, "no baseline") {
+		t.Fatalf("new benchmark should be called out:\n%s", report)
+	}
+}
+
+func TestCompareFailsOnMissingGatedMetric(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	// The current run stops reporting jobs/sec entirely: the gate must
+	// fail loudly rather than silently skipping the check.
+	cur := parseSample(t, strings.ReplaceAll(sampleOutput, "6165 jobs/sec\t", ""))
+	report, ok := Compare(base, cur, 0.20)
+	if ok {
+		t.Fatalf("missing gated metric should fail the check:\n%s", report)
+	}
+	if !strings.Contains(report, "missing from current run") {
+		t.Fatalf("report should name the missing metric:\n%s", report)
+	}
+}

@@ -22,6 +22,10 @@ import (
 type Running struct {
 	// ReleaseTime is the expected completion time in seconds.
 	ReleaseTime int64
+	// JobID identifies the owning job; it breaks ties among equal release
+	// times so the replay order (and thus the reservation leftover) is a
+	// deterministic function of the schedule, not of sort internals.
+	JobID int
 	// NodesByClass is the per-SSD-class node count held.
 	NodesByClass []int
 	// BB is the burst buffer held in GB.
@@ -47,7 +51,7 @@ func Plan(snap cluster.Snapshot, running []Running, waiting []*job.Job, now int6
 	}
 	free := snap.Clone()
 	releases := append([]Running(nil), running...)
-	sort.Slice(releases, func(i, j int) bool { return releases[i].ReleaseTime < releases[j].ReleaseTime })
+	sort.Slice(releases, func(i, j int) bool { return releaseLess(releases[i], releases[j]) })
 
 	var started []*job.Job
 	i := 0
@@ -64,10 +68,10 @@ func Plan(snap cluster.Snapshot, running []Running, waiting []*job.Job, now int6
 			// Stage-out: nodes (and compute-coupled extras) come back at
 			// the walltime estimate, the burst buffer only after the drain
 			// completes.
-			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass, Extra: placed.Extra})
-			releases = insertRelease(releases, Running{ReleaseTime: end + j.StageOutSec, BB: j.Demand.BB()})
+			releases = insertRelease(releases, Running{ReleaseTime: end, JobID: j.ID, NodesByClass: placed.NodesByClass, Extra: placed.Extra})
+			releases = insertRelease(releases, Running{ReleaseTime: end + j.StageOutSec, JobID: j.ID, BB: j.Demand.BB()})
 		} else {
-			releases = insertRelease(releases, Running{ReleaseTime: end, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), Extra: placed.Extra})
+			releases = insertRelease(releases, Running{ReleaseTime: end, JobID: j.ID, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), Extra: placed.Extra})
 		}
 	}
 	if i >= len(waiting) {
@@ -131,9 +135,18 @@ func reservation(free cluster.Snapshot, releases []Running, head job.Demand) (sh
 	return 0, cluster.Snapshot{}, false
 }
 
-// insertRelease keeps releases sorted by time.
+// releaseLess is the canonical timeline order: release time, then job ID
+// (a total order — one job never has two entries at the same instant).
+func releaseLess(a, b Running) bool {
+	if a.ReleaseTime != b.ReleaseTime {
+		return a.ReleaseTime < b.ReleaseTime
+	}
+	return a.JobID < b.JobID
+}
+
+// insertRelease keeps releases sorted in canonical order.
 func insertRelease(releases []Running, r Running) []Running {
-	pos := sort.Search(len(releases), func(i int) bool { return releases[i].ReleaseTime > r.ReleaseTime })
+	pos := sort.Search(len(releases), func(i int) bool { return releaseLess(r, releases[i]) })
 	releases = append(releases, Running{})
 	copy(releases[pos+1:], releases[pos:])
 	releases[pos] = r

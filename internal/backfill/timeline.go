@@ -1,0 +1,209 @@
+package backfill
+
+// This file holds Timeline and Planner: the persistent, incrementally
+// maintained release timeline and the pooled planning pass built on it.
+// The simulator owns one Timeline for the whole run — job starts insert
+// entries, completions remove them — so a scheduling pass no longer
+// copies and re-sorts the running set, and one Planner whose scratch
+// buffers make the steady-state pass allocation-free. Plan (backfill.go)
+// remains the straightforward reference implementation the fuzz suite
+// compares against.
+
+import (
+	"fmt"
+	"sort"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+)
+
+// Timeline is a release list kept permanently sorted in canonical order
+// (releaseLess: time, then job ID). Insert and Remove are an O(log R)
+// binary search plus one shifted copy in a reused buffer, replacing the
+// per-pass rebuild + full sort of the running set.
+type Timeline struct {
+	entries []Running
+}
+
+// Len returns the number of pending release entries.
+func (tl *Timeline) Len() int { return len(tl.entries) }
+
+// Entries exposes the sorted entries; callers must not mutate them.
+func (tl *Timeline) Entries() []Running { return tl.entries }
+
+// Reset empties the timeline, keeping its storage.
+func (tl *Timeline) Reset() { tl.entries = tl.entries[:0] }
+
+// Insert adds r, keeping canonical order. The (ReleaseTime, JobID) key
+// must be unique (one job never releases two entry sets at one instant).
+func (tl *Timeline) Insert(r Running) {
+	pos := sort.Search(len(tl.entries), func(i int) bool { return releaseLess(r, tl.entries[i]) })
+	tl.entries = append(tl.entries, Running{})
+	copy(tl.entries[pos+1:], tl.entries[pos:])
+	tl.entries[pos] = r
+}
+
+// Remove deletes the entry with the exact (releaseTime, jobID) key,
+// reporting whether it was present.
+func (tl *Timeline) Remove(releaseTime int64, jobID int) bool {
+	key := Running{ReleaseTime: releaseTime, JobID: jobID}
+	pos := sort.Search(len(tl.entries), func(i int) bool { return !releaseLess(tl.entries[i], key) })
+	if pos >= len(tl.entries) || tl.entries[pos].ReleaseTime != releaseTime || tl.entries[pos].JobID != jobID {
+		return false
+	}
+	copy(tl.entries[pos:], tl.entries[pos+1:])
+	tl.entries[len(tl.entries)-1] = Running{} // drop slice aliases
+	tl.entries = tl.entries[:len(tl.entries)-1]
+	return true
+}
+
+// Planner runs EASY planning passes against a Timeline with pooled
+// scratch: the per-pass working copy of the timeline, the free / shadow /
+// reservation snapshots, the phase-1 placement arena, and the result
+// slice are all reused across calls. A Planner is not safe for concurrent
+// use, and the slice returned by Plan is valid only until the next call.
+type Planner struct {
+	free, work cluster.Snapshot
+	releases   []Running
+	started    []*job.Job
+	nodeArena  []int
+	allocBuf   []int
+}
+
+// Plan is the EASY planning pass of the package doc, semantically
+// identical to the reference Plan but reading the persistent timeline and
+// allocating (amortized) nothing: jobs start in priority order while they
+// fit; the first that does not becomes the reservation head, and later
+// jobs start only if they fit now and either complete before the head's
+// shadow time or fit inside the shadow-time leftover.
+func (p *Planner) Plan(snap cluster.Snapshot, tl *Timeline, waiting []*job.Job, now int64) []*job.Job {
+	p.started = p.started[:0]
+	if len(waiting) == 0 {
+		return nil
+	}
+	p.free.CopyFrom(snap)
+	p.releases = append(p.releases[:0], tl.entries...)
+	p.nodeArena = p.nodeArena[:0]
+	if n := p.free.NumClasses(); cap(p.allocBuf) < n {
+		p.allocBuf = make([]int, n)
+	}
+
+	i := 0
+	// Phase 1: start heads in priority order while they fit outright.
+	for ; i < len(waiting); i++ {
+		j := waiting[i]
+		placed, err := p.free.AllocInto(j.Demand, p.arenaBuf(p.free.NumClasses()))
+		if err != nil {
+			break
+		}
+		p.started = append(p.started, j)
+		end := now + j.WalltimeEst
+		if j.StageOutSec > 0 {
+			p.insertScratch(Running{ReleaseTime: end, JobID: j.ID, NodesByClass: placed.NodesByClass, Extra: placed.Extra})
+			p.insertScratch(Running{ReleaseTime: end + j.StageOutSec, JobID: j.ID, BB: j.Demand.BB()})
+		} else {
+			p.insertScratch(Running{ReleaseTime: end, JobID: j.ID, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), Extra: placed.Extra})
+		}
+	}
+	if i >= len(waiting) {
+		return p.started
+	}
+
+	// Phase 2: reserve for the head, then backfill behind the reservation.
+	head := waiting[i]
+	shadow, leftover, ok := p.reservation(head.Demand)
+	if !ok {
+		// The head cannot fit even once everything drains — it is bigger
+		// than the machine. Workload validation prevents this; be safe.
+		return p.started
+	}
+	for _, j := range waiting[i+1:] {
+		if !p.free.CanFit(j.Demand) {
+			continue
+		}
+		// A staging-out job holds burst buffer past its walltime; count
+		// the job as "done" only once everything is released (conservative
+		// for the node dimension, safe for the head's reservation).
+		endsBeforeShadow := now+j.WalltimeEst+j.StageOutSec <= shadow
+		if !endsBeforeShadow && !leftover.CanFit(j.Demand) {
+			continue
+		}
+		if _, err := p.free.AllocInto(j.Demand, p.allocBuf); err != nil {
+			continue
+		}
+		if !endsBeforeShadow {
+			// Runs past the shadow: consume the head's leftover too.
+			if _, err := leftover.AllocInto(j.Demand, p.allocBuf); err != nil {
+				// CanFit above makes this unreachable; keep state exact.
+				continue
+			}
+		}
+		p.started = append(p.started, j)
+	}
+	return p.started
+}
+
+// reservation computes the head job's shadow time — the earliest instant
+// the head fits as planned releases replay — and the leftover free
+// resources at that instant after setting the head's reservation aside.
+// The leftover snapshot is pooled scratch, valid until the next Plan.
+func (p *Planner) reservation(head job.Demand) (shadow int64, leftover *cluster.Snapshot, ok bool) {
+	p.work.CopyFrom(p.free)
+	for k := range p.releases {
+		r := &p.releases[k]
+		for c, n := range r.NodesByClass {
+			p.work.FreeByClass[c] += n
+		}
+		p.work.FreeBB += r.BB
+		for e, v := range r.Extra {
+			p.work.FreeExtra[e] += v
+		}
+		if p.work.CanFit(head) {
+			if _, err := p.work.AllocInto(head, p.allocBuf); err != nil {
+				return 0, nil, false
+			}
+			return r.ReleaseTime, &p.work, true
+		}
+	}
+	return 0, nil, false
+}
+
+// insertScratch keeps the pass's working release copy in canonical order,
+// reusing its capacity across passes.
+func (p *Planner) insertScratch(r Running) {
+	p.releases = insertRelease(p.releases, r)
+}
+
+// arenaBuf carves an n-int zeroed placement buffer out of the pass arena.
+// Phase-1 placements live in release entries for the rest of the pass, so
+// they cannot share one scratch buffer; the arena gives each its own
+// storage without per-placement allocations once its capacity has grown.
+// (If append reallocates, earlier carved slices keep the old backing
+// array — they are never written again, so staying there is safe.)
+func (p *Planner) arenaBuf(n int) []int {
+	base := len(p.nodeArena)
+	for k := 0; k < n; k++ {
+		p.nodeArena = append(p.nodeArena, 0)
+	}
+	return p.nodeArena[base : base+n : base+n]
+}
+
+// NewTimelineFrom builds a canonical-order timeline from an unsorted
+// running set — the reference construction the fuzz suite uses.
+func NewTimelineFrom(running []Running) *Timeline {
+	tl := &Timeline{entries: append([]Running(nil), running...)}
+	sort.Slice(tl.entries, func(i, j int) bool { return releaseLess(tl.entries[i], tl.entries[j]) })
+	return tl
+}
+
+// CheckInvariant verifies canonical ordering and key uniqueness; tests
+// call it after random operation sequences.
+func (tl *Timeline) CheckInvariant() error {
+	for i := 1; i < len(tl.entries); i++ {
+		if !releaseLess(tl.entries[i-1], tl.entries[i]) {
+			return fmt.Errorf("backfill: timeline out of order at %d: %+v !< %+v",
+				i, tl.entries[i-1], tl.entries[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package backfill
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+	"bbsched/internal/rng"
+	"bbsched/internal/trace"
+)
+
+// TestTimelineMatchesResortOracle drives random insert/remove sequences
+// through the incremental Timeline and mirrors every operation into a
+// plain slice that is re-sorted from scratch with the canonical order —
+// the oracle the persistent structure must match entry-for-entry.
+func TestTimelineMatchesResortOracle(t *testing.T) {
+	r := rng.New(1234)
+	for trial := 0; trial < 200; trial++ {
+		var tl Timeline
+		var oracle []Running
+		nextID := 1
+		for op := 0; op < 120; op++ {
+			if len(oracle) > 0 && r.Bool(0.4) {
+				// Remove a random live entry.
+				victim := oracle[r.Intn(len(oracle))]
+				if !tl.Remove(victim.ReleaseTime, victim.JobID) {
+					t.Fatalf("trial %d: entry (%d,%d) missing from timeline", trial, victim.ReleaseTime, victim.JobID)
+				}
+				for i := range oracle {
+					if oracle[i].ReleaseTime == victim.ReleaseTime && oracle[i].JobID == victim.JobID {
+						oracle = append(oracle[:i], oracle[i+1:]...)
+						break
+					}
+				}
+			} else {
+				// Insert one or two entries for a new job; times are drawn
+				// from a small range so equal-time collisions across jobs
+				// are common and exercise the job-ID tie-break.
+				id := nextID
+				nextID++
+				release := int64(r.Intn(50))
+				e := Running{ReleaseTime: release, JobID: id, NodesByClass: []int{1 + r.Intn(8)}, BB: int64(r.Intn(100))}
+				tl.Insert(e)
+				oracle = append(oracle, e)
+				if r.Bool(0.3) { // simulated stage-out: a later BB-only entry
+					e2 := Running{ReleaseTime: release + 1 + int64(r.Intn(20)), JobID: id, BB: int64(1 + r.Intn(100))}
+					tl.Insert(e2)
+					oracle = append(oracle, e2)
+				}
+			}
+			if err := tl.CheckInvariant(); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+			sorted := append([]Running(nil), oracle...)
+			sort.Slice(sorted, func(i, j int) bool { return releaseLess(sorted[i], sorted[j]) })
+			if got := tl.Entries(); !reflect.DeepEqual(trimRunning(got), trimRunning(sorted)) {
+				t.Fatalf("trial %d op %d: timeline diverges from oracle\n got: %v\nwant: %v", trial, op, got, sorted)
+			}
+		}
+	}
+}
+
+// trimRunning normalizes nil-vs-empty slices for DeepEqual.
+func trimRunning(rs []Running) []Running {
+	out := make([]Running, len(rs))
+	for i, r := range rs {
+		if len(r.NodesByClass) == 0 {
+			r.NodesByClass = nil
+		}
+		if len(r.Extra) == 0 {
+			r.Extra = nil
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestTimelineRemoveMissing(t *testing.T) {
+	var tl Timeline
+	tl.Insert(Running{ReleaseTime: 10, JobID: 1})
+	if tl.Remove(10, 2) {
+		t.Fatal("removed an entry that was never inserted")
+	}
+	if tl.Remove(11, 1) {
+		t.Fatal("removed with the wrong time key")
+	}
+	if !tl.Remove(10, 1) || tl.Len() != 0 {
+		t.Fatal("exact-key removal failed")
+	}
+}
+
+// TestPlannerMatchesReferencePlan fuzzes random machines, running sets,
+// and waiting queues through one pooled Planner (reused across all cases,
+// so scratch reuse is exercised) and checks every pass against the
+// reference Plan.
+func TestPlannerMatchesReferencePlan(t *testing.T) {
+	r := rng.New(99)
+	var p Planner
+	trials := 400
+	if testing.Short() {
+		trials = 120
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := randMachine(r)
+		cl := cluster.MustNew(cfg)
+		snapshot := cl.Snapshot()
+
+		// Pre-occupy the machine with a random running set.
+		var runs []Running
+		nRunning := r.Intn(8)
+		for k := 0; k < nRunning; k++ {
+			d := randDemand(r, cfg)
+			placed, err := snapshot.Alloc(d)
+			if err != nil {
+				continue
+			}
+			release := int64(1 + r.Intn(40))
+			id := 1000 + k
+			if r.Bool(0.3) && d.BB() > 0 {
+				runs = append(runs,
+					Running{ReleaseTime: release, JobID: id, NodesByClass: placed.NodesByClass, Extra: placed.Extra},
+					Running{ReleaseTime: release + 1 + int64(r.Intn(10)), JobID: id, BB: d.BB()})
+			} else {
+				runs = append(runs, Running{ReleaseTime: release, JobID: id, NodesByClass: placed.NodesByClass, BB: d.BB(), Extra: placed.Extra})
+			}
+		}
+
+		var waiting []*job.Job
+		for k := 0; k < r.Intn(12); k++ {
+			d := randDemand(r, cfg)
+			wall := int64(1 + r.Intn(60))
+			j := job.MustNew(k+1, 0, wall, wall, d)
+			if r.Bool(0.2) {
+				j.StageOutSec = int64(1 + r.Intn(20))
+			}
+			waiting = append(waiting, j)
+		}
+
+		now := int64(r.Intn(10))
+		want := Plan(snapshot, runs, waiting, now)
+		got := p.Plan(snapshot, NewTimelineFrom(runs), waiting, now)
+		if fmt.Sprint(ids(got)) != fmt.Sprint(ids(want)) {
+			t.Fatalf("trial %d: planner %v, reference %v (machine %+v, %d running, %d waiting)",
+				trial, ids(got), ids(want), cfg, len(runs), len(waiting))
+		}
+	}
+}
+
+// TestPlannerAgainstSimulatedWorkload replays a generated trace shape:
+// the planner and the reference must agree on every scheduling pass even
+// when the waiting set comes from a realistic heavy-BB workload.
+func TestPlannerAgainstSimulatedWorkload(t *testing.T) {
+	sys := trace.Scale(trace.Theta(), 64)
+	w := trace.Generate(trace.GenConfig{System: sys, Jobs: 60, Seed: 5})
+	cl := cluster.MustNew(sys.Cluster)
+	snapshot := cl.Snapshot()
+	var runs []Running
+	// Occupy ~half the machine.
+	for i := 0; i < 30 && i < len(w.Jobs); i++ {
+		d := w.Jobs[i].Demand
+		placed, err := snapshot.Alloc(d)
+		if err != nil {
+			continue
+		}
+		runs = append(runs, Running{ReleaseTime: int64(10 + i), JobID: w.Jobs[i].ID, NodesByClass: placed.NodesByClass, BB: d.BB()})
+	}
+	waiting := w.Jobs[30:]
+	var p Planner
+	for pass := 0; pass < 4; pass++ { // repeated passes exercise pooling
+		want := Plan(snapshot, runs, waiting, int64(pass))
+		got := p.Plan(snapshot, NewTimelineFrom(runs), waiting, int64(pass))
+		if fmt.Sprint(ids(got)) != fmt.Sprint(ids(want)) {
+			t.Fatalf("pass %d: planner %v, reference %v", pass, ids(got), ids(want))
+		}
+	}
+}
+
+func randMachine(r *rng.Stream) cluster.Config {
+	cfg := cluster.Config{Name: "fuzz", Nodes: 8 + r.Intn(48), BurstBufferGB: int64(r.Intn(500))}
+	if r.Bool(0.4) { // heterogeneous SSD classes
+		a := 1 + r.Intn(cfg.Nodes-1)
+		cfg.SSDClasses = []cluster.SSDClass{
+			{CapacityGB: 128, Count: a},
+			{CapacityGB: 256, Count: cfg.Nodes - a},
+		}
+	}
+	if r.Bool(0.3) {
+		cfg.Extra = []cluster.ResourceSpec{{Name: "power_kw", Capacity: int64(50 + r.Intn(200)), Unit: "kW"}}
+	}
+	return cfg
+}
+
+func randDemand(r *rng.Stream, cfg cluster.Config) job.Demand {
+	nodes := 1 + r.Intn(cfg.Nodes)
+	bb := int64(0)
+	if cfg.BurstBufferGB > 0 && r.Bool(0.6) {
+		bb = int64(r.Intn(int(cfg.BurstBufferGB)))
+	}
+	ssd := int64(0)
+	if len(cfg.SSDClasses) > 0 && r.Bool(0.4) {
+		ssd = []int64{64, 128, 256}[r.Intn(3)]
+	}
+	if len(cfg.Extra) > 0 && r.Bool(0.5) {
+		return job.NewDemandVector(nodes, bb, ssd, int64(r.Intn(int(cfg.Extra[0].Capacity))))
+	}
+	return job.NewDemand(nodes, bb, ssd)
+}

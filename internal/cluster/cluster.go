@@ -168,6 +168,9 @@ type Cluster struct {
 	classes []SSDClass // normalized, ascending capacity
 	free    Snapshot
 	allocs  map[int]Allocation
+	// nodeBufs recycles released allocations' NodesByClass buffers, so the
+	// steady-state allocate/release cycle stops producing per-job garbage.
+	nodeBufs [][]int
 }
 
 // New constructs a cluster, or returns the config validation error.
@@ -258,19 +261,33 @@ func (c *Cluster) Snapshot() Snapshot { return c.free.Clone() }
 
 // CanFit reports whether the demand fits the currently free resources.
 func (c *Cluster) CanFit(d job.Demand) bool {
-	s := c.free.Clone()
-	_, err := s.Alloc(d)
-	return err == nil
+	return c.free.CanFit(d)
+}
+
+// SnapshotInto copies the free state into dst, reusing its storage —
+// the allocation-free Snapshot for pooled scheduling passes.
+func (c *Cluster) SnapshotInto(dst *Snapshot) {
+	dst.CopyFrom(c.free)
 }
 
 // Allocate assigns resources for j, recording the allocation. It fails with
-// ErrNoFit if the demand does not fit, and rejects double allocation.
+// ErrNoFit if the demand does not fit, and rejects double allocation. The
+// returned allocation's buffers are owned by the cluster and recycled once
+// the job is fully released — callers must not retain them past Release.
 func (c *Cluster) Allocate(j *job.Job) (Allocation, error) {
 	if _, dup := c.allocs[j.ID]; dup {
 		return Allocation{}, fmt.Errorf("cluster: job %d already allocated", j.ID)
 	}
-	placed, err := c.free.Alloc(j.Demand)
+	var buf []int
+	if n := len(c.nodeBufs); n > 0 {
+		buf = c.nodeBufs[n-1]
+		c.nodeBufs = c.nodeBufs[:n-1]
+	} else {
+		buf = make([]int, len(c.free.FreeByClass))
+	}
+	placed, err := c.free.AllocInto(j.Demand, buf)
 	if err != nil {
+		c.nodeBufs = append(c.nodeBufs, buf)
 		return Allocation{}, err
 	}
 	a := Allocation{JobID: j.ID, NodesByClass: placed.NodesByClass, BB: j.Demand.BB(), WastedSSD: placed.WastedSSD, Extra: placed.Extra}
@@ -291,6 +308,9 @@ func (c *Cluster) Release(jobID int) error {
 	c.free.FreeBB += a.BB
 	for i, v := range a.Extra {
 		c.free.FreeExtra[i] += v
+	}
+	if cap(a.NodesByClass) >= len(c.free.FreeByClass) {
+		c.nodeBufs = append(c.nodeBufs, a.NodesByClass[:cap(a.NodesByClass)])
 	}
 	return nil
 }
@@ -528,11 +548,39 @@ func (s *Snapshot) AllocInto(d job.Demand, buf []int) (Placement, error) {
 	return pl, nil
 }
 
-// CanFit reports whether the demand would fit without mutating the snapshot.
+// CanFit reports whether the demand would fit, without mutating the
+// snapshot and without allocating. It mirrors Alloc's feasibility rule
+// exactly: Alloc's smallest-eligible-class-first placement succeeds iff
+// the eligible classes hold enough free nodes in aggregate.
 func (s Snapshot) CanFit(d job.Demand) bool {
-	c := s.Clone()
-	_, err := c.Alloc(d)
-	return err == nil
+	need := d.NodeCount()
+	if need <= 0 {
+		return false // Alloc rejects non-positive node demands
+	}
+	if d.BB() > s.FreeBB {
+		return false
+	}
+	for k := 0; k < d.NumExtra(); k++ {
+		if k >= len(s.FreeExtra) {
+			if d.Extra(k) > 0 {
+				return false
+			}
+			continue
+		}
+		if d.Extra(k) > s.FreeExtra[k] {
+			return false
+		}
+	}
+	for i := range s.FreeByClass {
+		if s.classCapacity[i] < d.SSDPerNode() {
+			continue
+		}
+		need -= s.FreeByClass[i]
+		if need <= 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func min(a, b int) int {

@@ -233,9 +233,24 @@ func (c PluginConfig) Validate() error {
 // the remaining selection to the wrapped method. The same Plugin wraps
 // BBSched and every §4.3 comparison method, so all methods see identical
 // window semantics (§4.3: "we use the same window size for all methods").
+//
+// A Plugin pools its per-pass scratch (window, selection, and snapshot
+// buffers) across Decide calls, so it is not safe for concurrent use —
+// each concurrent simulation builds its own Plugin (methods, by contrast,
+// may be shared; they pool per-solve state internally).
 type Plugin struct {
 	cfg    PluginConfig
 	method sched.Method
+
+	// pooled per-pass scratch
+	window   []*job.Job
+	rest     []*job.Job
+	started  []*job.Job
+	chosen   []bool
+	scratch  cluster.Snapshot
+	verify   cluster.Snapshot
+	placeBuf []int
+	mctx     sched.Context
 }
 
 // NewPlugin wraps method with window semantics.
@@ -273,66 +288,78 @@ type DecideContext struct {
 
 // Decide runs one scheduling pass and returns the jobs to start, in start
 // order. It mutates only jobs' WindowAge (incremented for window jobs left
-// behind); resource allocation is the caller's job.
+// behind); resource allocation is the caller's job. The returned slice is
+// pooled scratch, valid only until the next Decide call.
 func (p *Plugin) Decide(ctx DecideContext) ([]*job.Job, error) {
 	size := p.cfg.WindowSize
 	if p.cfg.WindowPolicy != nil {
 		size = p.cfg.WindowPolicy.Size(ctx.Queue.Len())
 	}
-	window := ctx.Queue.Window(ctx.Now, size, ctx.DepsDone)
-	if len(window) == 0 {
+	p.window = ctx.Queue.WindowInto(p.window[:0], ctx.Now, size, ctx.DepsDone)
+	if len(p.window) == 0 {
 		return nil, nil
 	}
-	scratch := ctx.Snap.Clone()
+	p.scratch.CopyFrom(ctx.Snap)
+	if n := p.scratch.NumClasses(); cap(p.placeBuf) < n {
+		p.placeBuf = make([]int, n)
+	}
+	buf := p.placeBuf[:p.scratch.NumClasses()]
 
 	// Starvation forcing (§3.1): jobs over the bound must be selected.
 	// They are dispatched first, in window (base-priority) order, when
 	// they fit; a starved job that does not fit cannot be started by any
 	// selection, so it stays and keeps aging.
-	var started []*job.Job
-	var rest []*job.Job
-	for _, j := range window {
+	p.started = p.started[:0]
+	p.rest = p.rest[:0]
+	for _, j := range p.window {
 		if p.cfg.StarvationBound > 0 && j.WindowAge >= p.cfg.StarvationBound {
-			if _, err := scratch.Alloc(j.Demand); err == nil {
-				started = append(started, j)
+			if _, err := p.scratch.AllocInto(j.Demand, buf); err == nil {
+				p.started = append(p.started, j)
 				continue
 			}
 		}
-		rest = append(rest, j)
+		p.rest = append(p.rest, j)
 	}
 
-	mctx := &sched.Context{Now: ctx.Now, Window: rest, Snap: scratch, Totals: ctx.Totals, Rand: ctx.Rand}
-	idx, err := p.method.Select(mctx)
+	p.mctx.Now, p.mctx.Window, p.mctx.Snap = ctx.Now, p.rest, p.scratch
+	p.mctx.Totals, p.mctx.Rand = ctx.Totals, ctx.Rand
+	idx, err := p.method.Select(&p.mctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s selection: %w", p.method.Name(), err)
 	}
-	chosen := make(map[int]bool, len(idx))
+	if cap(p.chosen) < len(p.rest) {
+		p.chosen = make([]bool, len(p.rest))
+	}
+	chosen := p.chosen[:len(p.rest)]
+	for i := range chosen {
+		chosen[i] = false
+	}
 	for _, i := range idx {
-		if i < 0 || i >= len(rest) {
+		if i < 0 || i >= len(p.rest) {
 			return nil, fmt.Errorf("core: %s selected out-of-range index %d", p.method.Name(), i)
 		}
 		if chosen[i] {
 			return nil, fmt.Errorf("core: %s selected index %d twice", p.method.Name(), i)
 		}
 		chosen[i] = true
-		started = append(started, rest[i])
+		p.started = append(p.started, p.rest[i])
 	}
 
 	// Verify the combined selection actually fits (methods work against a
 	// snapshot that already excludes the forced jobs, so this holds unless
 	// a method is buggy — fail loudly rather than oversubscribe).
-	verify := ctx.Snap.Clone()
-	for _, j := range started {
-		if _, err := verify.Alloc(j.Demand); err != nil {
+	p.verify.CopyFrom(ctx.Snap)
+	for _, j := range p.started {
+		if _, err := p.verify.AllocInto(j.Demand, buf); err != nil {
 			return nil, fmt.Errorf("core: %s over-selected: job %d does not fit: %w", p.method.Name(), j.ID, err)
 		}
 	}
 
 	// Age the window jobs left behind.
-	for i, j := range rest {
+	for i, j := range p.rest {
 		if !chosen[i] {
 			j.WindowAge++
 		}
 	}
-	return started, nil
+	return p.started, nil
 }

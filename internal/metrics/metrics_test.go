@@ -253,3 +253,20 @@ func TestSortedLabels(t *testing.T) {
 		t.Fatalf("SortedLabels = %v", got)
 	}
 }
+
+// TestObserveSteadyStateAllocs pins the event-loop contract: once the
+// collector's extra-dimension scratch has warmed up, Observe allocates
+// nothing, no matter how many samples the simulation feeds it.
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	var c Collector
+	u := Usage{Nodes: 4, BBGB: 100, Extra: []int64{7, 9}}
+	c.Observe(0, u) // warm up the deep-copy scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		u.Nodes++
+		u.Extra[0]++
+		c.Observe(c.lastT+10, u)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Observe allocates %.1f per call, want 0", allocs)
+	}
+}

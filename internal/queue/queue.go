@@ -7,6 +7,22 @@
 // provided: FCFS (Cori / Slurm default) and WFP (Theta / Cobalt), the
 // utility policy that favors large jobs that have waited long relative to
 // their requested walltime.
+//
+// The queue maintains an incremental order index so the simulator's event
+// loop never pays a full re-sort per event instant:
+//
+//   - Time-invariant policies (FCFS, or anything implementing
+//     TimeInvariant) keep the waiting set sorted incrementally: Add is an
+//     O(log n) search plus one shifted insert, Remove likewise, and
+//     WindowInto is a plain ordered walk.
+//   - Time-varying policies (WFP, Multifactor) keep the waiting set
+//     unordered and extract windows with a pooled partial heap selection:
+//     O(n) heapify plus O(w log n) pops, with no per-call map or slice
+//     allocations.
+//
+// Sorted remains the straightforward reference implementation (full
+// re-sort with fresh allocations); the property suite pins the index
+// against it.
 package queue
 
 import (
@@ -26,6 +42,14 @@ type Policy interface {
 	Priority(j *job.Job, now int64) float64
 }
 
+// TimeInvariant marks a Policy whose Priority does not depend on now.
+// The queue keeps such policies' waiting sets sorted incrementally (no
+// per-event re-sort); Priority is evaluated once, at Add time.
+type TimeInvariant interface {
+	// PriorityTimeInvariant is a marker; it is never called.
+	PriorityTimeInvariant()
+}
+
 // FCFS orders jobs by arrival.
 type FCFS struct{}
 
@@ -36,6 +60,9 @@ func (FCFS) Name() string { return "FCFS" }
 // (submit time) decides the order.
 func (FCFS) Priority(*job.Job, int64) float64 { return 0 }
 
+// PriorityTimeInvariant implements TimeInvariant.
+func (FCFS) PriorityTimeInvariant() {}
+
 // WFP is ALCF's utility policy: priority grows with job size and with the
 // cube of waiting time relative to the requested walltime, so large jobs
 // and long-waiting jobs climb the queue (§2.1, [10,42]).
@@ -44,13 +71,21 @@ type WFP struct{}
 // Name implements Policy.
 func (WFP) Name() string { return "WFP" }
 
-// Priority implements Policy.
+// Priority implements Policy. A non-positive walltime estimate (rejected
+// by job validation, but representable on a hand-built Job) is clamped to
+// one second so the ratio is always finite — previously wait == 0 with
+// WalltimeEst == 0 produced 0/0 → NaN and leaned on Sorted's NaN→0
+// patch-up.
 func (WFP) Priority(j *job.Job, now int64) float64 {
 	wait := float64(now - j.SubmitTime)
 	if wait < 0 {
 		wait = 0
 	}
-	r := wait / float64(j.WalltimeEst)
+	est := float64(j.WalltimeEst)
+	if est <= 0 {
+		est = 1
+	}
+	r := wait / est
 	return float64(j.Demand.NodeCount()) * r * r * r
 }
 
@@ -116,20 +151,61 @@ func ByName(name string) (Policy, error) {
 
 // Queue is the waiting queue. It is not safe for concurrent use.
 type Queue struct {
-	policy  Policy
+	policy Policy
+	static bool // policy implements TimeInvariant
+	// waiting maps job ID -> job for O(1) membership in both modes.
 	waiting map[int]*job.Job
+	// order holds the waiting jobs: sorted by (priority desc, submit, ID)
+	// for time-invariant policies, insertion-unordered otherwise. prio is
+	// aligned with order (time-invariant: the fixed Add-time priority;
+	// time-varying: unused).
+	order []*job.Job
+	prio  []float64
+	// pos maps job ID -> index in order (time-varying policies, where
+	// removal is a swap-with-last; time-invariant removal binary-searches).
+	pos map[int]int
+	// heapJobs/heapPrio are the pooled partial-selection heap.
+	heapJobs []*job.Job
+	heapPrio []float64
 }
 
 // New returns an empty queue ordered by policy.
 func New(policy Policy) *Queue {
-	return &Queue{policy: policy, waiting: make(map[int]*job.Job)}
+	_, static := policy.(TimeInvariant)
+	q := &Queue{policy: policy, static: static, waiting: make(map[int]*job.Job)}
+	if !static {
+		q.pos = make(map[int]int)
+	}
+	return q
 }
 
 // Policy returns the queue's ordering policy.
 func (q *Queue) Policy() Policy { return q.policy }
 
 // Len returns the number of waiting jobs.
-func (q *Queue) Len() int { return len(q.waiting) }
+func (q *Queue) Len() int { return len(q.order) }
+
+// orderedPriority evaluates the policy priority with the reference NaN→0
+// patch-up applied, so index and reference paths agree bit-for-bit.
+func (q *Queue) orderedPriority(j *job.Job, now int64) float64 {
+	p := q.policy.Priority(j, now)
+	if math.IsNaN(p) {
+		return 0
+	}
+	return p
+}
+
+// before is the queue's total order: priority descending, ties FCFS
+// (submit time, then ID — unique, so the order is total).
+func before(pa float64, a *job.Job, pb float64, b *job.Job) bool {
+	if pa != pb {
+		return pa > pb
+	}
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
 
 // Add enqueues a job. Double-adds are rejected.
 func (q *Queue) Add(j *job.Job) error {
@@ -137,15 +213,56 @@ func (q *Queue) Add(j *job.Job) error {
 		return fmt.Errorf("queue: job %d already waiting", j.ID)
 	}
 	q.waiting[j.ID] = j
+	if q.static {
+		p := q.orderedPriority(j, 0) // time-invariant: now is irrelevant
+		i := sort.Search(len(q.order), func(k int) bool {
+			return before(p, j, q.prio[k], q.order[k])
+		})
+		q.order = append(q.order, nil)
+		copy(q.order[i+1:], q.order[i:])
+		q.order[i] = j
+		q.prio = append(q.prio, 0)
+		copy(q.prio[i+1:], q.prio[i:])
+		q.prio[i] = p
+		return nil
+	}
+	q.pos[j.ID] = len(q.order)
+	q.order = append(q.order, j)
 	return nil
 }
 
 // Remove dequeues the job with the given ID (when it starts running).
 func (q *Queue) Remove(id int) error {
-	if _, ok := q.waiting[id]; !ok {
+	j, ok := q.waiting[id]
+	if !ok {
 		return fmt.Errorf("queue: job %d not waiting", id)
 	}
 	delete(q.waiting, id)
+	if q.static {
+		// The total order makes the position recoverable by binary search:
+		// re-derive the Add-time key and find its unique slot.
+		p := q.orderedPriority(j, 0)
+		i := sort.Search(len(q.order), func(k int) bool {
+			return !before(q.prio[k], q.order[k], p, j) // first k not before j
+		})
+		if i >= len(q.order) || q.order[i].ID != id {
+			return fmt.Errorf("queue: index out of sync for job %d", id)
+		}
+		copy(q.order[i:], q.order[i+1:])
+		q.order[len(q.order)-1] = nil
+		q.order = q.order[:len(q.order)-1]
+		copy(q.prio[i:], q.prio[i+1:])
+		q.prio = q.prio[:len(q.prio)-1]
+		return nil
+	}
+	i := q.pos[id]
+	last := len(q.order) - 1
+	moved := q.order[last]
+	q.order[i] = moved
+	q.order[last] = nil
+	q.order = q.order[:last]
+	q.pos[moved.ID] = i
+	delete(q.pos, id)
 	return nil
 }
 
@@ -156,10 +273,12 @@ func (q *Queue) Contains(id int) bool {
 }
 
 // Sorted returns the waiting jobs in base-policy order at time now:
-// priority descending, ties FCFS.
+// priority descending, ties FCFS. It is the reference implementation the
+// incremental index is property-tested against; the simulator's hot path
+// uses WindowInto instead.
 func (q *Queue) Sorted(now int64) []*job.Job {
-	out := make([]*job.Job, 0, len(q.waiting))
-	for _, j := range q.waiting {
+	out := make([]*job.Job, 0, len(q.order))
+	for _, j := range q.order {
 		out = append(out, j)
 	}
 	prio := make(map[int]float64, len(out))
@@ -188,25 +307,80 @@ func (q *Queue) Sorted(now int64) []*job.Job {
 // window only once their dependencies complete, preserving their relative
 // priority). depsDone reports whether a job ID has finished.
 func (q *Queue) Window(now int64, size int, depsDone func(id int) bool) []*job.Job {
-	if size <= 0 {
-		return nil
+	return q.WindowInto(nil, now, size, depsDone)
+}
+
+// WindowInto is Window appending into dst (commonly a pooled buffer with
+// dst[:0]) instead of allocating the result. Passing size >= Len yields
+// the full dep-ready queue in base-policy order — what EASY backfilling
+// walks. The returned slice aliases dst's storage when capacity suffices.
+func (q *Queue) WindowInto(dst []*job.Job, now int64, size int, depsDone func(id int) bool) []*job.Job {
+	if size <= 0 || len(q.order) == 0 {
+		return dst
 	}
-	var out []*job.Job
-	for _, j := range q.Sorted(now) {
-		ready := true
-		for _, d := range j.Deps {
-			if !depsDone(d) {
-				ready = false
+	if q.static {
+		for _, j := range q.order {
+			if !depsReady(j, depsDone) {
+				continue
+			}
+			dst = append(dst, j)
+			if len(dst) >= size {
 				break
 			}
 		}
-		if !ready {
+		return dst
+	}
+	// Time-varying: pooled partial selection. Gather the dep-ready jobs
+	// with their priorities, heapify (O(n)), then pop the best size jobs
+	// (O(size log n)) — never a full sort, never a fresh map.
+	q.heapJobs = q.heapJobs[:0]
+	q.heapPrio = q.heapPrio[:0]
+	for _, j := range q.order {
+		if !depsReady(j, depsDone) {
 			continue
 		}
-		out = append(out, j)
-		if len(out) == size {
-			break
+		q.heapJobs = append(q.heapJobs, j)
+		q.heapPrio = append(q.heapPrio, q.orderedPriority(j, now))
+	}
+	n := len(q.heapJobs)
+	for i := n/2 - 1; i >= 0; i-- {
+		q.siftDown(i, n)
+	}
+	for n > 0 && len(dst) < size {
+		dst = append(dst, q.heapJobs[0])
+		n--
+		q.heapJobs[0], q.heapPrio[0] = q.heapJobs[n], q.heapPrio[n]
+		q.siftDown(0, n)
+	}
+	return dst
+}
+
+// siftDown restores the max-heap property (root = first in queue order)
+// for the pooled selection heap over heapJobs[:n].
+func (q *Queue) siftDown(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && before(q.heapPrio[r], q.heapJobs[r], q.heapPrio[l], q.heapJobs[l]) {
+			best = r
+		}
+		if !before(q.heapPrio[best], q.heapJobs[best], q.heapPrio[i], q.heapJobs[i]) {
+			return
+		}
+		q.heapJobs[i], q.heapJobs[best] = q.heapJobs[best], q.heapJobs[i]
+		q.heapPrio[i], q.heapPrio[best] = q.heapPrio[best], q.heapPrio[i]
+		i = best
+	}
+}
+
+func depsReady(j *job.Job, depsDone func(id int) bool) bool {
+	for _, d := range j.Deps {
+		if !depsDone(d) {
+			return false
 		}
 	}
-	return out
+	return true
 }

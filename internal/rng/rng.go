@@ -41,6 +41,13 @@ type xoshiro struct{ s [4]uint64 }
 
 func newXoshiro(seed uint64) *xoshiro {
 	var x xoshiro
+	x.reseed(seed)
+	return &x
+}
+
+// reseed resets the state in place (no allocation — Seed sits on the
+// simulator's per-invocation stream reuse path).
+func (x *xoshiro) reseed(seed uint64) {
 	sm := seed
 	for i := range x.s {
 		sm = splitMix64(sm)
@@ -49,7 +56,6 @@ func newXoshiro(seed uint64) *xoshiro {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15 // the all-zero state is a fixed point
 	}
-	return &x
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -71,7 +77,7 @@ func (x *xoshiro) Uint64() uint64 {
 func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }
 
 // Seed implements rand.Source.
-func (x *xoshiro) Seed(seed int64) { *x = *newXoshiro(uint64(seed)) }
+func (x *xoshiro) Seed(seed int64) { x.reseed(uint64(seed)) }
 
 // New returns a Stream seeded with seed.
 func New(seed uint64) *Stream {

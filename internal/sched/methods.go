@@ -12,7 +12,11 @@ import (
 )
 
 // Context carries everything a scheduling method may use to pick jobs from
-// the window at one scheduling invocation.
+// the window at one scheduling invocation. Callers that run many passes
+// (core.Plugin) reuse one Context so the unexported scratch buffers — the
+// snapshot copy, selection indices, and placement buffers the heuristic
+// methods draw on — persist across invocations and the steady-state pass
+// allocates nothing.
 type Context struct {
 	// Now is the current simulation time in seconds.
 	Now int64
@@ -25,6 +29,29 @@ type Context struct {
 	Totals Totals
 	// Rand is a per-invocation deterministic stream for stochastic solvers.
 	Rand *rng.Stream
+
+	// pooled scratch for the in-package heuristic methods (lazily grown;
+	// meaningful reuse requires the caller to reuse the Context itself)
+	scratch  cluster.Snapshot
+	idxBuf   []int
+	remBuf   []int
+	placeBuf []int
+}
+
+// scratchSnapshot resets the pooled scratch snapshot to Snap's state.
+func (c *Context) scratchSnapshot() *cluster.Snapshot {
+	c.scratch.CopyFrom(c.Snap)
+	return &c.scratch
+}
+
+// placementBuf returns the pooled per-class placement buffer for
+// Snapshot.AllocInto calls whose placements are discarded.
+func (c *Context) placementBuf() []int {
+	n := c.Snap.NumClasses()
+	if cap(c.placeBuf) < n {
+		c.placeBuf = make([]int, n)
+	}
+	return c.placeBuf[:n]
 }
 
 // Method selects which window jobs to start now, returning indices into
@@ -46,15 +73,21 @@ type Baseline struct{}
 // Name implements Method.
 func (Baseline) Name() string { return "Baseline" }
 
-// Select implements Method.
+// Select implements Method. It reuses the Context's pooled scratch, so a
+// steady-state pass allocates nothing.
 func (Baseline) Select(ctx *Context) ([]int, error) {
-	scratch := ctx.Snap.Clone()
-	var out []int
+	scratch := ctx.scratchSnapshot()
+	buf := ctx.placementBuf()
+	out := ctx.idxBuf[:0]
 	for i, j := range ctx.Window {
-		if _, err := scratch.Alloc(j.Demand); err != nil {
+		if _, err := scratch.AllocInto(j.Demand, buf); err != nil {
 			break
 		}
 		out = append(out, i)
+	}
+	ctx.idxBuf = out
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }
@@ -189,14 +222,17 @@ type BinPacking struct{}
 // Name implements Method.
 func (BinPacking) Name() string { return "Bin_Packing" }
 
-// Select implements Method.
+// Select implements Method. It reuses the Context's pooled scratch, so a
+// steady-state pass allocates nothing.
 func (BinPacking) Select(ctx *Context) ([]int, error) {
-	scratch := ctx.Snap.Clone()
-	remaining := make([]int, len(ctx.Window))
-	for i := range remaining {
-		remaining[i] = i
+	scratch := ctx.scratchSnapshot()
+	buf := ctx.placementBuf()
+	remaining := ctx.remBuf[:0]
+	for i := range ctx.Window {
+		remaining = append(remaining, i)
 	}
-	var out []int
+	ctx.remBuf = remaining
+	out := ctx.idxBuf[:0]
 	for len(remaining) > 0 {
 		bestIdx, bestPos := -1, -1
 		bestScore := -1.0
@@ -205,7 +241,7 @@ func (BinPacking) Select(ctx *Context) ([]int, error) {
 			if !scratch.CanFit(d) {
 				continue
 			}
-			s := alignment(d, scratch, ctx.Totals)
+			s := alignment(d, *scratch, ctx.Totals)
 			if s > bestScore {
 				bestScore, bestIdx, bestPos = s, i, pos
 			}
@@ -213,13 +249,18 @@ func (BinPacking) Select(ctx *Context) ([]int, error) {
 		if bestIdx < 0 {
 			break
 		}
-		if _, err := scratch.Alloc(ctx.Window[bestIdx].Demand); err != nil {
+		if _, err := scratch.AllocInto(ctx.Window[bestIdx].Demand, buf); err != nil {
+			ctx.idxBuf = out
 			return nil, fmt.Errorf("sched: bin packing alloc after CanFit: %w", err)
 		}
 		out = append(out, bestIdx)
 		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
 	}
 	sort.Ints(out)
+	ctx.idxBuf = out
+	if len(out) == 0 {
+		return nil, nil
+	}
 	return out, nil
 }
 

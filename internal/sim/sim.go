@@ -143,10 +143,15 @@ type event struct {
 	j    *job.Job
 }
 
+// eventHeap is a typed binary min-heap ordered by (time, kind, job ID) —
+// a total order, so the pop sequence is independent of heap internals.
+// Typed push/pop avoid container/heap's per-operation interface boxing,
+// one of the two allocations the old event loop paid per simulated event.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(a, b int) bool {
+
+func (h eventHeap) less(a, b int) bool {
 	if h[a].t != h[b].t {
 		return h[a].t < h[b].t
 	}
@@ -155,14 +160,55 @@ func (h eventHeap) Less(a, b int) bool {
 	}
 	return h[a].j.ID < h[b].j.ID
 }
-func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+
+// init establishes the heap property over arbitrary contents.
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	top := old[0]
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	(*h).down(0)
+	return top
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
 
 // runningJob tracks a live allocation for backfill planning and release.

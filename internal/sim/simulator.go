@@ -1,11 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"bbsched/internal/backfill"
@@ -153,6 +151,18 @@ type Simulator struct {
 
 	warmEnd, coolStart int64
 
+	// Steady-state pooled machinery: the persistent release timeline (kept
+	// incrementally sorted as jobs start and finish, so backfill planning
+	// never re-sorts the running set), the pooled EASY planner, and the
+	// reusable buffers and streams of the per-instant scheduling pass.
+	timeline  backfill.Timeline
+	planner   backfill.Planner
+	readyBuf  []*job.Job
+	passSnap  cluster.Snapshot
+	invStream *rng.Stream
+	depsDone  func(id int) bool
+	rjFree    []*runningJob
+
 	observers []Observer
 	failing   []failingObserver
 
@@ -217,10 +227,12 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 		rand:      rng.New(opt.seed).Split("sim:" + wc.Name + ":" + method.Name()),
 		observers: opt.observers,
 		running:   make(map[int]*runningJob),
-		done:      make(map[int]bool),
+		done:      make(map[int]bool, len(wc.Jobs)),
+		finished:  make([]*job.Job, 0, len(wc.Jobs)),
 		warmEnd:   int64(float64(horizon) * opt.warmupFrac),
 		coolStart: horizon - int64(float64(horizon)*opt.cooldownFrac),
 	}
+	s.depsDone = func(id int) bool { return s.done[id] }
 	if len(s.extra) > 0 {
 		s.usage.Extra = make([]int64, len(s.extra))
 	}
@@ -241,10 +253,11 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 		}
 		s.usage.BBGB += p
 	}
-	heap.Init(&s.events)
+	s.events = make(eventHeap, 0, len(wc.Jobs)+1)
 	for _, j := range wc.Jobs {
-		heap.Push(&s.events, event{t: j.SubmitTime, kind: evArrive, j: j})
+		s.events = append(s.events, event{t: j.SubmitTime, kind: evArrive, j: j})
 	}
+	s.events.init()
 	s.collector.Observe(0, metrics.Usage{})
 	return s, nil
 }
@@ -322,7 +335,7 @@ func (s *Simulator) Step() (bool, error) {
 	s.now = t
 	// Drain every event at this instant before scheduling once.
 	for s.events.Len() > 0 && s.events[0].t == t {
-		ev := heap.Pop(&s.events).(event)
+		ev := s.events.pop()
 		switch ev.kind {
 		case evArrive:
 			if err := s.q.Add(ev.j); err != nil {
@@ -476,14 +489,26 @@ func (s *Simulator) finish(j *job.Job) error {
 	s.finished = append(s.finished, j)
 
 	if j.StageOutSec > 0 && j.Demand.BB() > 0 {
+		// Swap the job's planned release entries (walltime-based) for one
+		// burst-buffer drain entry at the actual stage-out end.
+		if err := s.timelineRemove(r.release, j.ID); err != nil {
+			return err
+		}
+		if err := s.timelineRemove(r.release+j.StageOutSec, j.ID); err != nil {
+			return err
+		}
 		if err := s.cl.ReleaseNodes(j.ID); err != nil {
 			return fmt.Errorf("sim: %w", err)
 		}
 		r.staging = true
 		r.bbRelease = s.now + j.StageOutSec
-		heap.Push(&s.events, event{t: r.bbRelease, kind: evBBRelease, j: j})
+		s.timeline.Insert(backfill.Running{ReleaseTime: r.bbRelease, JobID: j.ID, BB: j.Demand.BB()})
+		s.events.push(event{t: r.bbRelease, kind: evBBRelease, j: j})
 		s.observeNodeRelease(r)
 		return s.emitJob("end", j)
+	}
+	if err := s.timelineRemove(r.release, j.ID); err != nil {
+		return err
 	}
 	delete(s.running, j.ID)
 	if err := s.cl.Release(j.ID); err != nil {
@@ -491,7 +516,17 @@ func (s *Simulator) finish(j *job.Job) error {
 	}
 	s.observeNodeRelease(r)
 	s.observeBBRelease(r)
+	s.rjFree = append(s.rjFree, r)
 	return s.emitJob("end", j)
+}
+
+// timelineRemove drops one release entry, surfacing timeline/running-set
+// divergence as a simulator invariant failure instead of silent drift.
+func (s *Simulator) timelineRemove(releaseTime int64, jobID int) error {
+	if !s.timeline.Remove(releaseTime, jobID) {
+		return fmt.Errorf("sim: job %d has no release entry at %d", jobID, releaseTime)
+	}
+	return nil
 }
 
 // releaseBB ends a job's stage-out phase.
@@ -500,11 +535,15 @@ func (s *Simulator) releaseBB(j *job.Job) error {
 	if !ok || !r.staging {
 		return fmt.Errorf("sim: job %d has no staging burst buffer", j.ID)
 	}
+	if err := s.timelineRemove(r.bbRelease, j.ID); err != nil {
+		return err
+	}
 	delete(s.running, j.ID)
 	if err := s.cl.Release(j.ID); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	s.observeBBRelease(r)
+	s.rjFree = append(s.rjFree, r)
 	return s.emitJob("bb_release", j)
 }
 
@@ -537,7 +576,11 @@ func (s *Simulator) observeBBRelease(r *runningJob) {
 	s.collector.Observe(s.now, s.usage)
 }
 
-// schedule runs one window pass plus backfilling.
+// schedule runs one window pass plus backfilling. The steady-state pass
+// allocates (amortized) nothing: the free-state snapshot, the dep-ready
+// waiting list, the invocation stream, and the EASY planning scratch are
+// all pooled, and the release timeline is maintained incrementally by
+// start/finish instead of being rebuilt and re-sorted here.
 func (s *Simulator) schedule() error {
 	if s.q.Len() == 0 {
 		return nil
@@ -546,18 +589,18 @@ func (s *Simulator) schedule() error {
 	s.invocations++
 	launched := 0
 
-	inv := s.rand.SplitIndex(uint64(s.invocations))
-	depsDone := func(id int) bool { return s.done[id] }
+	s.invStream = s.rand.SplitIndexInto(s.invStream, uint64(s.invocations))
 
 	// Window pass: only worth invoking when something could start.
 	if s.cl.FreeNodes() > 0 {
+		s.cl.SnapshotInto(&s.passSnap)
 		picked, err := s.plugin.Decide(core.DecideContext{
 			Now:      s.now,
 			Queue:    s.q,
-			Snap:     s.cl.Snapshot(),
+			Snap:     s.passSnap,
 			Totals:   s.totals,
-			DepsDone: depsDone,
-			Rand:     inv,
+			DepsDone: s.depsDone,
+			Rand:     s.invStream,
 		})
 		if err != nil {
 			return fmt.Errorf("sim: %w", err)
@@ -571,38 +614,13 @@ func (s *Simulator) schedule() error {
 	}
 
 	// EASY backfilling over the remaining queue (§4.3: all methods use
-	// EASY backfilling to mitigate resource fragmentation).
+	// EASY backfilling to mitigate resource fragmentation). The timeline's
+	// canonical (release time, job ID) order fixes the tie-break among
+	// equal release times, keeping runs reproducible across processes.
 	if s.opt.backfill && s.q.Len() > 0 && s.cl.FreeNodes() > 0 {
-		waiting := s.depReady(s.q.Sorted(s.now))
-		// Walk the running set in job-ID order: map iteration order would
-		// leak into backfill.Plan's tie-breaking among equal release times
-		// and make runs non-reproducible across processes.
-		ids := make([]int, 0, len(s.running))
-		for id := range s.running {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		runs := make([]backfill.Running, 0, len(s.running))
-		for _, id := range ids {
-			r := s.running[id]
-			switch {
-			case r.staging:
-				// Nodes already free; only the burst buffer is pending.
-				runs = append(runs, backfill.Running{ReleaseTime: r.bbRelease, BB: r.j.Demand.BB()})
-			case r.j.StageOutSec > 0 && r.j.Demand.BB() > 0:
-				runs = append(runs,
-					backfill.Running{ReleaseTime: r.release, NodesByClass: r.alloc.NodesByClass, Extra: r.alloc.Extra},
-					backfill.Running{ReleaseTime: r.release + r.j.StageOutSec, BB: r.j.Demand.BB()})
-			default:
-				runs = append(runs, backfill.Running{
-					ReleaseTime:  r.release,
-					NodesByClass: r.alloc.NodesByClass,
-					BB:           r.j.Demand.BB(),
-					Extra:        r.alloc.Extra,
-				})
-			}
-		}
-		filled := backfill.Plan(s.cl.Snapshot(), runs, waiting, s.now)
+		s.readyBuf = s.q.WindowInto(s.readyBuf[:0], s.now, s.q.Len(), s.depsDone)
+		s.cl.SnapshotInto(&s.passSnap)
+		filled := s.planner.Plan(s.passSnap, &s.timeline, s.readyBuf, s.now)
 		for _, j := range filled {
 			if err := s.start(j); err != nil {
 				return err
@@ -626,25 +644,8 @@ func (s *Simulator) schedule() error {
 	return s.observerErr()
 }
 
-// depReady filters out jobs whose dependencies have not finished.
-func (s *Simulator) depReady(jobs []*job.Job) []*job.Job {
-	out := jobs[:0:0]
-	for _, j := range jobs {
-		ok := true
-		for _, d := range j.Deps {
-			if !s.done[d] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, j)
-		}
-	}
-	return out
-}
-
-// start allocates and launches a job at the current time.
+// start allocates and launches a job at the current time, adding its
+// expected releases to the persistent timeline.
 func (s *Simulator) start(j *job.Job) error {
 	alloc, err := s.cl.Allocate(j)
 	if err != nil {
@@ -657,9 +658,30 @@ func (s *Simulator) start(j *job.Job) error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	j.StartTime = s.now
-	r := &runningJob{j: j, alloc: alloc, release: s.now + j.WalltimeEst}
+	var r *runningJob
+	if n := len(s.rjFree); n > 0 {
+		r = s.rjFree[n-1]
+		s.rjFree = s.rjFree[:n-1]
+		*r = runningJob{j: j, alloc: alloc, release: s.now + j.WalltimeEst}
+	} else {
+		r = &runningJob{j: j, alloc: alloc, release: s.now + j.WalltimeEst}
+	}
 	s.running[j.ID] = r
-	heap.Push(&s.events, event{t: s.now + j.Runtime, kind: evEnd, j: j})
+	if j.StageOutSec > 0 && j.Demand.BB() > 0 {
+		// Stage-out: nodes (and compute-coupled extras) are expected back
+		// at the walltime estimate, the burst buffer after the drain.
+		s.timeline.Insert(backfill.Running{ReleaseTime: r.release, JobID: j.ID, NodesByClass: alloc.NodesByClass, Extra: alloc.Extra})
+		s.timeline.Insert(backfill.Running{ReleaseTime: r.release + j.StageOutSec, JobID: j.ID, BB: j.Demand.BB()})
+	} else {
+		s.timeline.Insert(backfill.Running{
+			ReleaseTime:  r.release,
+			JobID:        j.ID,
+			NodesByClass: alloc.NodesByClass,
+			BB:           j.Demand.BB(),
+			Extra:        alloc.Extra,
+		})
+	}
+	s.events.push(event{t: s.now + j.Runtime, kind: evEnd, j: j})
 	s.observeStart(r)
 	return s.emitJob("start", j)
 }

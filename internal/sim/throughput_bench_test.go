@@ -1,0 +1,239 @@
+package sim
+
+// The engine throughput harness. BenchmarkSimThroughput drives the
+// production Simulator over a 20k-job Theta-S4-like trace with a cheap
+// selection method, so the event loop — queue index, release timeline,
+// pooled scheduling pass, event heap — dominates the profile;
+// BenchmarkSimThroughputReference runs the identical trace on the frozen
+// pre-rework engine (reference_engine_test.go). Both report jobs/sec,
+// allocs/event, and B/event so `make bench-json` can track the trajectory
+// in BENCH_sim.json.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// throughputWorkload is a Theta-S4-like trace (heavy burst-buffer demand)
+// at 1/32 machine scale, the regime the paper's method comparisons use.
+func throughputWorkload(jobs int, stageOut bool) trace.Workload {
+	sys := trace.Scale(trace.Theta(), 32)
+	base := trace.Generate(trace.GenConfig{System: sys, Jobs: jobs, Seed: 42})
+	base.Name = "Theta-S4"
+	_, heavy := trace.BBFloors(base)
+	w := trace.ExpandBB(base, "Theta-S4", 0.75, heavy, 46)
+	if stageOut {
+		w = trace.WithStageOut(w, 20)
+	}
+	return w
+}
+
+// countEvents returns the total simulation events a workload generates:
+// one arrival and one completion per job, plus one burst-buffer release
+// per staged-out job.
+func countEvents(w trace.Workload) int {
+	n := 2 * len(w.Jobs)
+	for _, j := range w.Jobs {
+		if j.StageOutSec > 0 && j.Demand.BB() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func benchThroughput(b *testing.B, run func() (*Result, error), jobs, events int) {
+	b.Helper()
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	n := float64(b.N)
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)*n/sec, "jobs/sec")
+	}
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/n/float64(events), "allocs/event")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/n/float64(events), "B/event")
+}
+
+// BenchmarkSimThroughput measures the production engine's steady-state
+// throughput (one op = one full 20k-job simulation, construction
+// included).
+func BenchmarkSimThroughput(b *testing.B) {
+	jobs := 20000
+	if testing.Short() {
+		jobs = 2000
+	}
+	w := throughputWorkload(jobs, false)
+	events := countEvents(w)
+	benchThroughput(b, func() (*Result, error) {
+		s, err := NewSimulator(w, sched.Baseline{}, WithSeed(1))
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(context.Background())
+	}, jobs, events)
+}
+
+// BenchmarkSimThroughputReference is the frozen pre-rework baseline for
+// BenchmarkSimThroughput: identical trace, method, and seed on the old
+// event loop.
+func BenchmarkSimThroughputReference(b *testing.B) {
+	jobs := 20000
+	if testing.Short() {
+		jobs = 2000
+	}
+	w := throughputWorkload(jobs, false)
+	events := countEvents(w)
+	benchThroughput(b, func() (*Result, error) {
+		s, err := newRefSimulator(w, sched.Baseline{}, WithSeed(1))
+		if err != nil {
+			return nil, err
+		}
+		return s.run()
+	}, jobs, events)
+}
+
+// TestSimulatorMatchesReferenceEngine proves the reworked engine and the
+// frozen pre-rework engine are observably identical: byte-identical JSONL
+// event streams and equal Results over FCFS and WFP policies, with and
+// without stage-out, for both cheap methods. (The golden suite pins the
+// production engine against pre-rework captures; this test additionally
+// pins the benchmark baseline itself, so the before/after comparison is
+// guaranteed to measure the same computation.)
+func TestSimulatorMatchesReferenceEngine(t *testing.T) {
+	jobs := 1500
+	if testing.Short() {
+		jobs = 400
+	}
+	for _, tc := range []struct {
+		name     string
+		stageOut bool
+		policy   trace.BasePolicy
+	}{
+		{"wfp", false, trace.WFP},
+		{"wfp_stageout", true, trace.WFP},
+		{"fcfs", false, trace.FCFS},
+		{"fcfs_stageout", true, trace.FCFS},
+	} {
+		for _, m := range []sched.Method{sched.Baseline{}, sched.BinPacking{}} {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, m.Name()), func(t *testing.T) {
+				w := throughputWorkload(jobs, tc.stageOut)
+				w.System.Policy = tc.policy
+
+				var gotLog bytes.Buffer
+				s, err := NewSimulator(w, m, WithSeed(7), WithEventLog(&gotLog))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var wantLog bytes.Buffer
+				ref, err := newRefSimulator(w, m, WithSeed(7), WithEventLog(&wantLog))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.run()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !bytes.Equal(gotLog.Bytes(), wantLog.Bytes()) {
+					t.Fatalf("event streams diverge (%d vs %d bytes)", gotLog.Len(), wantLog.Len())
+				}
+				compareResults(t, got, want)
+			})
+		}
+	}
+}
+
+func compareResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	type pair struct {
+		name     string
+		got, wnt float64
+	}
+	for _, p := range []pair{
+		{"node_usage", got.NodeUsage, want.NodeUsage},
+		{"bb_usage", got.BBUsage, want.BBUsage},
+		{"ssd_usage", got.SSDUsage, want.SSDUsage},
+		{"wasted_ssd", got.WastedSSDFrac, want.WastedSSDFrac},
+		{"avg_wait", got.AvgWaitSec, want.AvgWaitSec},
+		{"avg_slowdown", got.AvgSlowdown, want.AvgSlowdown},
+	} {
+		if math.Float64bits(p.got) != math.Float64bits(p.wnt) {
+			t.Errorf("%s: %v != %v", p.name, p.got, p.wnt)
+		}
+	}
+	if got.TotalJobs != want.TotalJobs || got.MeasuredJobs != want.MeasuredJobs ||
+		got.CompletedJobs != want.CompletedJobs ||
+		got.SchedInvocations != want.SchedInvocations || got.MakespanSec != want.MakespanSec {
+		t.Errorf("run shape diverges: got %+v want %+v", got, want)
+	}
+}
+
+// TestStepSteadyStateAllocs pins the tentpole claim directly: once the
+// pooled buffers have warmed up, advancing the simulation allocates
+// (amortized) nothing per event instant with a cheap method.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	jobs := 4000
+	if testing.Short() {
+		jobs = 1200
+	}
+	w := throughputWorkload(jobs, false)
+	s, err := NewSimulator(w, sched.Baseline{}, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: run the first half so every pooled buffer reaches its
+	// working capacity.
+	warm := jobs
+	for i := 0; i < warm; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	steps := 0
+	for {
+		more, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		steps++
+	}
+	runtime.ReadMemStats(&after)
+	if steps == 0 {
+		t.Fatal("no steps measured after warm-up")
+	}
+	allocs := float64(after.Mallocs - before.Mallocs)
+	perStep := allocs / float64(steps)
+	t.Logf("steady state: %d steps, %.0f allocs (%.4f allocs/step)", steps, allocs, perStep)
+	// Amortized zero: occasional map/slice growth is tolerated, a
+	// per-event allocation (the old engine paid dozens) is not.
+	if perStep > 0.1 {
+		t.Fatalf("steady-state Step allocates %.4f allocs/step, want amortized ~0", perStep)
+	}
+}
