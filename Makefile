@@ -32,19 +32,31 @@ bench-smoke:
 bench-solver:
 	$(GO) test -bench='^BenchmarkSolveGA' -benchtime=20x -run='^$$' ./internal/moo
 
-# Engine throughput trajectory: run the 20k-job sim benches (reworked
-# engine + frozen pre-rework reference) and write/refresh the committed
-# BENCH_sim.json baseline.
-bench-json:
-	$(GO) test -bench '^BenchmarkSimThroughput' -benchtime=3x -run '^$$' ./internal/sim | \
-		$(GO) run ./cmd/benchjson -out BENCH_sim.json
+# Performance trajectory: the 20k-job sim benches (reworked engine +
+# frozen pre-rework reference) plus the window-solver benches (MOGA
+# BenchmarkSolveGA, LP BenchmarkSolveLP vs BenchmarkSolveGAWindow on
+# 64/128-job windows); write/refresh the committed BENCH_sim.json
+# baseline from their combined output.
+# -require fails the parse if any bench package silently dropped out
+# (e.g. failed to build inside the { ...; } pipeline, whose exit status
+# is the last command's).
+BENCH_REQUIRE = BenchmarkSimThroughput,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveGAWindow/
 
-# Regression gate: re-run the engine bench and fail if jobs/sec drops
-# >20% (or allocs/event grows >20%) vs the committed baseline. The
+bench-json:
+	{ $(GO) test -bench '^BenchmarkSimThroughput' -benchtime=3x -run '^$$' ./internal/sim ; \
+	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
+	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
+		$(GO) run ./cmd/benchjson -out BENCH_sim.json -require '$(BENCH_REQUIRE)'
+
+# Regression gate: re-run the benches and fail if a rate metric
+# (jobs/sec, solves/sec) drops >20% or an allocation metric
+# (allocs/event, allocs/op) grows >20% vs the committed baseline. The
 # nightly CI job runs this.
 bench-check:
-	$(GO) test -bench '^BenchmarkSimThroughput$$' -benchtime=3x -run '^$$' ./internal/sim | \
-		$(GO) run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.20
+	{ $(GO) test -bench '^BenchmarkSimThroughput$$' -benchtime=3x -run '^$$' ./internal/sim ; \
+	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
+	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
+		$(GO) run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.20 -require '$(BENCH_REQUIRE)'
 
 # Guard the parallel RunSweep driver against races and nondeterminism:
 # tiny method × seed grids (2 × 2) under -race, parallel vs serial.
@@ -57,14 +69,15 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseCSV$$' -fuzztime 30s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseSWF$$' -fuzztime 30s
 
-# Coverage gate: internal/cluster + internal/sched statement coverage must
-# not drop below the floor captured when the N-dimension test harness
-# landed (84.2% / 69.0%, 75.6% combined; floor set just beneath).
+# Coverage gate: internal/cluster + internal/sched + internal/lp
+# statement coverage must not drop below the floor (cluster/sched floor
+# captured with the N-dimension harness; lp joined with the solver
+# refactor at 95%+ package coverage).
 COVER_FLOOR = 75.0
 cover-gate:
-	$(GO) test -short -coverprofile=cover.out ./internal/cluster ./internal/sched
+	$(GO) test -short -coverprofile=cover.out ./internal/cluster ./internal/sched ./internal/lp
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
-	echo "cluster+sched coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	echo "cluster+sched+lp coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
 	  { echo "FAIL: coverage fell below the $(COVER_FLOOR)% floor"; exit 1; }
 

@@ -33,6 +33,7 @@ import (
 	"bbsched/internal/cluster"
 	"bbsched/internal/core"
 	"bbsched/internal/job"
+	"bbsched/internal/lp"
 	"bbsched/internal/metrics"
 	"bbsched/internal/moo"
 	"bbsched/internal/queue"
@@ -40,6 +41,7 @@ import (
 	"bbsched/internal/rng"
 	"bbsched/internal/sched"
 	"bbsched/internal/sim"
+	"bbsched/internal/solver"
 	"bbsched/internal/trace"
 )
 
@@ -127,6 +129,74 @@ var (
 	GenerationalDistance = moo.GenerationalDistance
 	// Dominates tests Pareto dominance under maximization.
 	Dominates = moo.Dominates
+)
+
+// Pluggable window solvers: every optimization backend that can drive
+// the window job-selection problem implements Solver; scheduling methods
+// accept one via SetSolver / ApplySolver / WithSolver.
+type (
+	// Solver is the window-solver contract (Name, Capabilities, Solve).
+	Solver = solver.Solver
+	// SolverOptions carries per-invocation solver inputs (the random
+	// stream).
+	SolverOptions = solver.Options
+	// SolverCapabilities describes what a backend can solve.
+	SolverCapabilities = solver.Capabilities
+	// LinearProblemForm is the LP structure of a 0/1 selection problem
+	// (maximize C·x subject to Rows·x ≤ Caps, x ∈ [0,1]ⁿ).
+	LinearProblemForm = solver.LinearForm
+	// Linearizable is implemented by problems exposing an LP structure.
+	Linearizable = solver.Linearizable
+	// GASolver adapts the §3.2.2 genetic algorithm to the Solver
+	// interface (the default backend of every optimization method).
+	GASolver = solver.GA
+	// LPSolver is the matrix-free LP-relaxation backend: restarted
+	// Halpern PDHG on the knapsack relaxation + randomized rounding.
+	LPSolver = lp.Solver
+	// LPConfig parameterizes the LP backend.
+	LPConfig = lp.Config
+	// LPStats reports one LP-relaxation solve.
+	LPStats = lp.Stats
+	// SolverSpec describes one registered backend.
+	SolverSpec = registry.SolverSpec
+	// SolverConfigurable is implemented by methods whose backend is
+	// pluggable (Weighted, Constrained, BBSched).
+	SolverConfigurable = sched.SolverConfigurable
+	// SolverVetoer is implemented by methods that reject incompatible
+	// backends at configuration time (BBSched needs Pareto fronts; the
+	// scalarized methods veto linear-only backends over non-linear
+	// objectives).
+	SolverVetoer = sched.SolverVetoer
+	// SolverSlot is the embeddable backend holder custom methods can use
+	// for the same SetSolver/Select concurrency contract as the built-in
+	// methods.
+	SolverSlot = sched.SolverSlot
+)
+
+var (
+	// NewGASolver returns the genetic backend over a GA configuration.
+	NewGASolver = solver.NewGA
+	// NewLPSolver returns the LP-relaxation backend; DefaultLPConfig its
+	// default parameters.
+	NewLPSolver     = lp.New
+	DefaultLPConfig = lp.DefaultConfig
+	// SolveLPRelaxation solves just the fractional relaxation of a linear
+	// selection instance (diagnostics and custom rounding schemes).
+	SolveLPRelaxation = lp.SolveRelaxation
+	// LinearizeProblem extracts a problem's LP structure (unwrapping a
+	// memoizing Evaluator).
+	LinearizeProblem = solver.Linearize
+	// RegisterSolver adds a custom backend to the shared solver registry;
+	// Solvers / SolverNames list it; NewSolver instantiates by name.
+	RegisterSolver = registry.RegisterSolver
+	Solvers        = registry.Solvers
+	SolverNames    = registry.SolverNames
+	NewSolver      = registry.NewSolver
+	// ApplySolver attaches a registered backend to a method by name.
+	ApplySolver = registry.ApplySolver
+	// SolverNameOf reports the backend a method runs on ("-" for fixed
+	// heuristics).
+	SolverNameOf = sched.SolverNameOf
 )
 
 // Scheduling methods and the window-selection problem.
@@ -352,6 +422,7 @@ var (
 	WithBuckets       = sim.WithBuckets
 	WithObserver      = sim.WithObserver
 	WithEventLog      = sim.WithEventLog
+	WithSolver        = sim.WithSolver
 )
 
 // Run simulates a workload under a scheduling method: the legacy one-shot

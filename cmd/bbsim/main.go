@@ -112,6 +112,7 @@ func main() {
 		variant    = flag.String("variant", "original", "original, S1..S7")
 		seed       = flag.Uint64("seed", 42, "seed")
 		methodName = flag.String("method", "BBSched", "scheduling method (see -methods)")
+		solverName = flag.String("solver", "", "optimization backend override: ga or lp (default: the method's own; see -methods)")
 		window     = flag.Int("window", 20, "window size")
 		starve     = flag.Int("starvation", 50, "starvation bound (0 = off)")
 		gens       = flag.Int("generations", 500, "GA generations")
@@ -146,7 +147,15 @@ func main() {
 
 	if *listM {
 		for _, spec := range registry.Methods() {
-			fmt.Printf("%-16s %s\n", spec.Name, spec.Desc)
+			name := spec.Name
+			if spec.Solver != "" {
+				name += " [" + spec.Solver + "]"
+			}
+			fmt.Printf("%-21s %s\n", name, spec.Desc)
+		}
+		fmt.Println("\nsolvers (-solver):")
+		for _, spec := range registry.Solvers() {
+			fmt.Printf("%-21s %s\n", spec.Name, spec.Desc)
 		}
 		return
 	}
@@ -203,7 +212,7 @@ func main() {
 		if *adaptive {
 			fail(fmt.Errorf("-adaptive is incompatible with -sweep (the controller is stateful per run)"))
 		}
-		if err := runSweep(w, *sweep, *seedList, *seed, ga, ssd, *workers, opts); err != nil {
+		if err := runSweep(w, *sweep, *seedList, *seed, ga, ssd, *solverName, *workers, opts); err != nil {
 			fail(err)
 		}
 		return
@@ -212,6 +221,11 @@ func main() {
 	method, err := registry.NewForCluster(*methodName, ga, w.System.Cluster, ssd)
 	if err != nil {
 		fail(err)
+	}
+	if *solverName != "" {
+		if err := registry.ApplySolver(method, *solverName, ga); err != nil {
+			fail(err)
+		}
 	}
 	if *adaptive {
 		bb, isBB := method.(*core.BBSched)
@@ -243,7 +257,7 @@ func main() {
 
 // runSweep runs method × seed combinations over one workload on the
 // deterministic parallel sweep driver and prints a comparison table.
-func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, ga moo.GAConfig, ssd bool, workers int, opts []sim.Option) error {
+func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, ga moo.GAConfig, ssd bool, solverName string, workers int, opts []sim.Option) error {
 	var methods []sched.Method
 	if methodCSV == "all" {
 		var err error
@@ -260,6 +274,24 @@ func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, g
 				return err
 			}
 			methods = append(methods, m)
+		}
+	}
+	// A solver override applies to the methods that can take it; the rest
+	// of the roster (fixed heuristics, capability mismatches like
+	// BBSched+lp) is skipped with a note rather than aborting the sweep —
+	// `-sweep all -solver lp` compares every LP-capable method.
+	if solverName != "" {
+		kept := methods[:0]
+		for _, m := range methods {
+			if err := registry.ApplySolver(m, solverName, ga); err != nil {
+				fmt.Fprintf(os.Stderr, "bbsim: skipping %s: %v\n", m.Name(), err)
+				continue
+			}
+			kept = append(kept, m)
+		}
+		methods = kept
+		if len(methods) == 0 {
+			return fmt.Errorf("no swept method accepts solver %q", solverName)
 		}
 	}
 
@@ -285,12 +317,16 @@ func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, g
 	if err != nil {
 		return err
 	}
+	solverOf := make(map[string]string, len(methods))
+	for _, m := range methods {
+		solverOf[m.Name()] = sched.SolverNameOf(m)
+	}
 	fmt.Printf("workload: %s (%d jobs)\n\n", w.Name, len(w.Jobs))
-	fmt.Printf("%-16s %-8s %10s %10s %12s %12s %10s\n",
-		"method", "seed", "node use", "bb use", "avg wait", "avg slowdown", "makespan")
+	fmt.Printf("%-16s %-7s %-8s %10s %10s %12s %12s %10s\n",
+		"method", "solver", "seed", "node use", "bb use", "avg wait", "avg slowdown", "makespan")
 	for _, r := range runs {
-		fmt.Printf("%-16s %-8d %9.2f%% %9.2f%% %11.0fs %12.2f %9ds\n",
-			r.Method, r.Seed, r.Result.NodeUsage*100, r.Result.BBUsage*100,
+		fmt.Printf("%-16s %-7s %-8d %9.2f%% %9.2f%% %11.0fs %12.2f %9ds\n",
+			r.Method, solverOf[r.Method], r.Seed, r.Result.NodeUsage*100, r.Result.BBUsage*100,
 			r.Result.AvgWaitSec, r.Result.AvgSlowdown, r.Result.MakespanSec)
 	}
 	return nil

@@ -36,6 +36,10 @@ import (
 type Benchmark struct {
 	// Name is the benchmark name with the -cpus suffix stripped.
 	Name string `json:"name"`
+	// Pkg is the package that produced the benchmark (the nearest
+	// preceding `pkg:` header); combined runs concatenate several
+	// packages' output, so provenance is per-benchmark.
+	Pkg string `json:"pkg,omitempty"`
 	// Iters is the harness iteration count.
 	Iters int64 `json:"iters"`
 	// Metrics maps unit -> value (ns/op, B/op, allocs/op, plus every
@@ -47,8 +51,10 @@ type Benchmark struct {
 type File struct {
 	// GeneratedAt is the RFC 3339 timestamp of the run.
 	GeneratedAt string `json:"generated_at"`
-	// Pkg and Host record the package and CPU lines from the bench
-	// header, for provenance when comparing across machines.
+	// Pkg records the bench header's package when every benchmark came
+	// from one package (empty for combined multi-package runs — see
+	// Benchmark.Pkg); Host records the CPU line, for provenance when
+	// comparing across machines.
 	Pkg  string `json:"pkg,omitempty"`
 	Host string `json:"host,omitempty"`
 	// Benchmarks lists the parsed results, sorted by name.
@@ -60,6 +66,7 @@ func main() {
 		out        = flag.String("out", "", "write the parsed run to this JSON file")
 		check      = flag.String("check", "", "compare the parsed run against this baseline JSON file")
 		maxRegress = flag.Float64("max-regress", 0.20, "maximum tolerated fractional regression")
+		require    = flag.String("require", "", "comma-separated benchmark name prefixes that must appear in the parsed run; a bench that vanishes (e.g. its package failed to build) fails the check instead of silently dropping its gate")
 	)
 	flag.Parse()
 	if (*out == "") == (*check == "") {
@@ -73,6 +80,9 @@ func main() {
 	}
 	if len(cur.Benchmarks) == 0 {
 		fail(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if missing := missingRequired(cur, *require); len(missing) > 0 {
+		fail(fmt.Errorf("required benchmark(s) missing from the run: %s (did a bench package fail?)", strings.Join(missing, ", ")))
 	}
 
 	if *out != "" {
@@ -101,6 +111,29 @@ func main() {
 	fmt.Println("benchjson: OK")
 }
 
+// missingRequired returns the -require prefixes matching no parsed
+// benchmark name.
+func missingRequired(f *File, require string) []string {
+	var missing []string
+	for _, prefix := range strings.Split(require, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		found := false
+		for _, b := range f.Benchmarks {
+			if strings.HasPrefix(b.Name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, prefix)
+		}
+	}
+	return missing
+}
+
 func readFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -113,9 +146,12 @@ func readFile(path string) (*File, error) {
 	return &f, nil
 }
 
-// Parse reads `go test -bench` output and extracts every benchmark line.
+// Parse reads `go test -bench` output — possibly several packages'
+// output concatenated — and extracts every benchmark line, attributing
+// each to the nearest preceding `pkg:` header.
 func Parse(r io.Reader) (*File, error) {
 	f := &File{}
+	pkg := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -127,7 +163,7 @@ func Parse(r io.Reader) (*File, error) {
 			f.Host = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			f.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -137,10 +173,26 @@ func Parse(r io.Reader) (*File, error) {
 		if err != nil {
 			return nil, err
 		}
+		b.Pkg = pkg
 		f.Benchmarks = append(f.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	// Single-package runs keep the top-level Pkg field for backward
+	// compatibility; combined runs record provenance per benchmark only.
+	single := true
+	for _, b := range f.Benchmarks {
+		if b.Pkg != pkg {
+			single = false
+			break
+		}
+	}
+	if single {
+		f.Pkg = pkg
+		for i := range f.Benchmarks {
+			f.Benchmarks[i].Pkg = ""
+		}
 	}
 	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
 	return f, nil
@@ -190,12 +242,16 @@ func higherIsBetter(unit string) bool {
 }
 
 // gatedMetrics are the units the -check mode enforces; everything else is
-// reported but informational. ns/op and jobs/sec track wall clock;
-// allocs/event is machine-independent and catches pooling regressions
-// even across differing CI hardware.
+// reported but informational. Rate metrics (jobs/sec, solves/sec) track
+// wall clock; allocs/event and allocs/op are machine-independent and
+// catch pooling regressions even across differing CI hardware (both
+// solver benches and the sim throughput bench are deterministic, so
+// their allocation counts are stable).
 var gatedMetrics = map[string]bool{
 	"jobs/sec":     true,
+	"solves/sec":   true,
 	"allocs/event": true,
+	"allocs/op":    true,
 }
 
 // Compare reports per-benchmark metric deltas and whether every gated

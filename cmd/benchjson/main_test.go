@@ -130,3 +130,66 @@ func TestCompareFailsOnMissingGatedMetric(t *testing.T) {
 		t.Fatalf("report should name the missing metric:\n%s", report)
 	}
 }
+
+const multiPkgOutput = `goos: linux
+pkg: bbsched/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimThroughput-8 	3	3244015706 ns/op	6165 jobs/sec
+PASS
+ok  	bbsched/internal/sim	10.2s
+goos: linux
+pkg: bbsched/internal/lp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolveLP/w=64-8 	100	100000 ns/op	9400 solves/sec
+PASS
+ok  	bbsched/internal/lp	2.1s
+`
+
+// TestParseMultiPackage checks per-benchmark package attribution on
+// concatenated bench output: the combined-run case bench-json produces.
+func TestParseMultiPackage(t *testing.T) {
+	f := parseSample(t, multiPkgOutput)
+	if f.Pkg != "" {
+		t.Errorf("top-level Pkg = %q for a multi-package run, want empty", f.Pkg)
+	}
+	want := map[string]string{
+		"BenchmarkSimThroughput": "bbsched/internal/sim",
+		"BenchmarkSolveLP/w=64":  "bbsched/internal/lp",
+	}
+	for _, b := range f.Benchmarks {
+		if b.Pkg != want[b.Name] {
+			t.Errorf("%s attributed to %q, want %q", b.Name, b.Pkg, want[b.Name])
+		}
+	}
+}
+
+// TestParseSinglePackageKeepsTopLevelPkg pins backward compatibility:
+// one-package runs keep the File.Pkg field and omit per-benchmark Pkg.
+func TestParseSinglePackageKeepsTopLevelPkg(t *testing.T) {
+	f := parseSample(t, sampleOutput)
+	if f.Pkg != "bbsched/internal/sim" {
+		t.Errorf("Pkg = %q, want bbsched/internal/sim", f.Pkg)
+	}
+	for _, b := range f.Benchmarks {
+		if b.Pkg != "" {
+			t.Errorf("%s carries per-benchmark Pkg %q in a single-package run", b.Name, b.Pkg)
+		}
+	}
+}
+
+// TestMissingRequired checks the -require presence gate: a benchmark
+// family that vanished from the run (its package failed) must be
+// reported, matching by name prefix.
+func TestMissingRequired(t *testing.T) {
+	f := parseSample(t, multiPkgOutput)
+	if missing := missingRequired(f, "BenchmarkSimThroughput,BenchmarkSolveLP/"); len(missing) != 0 {
+		t.Errorf("false positives: %v", missing)
+	}
+	missing := missingRequired(f, "BenchmarkSolveGA/, BenchmarkSolveLP/ ,BenchmarkSolveGAWindow/")
+	if len(missing) != 2 || missing[0] != "BenchmarkSolveGA/" || missing[1] != "BenchmarkSolveGAWindow/" {
+		t.Errorf("missing = %v, want [BenchmarkSolveGA/ BenchmarkSolveGAWindow/]", missing)
+	}
+	if missing := missingRequired(f, ""); missing != nil {
+		t.Errorf("empty require produced %v", missing)
+	}
+}

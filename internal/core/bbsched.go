@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"bbsched/internal/cluster"
@@ -24,6 +25,7 @@ import (
 	"bbsched/internal/queue"
 	"bbsched/internal/rng"
 	"bbsched/internal/sched"
+	"bbsched/internal/solver"
 )
 
 // BBSched selects window jobs by Pareto optimization. It implements
@@ -49,6 +51,13 @@ type BBSched struct {
 	// implementation was — concurrent solves just draw separate
 	// evaluators.
 	evals sync.Pool
+
+	// Pluggable backend (SetSolver); unset runs the genetic algorithm
+	// over the GA configuration. BBSched's §3.2.4 decision rule consumes
+	// a Pareto set, so the backend must report the ParetoFront capability
+	// — scalar-only backends (lp) are vetoed at configuration time; they
+	// back the scalarized methods (Weighted_LP, Constrained_LP) instead.
+	backend sched.SolverSlot
 }
 
 // New returns BBSched with the paper's §4.3 defaults for the two-objective
@@ -76,6 +85,23 @@ func NewForObjectives(objectives []sched.Objective) *BBSched {
 // Name implements sched.Method.
 func (b *BBSched) Name() string { return "BBSched" }
 
+// SetSolver implements sched.SolverConfigurable.
+func (b *BBSched) SetSolver(s solver.Solver) { b.backend.Set(s) }
+
+// VetoSolver implements sched.SolverVetoer: the decision rule needs a
+// Pareto set over the multi-objective problem, so scalar-only backends
+// are rejected up front.
+func (b *BBSched) VetoSolver(s solver.Solver) error {
+	if len(b.Objectives) > 1 && !s.Capabilities().ParetoFront {
+		return fmt.Errorf("core: BBSched needs a Pareto-front-capable solver; %q solves scalarizations only (use Weighted_%s / Constrained_%s)",
+			s.Name(), strings.ToUpper(s.Name()), strings.ToUpper(s.Name()))
+	}
+	return nil
+}
+
+// SolverName returns the backend's registry name.
+func (b *BBSched) SolverName() string { return b.backend.Resolve(b.GA).Name() }
+
 func (b *BBSched) validate() error {
 	if len(b.Objectives) == 0 {
 		return errors.New("core: BBSched with no objectives")
@@ -85,6 +111,9 @@ func (b *BBSched) validate() error {
 	}
 	if b.TradeoffFactor < 0 {
 		return fmt.Errorf("core: negative trade-off factor %v", b.TradeoffFactor)
+	}
+	if err := b.VetoSolver(b.backend.Resolve(b.GA)); err != nil {
+		return err // defense in depth: backends installed without SetSolver vetting
 	}
 	return nil
 }
@@ -101,7 +130,7 @@ func (b *BBSched) ParetoFront(ctx *sched.Context) ([]moo.Solution, error) {
 	p := sched.NewSelectionProblem(ctx.Window, ctx.Snap, b.Objectives)
 	ev, _ := b.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := moo.SolveGA(ev, b.GA, ctx.Rand)
+	front, err := b.backend.Resolve(b.GA).Solve(ev, solver.Options{Rand: ctx.Rand})
 	b.evals.Put(ev)
 	return front, err
 }

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+	"bbsched/internal/lp"
+	"bbsched/internal/rng"
+	"bbsched/internal/sched"
+)
+
+// TestBBSchedRejectsScalarSolver pins the capability gate: BBSched's
+// decision rule needs a Pareto front, so attaching the scalar-only LP
+// backend must fail loudly at the first solve, not silently degrade.
+func TestBBSchedRejectsScalarSolver(t *testing.T) {
+	b := New()
+	b.SetSolver(lp.New(lp.DefaultConfig()))
+	cl := cluster.MustNew(cluster.Config{Name: "t", Nodes: 100, BurstBufferGB: 100})
+	ctx := &sched.Context{
+		Now:    0,
+		Window: []*job.Job{job.MustNew(1, 0, 100, 100, job.NewDemand(10, 10, 0))},
+		Snap:   cl.Snapshot(),
+		Totals: sched.TotalsOf(cl.Config()),
+		Rand:   rng.New(1),
+	}
+	if _, err := b.Select(ctx); err == nil {
+		t.Fatal("BBSched accepted a scalar-only solver")
+	} else if !strings.Contains(err.Error(), "Pareto") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestBBSchedSolverName covers the default and overridden backend names.
+func TestBBSchedSolverName(t *testing.T) {
+	b := New()
+	if got := sched.SolverNameOf(b); got != "ga" {
+		t.Errorf("default BBSched solver = %q, want ga", got)
+	}
+	b.SetSolver(lp.New(lp.DefaultConfig()))
+	if got := sched.SolverNameOf(b); got != "lp" {
+		t.Errorf("after SetSolver = %q, want lp", got)
+	}
+	var _ sched.SolverConfigurable = b
+}

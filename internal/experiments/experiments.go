@@ -115,8 +115,21 @@ type Matrix struct {
 	// Workloads and MethodNames preserve presentation order.
 	Workloads   []string
 	MethodNames []string
+	// Solvers names each method's optimization backend, aligned with
+	// MethodNames ("ga", "lp", or "-" for fixed heuristics).
+	Solvers []string
 	// Results maps workload → method → result.
 	Results map[string]map[string]*sim.Result
+}
+
+// Solver returns the backend of a method column ("-" when unknown).
+func (m *Matrix) Solver(method string) string {
+	for i, name := range m.MethodNames {
+		if name == method && i < len(m.Solvers) {
+			return m.Solvers[i]
+		}
+	}
+	return "-"
 }
 
 // Get returns the result for (workload, method); nil if missing.
@@ -153,6 +166,7 @@ func runMatrix(o Options, workloads []trace.Workload, methods func() []sched.Met
 	}
 	for _, method := range ms {
 		m.MethodNames = append(m.MethodNames, method.Name())
+		m.Solvers = append(m.Solvers, sched.SolverNameOf(method))
 	}
 	for _, r := range runs {
 		m.Results[r.Workload][r.Method] = r.Result

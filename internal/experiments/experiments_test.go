@@ -225,8 +225,8 @@ func TestOverhead(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Fatalf("registry size = %d, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("registry size = %d, want 16", len(ids))
 	}
 	if ids[0] != "table1" || ids[len(ids)-1] != "ablations" {
 		t.Fatalf("registry order wrong: %v", ids)

@@ -51,6 +51,9 @@ var artifacts = map[string]struct {
 	"overhead": {"§4.4: per-decision scheduling overhead", func(r *Runner) (string, error) {
 		return Overhead(r.opts)
 	}},
+	"solvers": {"MOGA vs LP-relaxation solver backends on Theta-S4", func(r *Runner) (string, error) {
+		return SolverComparison(r.opts)
+	}},
 	"replicate": {"multi-seed Theta-S4 comparison (mean±std)", func(r *Runner) (string, error) {
 		return ReplicateS4(r.opts, []uint64{r.opts.Seed, r.opts.Seed + 101, r.opts.Seed + 202})
 	}},
@@ -63,7 +66,7 @@ var artifacts = map[string]struct {
 var artifactOrder = map[string]int{
 	"table1": 0, "fig2": 1, "fig4": 2, "fig5": 3, "fig6": 4, "fig7": 5,
 	"fig8": 6, "fig9": 7, "fig12": 8, "fig13": 9, "table3": 10, "fig14": 11,
-	"overhead": 12, "replicate": 13, "ablations": 14,
+	"overhead": 12, "solvers": 13, "replicate": 14, "ablations": 15,
 }
 
 // Run executes one experiment by ID.

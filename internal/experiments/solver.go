@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"bbsched/internal/core"
 	"bbsched/internal/job"
 	"bbsched/internal/moo"
+	"bbsched/internal/registry"
 	"bbsched/internal/rng"
 	"bbsched/internal/sched"
 	"bbsched/internal/sim"
@@ -258,6 +260,54 @@ func Overhead(o Options) (string, error) {
 	sort.Slice(rows, func(a, b int) bool { return rows[a][0] < rows[b][0] })
 	return fmt.Sprintf("Scheduling overhead: avg decision time, window=%d\n", w) +
 		table([]string{"method", "avg_decision_time"}, rows), nil
+}
+
+// SolverComparison pits the MOGA-backed scalarized methods against their
+// LP-relaxation (restarted Halpern PDHG + rounding) variants on the
+// representative Theta-S4 workload: identical window semantics and seed,
+// with a solver column distinguishing the backends and the per-decision
+// latency showing the first-order solver's speed advantage.
+func SolverComparison(o Options) (string, error) {
+	cori, theta := o.systems()
+	var s4 trace.Workload
+	for _, w := range trace.Matrix(cori, theta, o.Jobs, o.Seed) {
+		if strings.Contains(w.Name, "Theta") && strings.HasSuffix(w.Name, "-S4") {
+			s4 = w
+			break
+		}
+	}
+	if s4.Name == "" {
+		return "", fmt.Errorf("experiments: no Theta S4 workload in matrix")
+	}
+	var methods []sched.Method
+	for _, name := range []string{"Weighted", "Weighted_LP", "Constrained_CPU", "Constrained_LP", "BBSched"} {
+		m, err := registry.New(name, o.GA, false)
+		if err != nil {
+			return "", fmt.Errorf("experiments: %w", err)
+		}
+		methods = append(methods, m)
+	}
+	runs, err := sim.RunSweep(context.Background(), sim.Sweep{
+		Workloads: []trace.Workload{s4},
+		Methods:   methods,
+		Seeds:     []uint64{o.Seed},
+		Workers:   o.parallelism(),
+		Options:   []sim.Option{sim.WithPlugin(o.plugin()), sim.WithBuckets(buckets(s4.System))},
+	})
+	if err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	rows := make([][]string, 0, len(runs))
+	for i, r := range runs {
+		rows = append(rows, []string{
+			r.Method, sched.SolverNameOf(methods[i]),
+			pct(r.Result.NodeUsage), pct(r.Result.BBUsage),
+			secs(r.Result.AvgWaitSec), f2(r.Result.AvgSlowdown),
+			fmt.Sprintf("%v", r.Result.AvgDecisionTime),
+		})
+	}
+	return fmt.Sprintf("Solver comparison on %s: MOGA vs LP-relaxation backends\n", s4.Name) +
+		table([]string{"method", "solver", "cpu_usage", "bb_usage", "avg_wait", "avg_slowdown", "avg_decision"}, rows), nil
 }
 
 // namedMethod renames a wrapped method in output.

@@ -1,0 +1,324 @@
+package lp
+
+import (
+	"math"
+
+	"bbsched/internal/solver"
+)
+
+// Stats reports one LP-relaxation solve.
+type Stats struct {
+	// Iters is the number of PDHG iterations performed.
+	Iters int
+	// Restarts counts fixed-frequency anchor restarts.
+	Restarts int
+	// Primal is the achieved relaxation objective C·x (original scale).
+	Primal float64
+	// Dual is the dual objective bound (original scale); for a maximization
+	// it upper-bounds every feasible 0/1 selection's objective.
+	Dual float64
+	// Gap is the relative duality gap at termination.
+	Gap float64
+	// Infeas is the relative primal constraint violation at termination.
+	Infeas float64
+	// Converged reports that Gap and Infeas reached Config.Tol before the
+	// iteration budget ran out.
+	Converged bool
+}
+
+// relaxation is the pooled workspace of one PDHG solve. All slices are
+// grown on demand and reused across solves.
+type relaxation struct {
+	n, m int // variables (window jobs), kept constraint rows
+
+	rows [][]float64 // capacity-normalized demand rows, pinned columns zeroed
+	c    []float64   // objective, scaled to max |c| = 1
+	u    []float64   // per-variable upper bound: 1, or 0 when pinned out
+
+	x, xn, x0 []float64 // primal iterate, PDHG step, Halpern anchor
+	y, yn, y0 []float64 // dual iterate, PDHG step, Halpern anchor
+	aty       []float64 // Aᵀy scratch (n)
+	ax        []float64 // A·(·) scratch (m)
+
+	cmax float64 // objective scale factor (original = normalized × cmax)
+}
+
+func (w *relaxation) grow(n, m int) {
+	growF := func(s *[]float64, k int) {
+		if cap(*s) < k {
+			*s = make([]float64, k)
+		}
+		*s = (*s)[:k]
+	}
+	growF(&w.c, n)
+	growF(&w.u, n)
+	growF(&w.x, n)
+	growF(&w.xn, n)
+	growF(&w.x0, n)
+	growF(&w.aty, n)
+	growF(&w.y, m)
+	growF(&w.yn, m)
+	growF(&w.y0, m)
+	growF(&w.ax, m)
+	if cap(w.rows) < m {
+		w.rows = append(w.rows[:cap(w.rows)], make([][]float64, m-cap(w.rows))...)
+	}
+	w.rows = w.rows[:m]
+	for r := range w.rows {
+		growF(&w.rows[r], n)
+	}
+	w.n, w.m = n, m
+}
+
+// load normalizes the instance into the workspace: constraint rows are
+// scaled by their capacities (caps become 1), the objective by its largest
+// coefficient, and variables that cannot be 1 in any feasible solution —
+// a demand exceeding a free capacity on its own, or any demand against a
+// zero capacity — are pinned to 0 via the bound vector u.
+func (w *relaxation) load(form solver.LinearForm) {
+	n := len(form.C)
+	// Count kept rows first: rows with positive capacity constrain the
+	// relaxation; zero-capacity rows only pin variables.
+	m := 0
+	for _, cap := range form.Caps {
+		if cap > 0 {
+			m++
+		}
+	}
+	w.grow(n, m)
+
+	for i := range w.u {
+		w.u[i] = 1
+	}
+	r := 0
+	for ri, row := range form.Rows {
+		capacity := form.Caps[ri]
+		if capacity <= 0 {
+			for i, a := range row {
+				if a > 0 {
+					w.u[i] = 0
+				}
+			}
+			continue
+		}
+		dst := w.rows[r]
+		for i, a := range row {
+			if a > capacity {
+				w.u[i] = 0
+			}
+			dst[i] = a / capacity
+		}
+		r++
+	}
+	// Zero pinned columns so the operator never moves mass onto them, and
+	// normalize the objective over the surviving variables.
+	w.cmax = 0
+	for i, ci := range form.C {
+		if w.u[i] == 0 {
+			w.c[i] = 0
+			for r := range w.rows {
+				w.rows[r][i] = 0
+			}
+			continue
+		}
+		w.c[i] = ci
+		if a := math.Abs(ci); a > w.cmax {
+			w.cmax = a
+		}
+	}
+	if w.cmax > 0 {
+		for i := range w.c {
+			w.c[i] /= w.cmax
+		}
+	} else {
+		w.cmax = 1 // flat objective; keep scale factor harmless
+	}
+}
+
+// operatorNorm estimates ‖A‖₂ of the normalized constraint matrix by
+// power iteration on AᵀA, matrix-free and deterministic.
+func (w *relaxation) operatorNorm() float64 {
+	if w.m == 0 || w.n == 0 {
+		return 0
+	}
+	v := w.aty[:w.n] // reuse scratch; overwritten before the main loop
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(w.n))
+	}
+	norm := 0.0
+	for it := 0; it < 32; it++ {
+		w.matVec(v, w.ax)
+		w.matVecT(w.ax, v)
+		s := 0.0
+		for _, vi := range v {
+			s += vi * vi
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return 0
+		}
+		for i := range v {
+			v[i] /= s
+		}
+		norm = math.Sqrt(s) // v was unit before the step, so ‖AᵀAv‖ ≈ λmax
+	}
+	return norm
+}
+
+// matVec writes A·v into out (one entry per kept row).
+func (w *relaxation) matVec(v []float64, out []float64) {
+	for r, row := range w.rows {
+		s := 0.0
+		for i, a := range row {
+			s += a * v[i]
+		}
+		out[r] = s
+	}
+}
+
+// matVecT writes Aᵀ·v into out (one entry per variable).
+func (w *relaxation) matVecT(v []float64, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for r, row := range w.rows {
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		for i, a := range row {
+			out[i] += a * vr
+		}
+	}
+}
+
+// residuals computes the relative primal infeasibility and duality gap at
+// the current iterate (normalized scale) plus the primal and dual
+// objective values.
+func (w *relaxation) residuals() (infeas, gap, primal, dual float64) {
+	w.matVec(w.x, w.ax)
+	for _, axr := range w.ax {
+		if v := axr - 1; v > infeas {
+			infeas = v
+		}
+	}
+	for i, ci := range w.c {
+		primal += ci * w.x[i]
+	}
+	w.matVecT(w.y, w.aty)
+	for _, yr := range w.y {
+		dual += yr // normalized capacities are 1
+	}
+	for i, ci := range w.c {
+		if rc := ci - w.aty[i]; rc > 0 && w.u[i] > 0 {
+			dual += rc // box upper bound u=1 absorbs the positive reduced cost
+		}
+	}
+	gap = math.Abs(dual-primal) / (1 + math.Abs(primal) + math.Abs(dual))
+	return infeas, gap, primal, dual
+}
+
+// solveRelaxation runs restarted Halpern PDHG on the loaded instance and
+// leaves the primal solution in w.x. Following Lu & Yang's rHPDHG, each
+// iteration takes one PDHG step and averages it toward the anchor z⁰ with
+// Halpern weight (k+1)/(k+2); the anchor is reset to the current iterate
+// every RestartPeriod iterations (fixed-frequency restarts). Stopping is
+// on relative duality gap plus primal feasibility.
+func (w *relaxation) solveRelaxation(cfg Config) Stats {
+	var st Stats
+	for i := range w.x {
+		w.x[i] = 0
+	}
+	for r := range w.y {
+		w.y[r] = 0
+	}
+
+	if w.m == 0 {
+		// Unconstrained box LP: take every variable with positive reduced
+		// profit at its upper bound.
+		for i, ci := range w.c {
+			if ci > 0 {
+				w.x[i] = w.u[i]
+			}
+		}
+		st.Converged = true
+		for i, ci := range w.c {
+			st.Primal += ci * w.x[i] * w.cmax
+		}
+		st.Dual = st.Primal
+		return st
+	}
+
+	norm := w.operatorNorm()
+	if norm == 0 {
+		norm = 1
+	}
+	eta := 0.9 / norm // τ = σ = η with τσ‖A‖² < 1
+
+	copy(w.x0, w.x)
+	copy(w.y0, w.y)
+	k := 0
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// Primal step: x̂ = Π_[0,u](x + η(c − Aᵀy)).
+		w.matVecT(w.y, w.aty)
+		for i := range w.xn {
+			v := w.x[i] + eta*(w.c[i]-w.aty[i])
+			if v < 0 {
+				v = 0
+			} else if ub := w.u[i]; v > ub {
+				v = ub
+			}
+			w.xn[i] = v
+		}
+		// Dual step against the extrapolated primal: ŷ = Π_{≥0}(y + η(A(2x̂−x) − 1)).
+		for i := range w.xn {
+			w.aty[i] = 2*w.xn[i] - w.x[i] // reuse aty as the extrapolation buffer
+		}
+		w.matVec(w.aty, w.ax)
+		for r := range w.yn {
+			v := w.y[r] + eta*(w.ax[r]-1)
+			if v < 0 {
+				v = 0
+			}
+			w.yn[r] = v
+		}
+		// Halpern anchoring: z ← (k+1)/(k+2)·ẑ + 1/(k+2)·z⁰.
+		lam := float64(k+1) / float64(k+2)
+		for i := range w.x {
+			w.x[i] = lam*w.xn[i] + (1-lam)*w.x0[i]
+		}
+		for r := range w.y {
+			w.y[r] = lam*w.yn[r] + (1-lam)*w.y0[r]
+		}
+		k++
+		if k >= cfg.RestartPeriod {
+			copy(w.x0, w.x)
+			copy(w.y0, w.y)
+			k = 0
+			st.Restarts++
+		}
+		st.Iters = iter
+		if iter%cfg.checkEvery() == 0 || iter == cfg.MaxIters {
+			infeas, gap, primal, dual := w.residuals()
+			st.Infeas, st.Gap = infeas, gap
+			st.Primal, st.Dual = primal*w.cmax, dual*w.cmax
+			if infeas <= cfg.Tol && gap <= cfg.Tol {
+				st.Converged = true
+				break
+			}
+		}
+	}
+	return st
+}
+
+// SolveRelaxation solves the LP relaxation of a linear selection instance
+// and returns the fractional primal solution x ∈ [0,1]ⁿ with solve
+// statistics. It is the low-level entry point behind Solver.Solve, exposed
+// for diagnostics, examples, and convergence tests.
+func SolveRelaxation(form solver.LinearForm, cfg Config) ([]float64, Stats) {
+	cfg = cfg.withDefaults()
+	w := &relaxation{}
+	w.load(form)
+	st := w.solveRelaxation(cfg)
+	return append([]float64(nil), w.x...), st
+}

@@ -1,9 +1,11 @@
-// Package registry is the single roster of scheduling methods: every
-// shipped §4.3 / §5 method registers here once, and every consumer — the
-// bbsim CLI's -method/-methods flags, the experiments matrices, sweep
-// drivers — lists or instantiates methods from the same table, so the
-// rosters can never drift apart. RegisterMethod lets downstream code add
-// its own methods to the same namespace.
+// Package registry is the single roster of scheduling methods and window
+// solvers: every shipped §4.3 / §5 method registers here once, every
+// optimization backend (the genetic algorithm, the LP-relaxation PDHG
+// solver) registers once, and every consumer — the bbsim CLI's
+// -method/-methods/-solver flags, the experiments matrices, sweep
+// drivers — lists or instantiates from the same tables, so the rosters
+// can never drift apart. RegisterMethod and RegisterSolver let downstream
+// code add its own entries to the same namespaces.
 package registry
 
 import (
@@ -12,8 +14,10 @@ import (
 
 	"bbsched/internal/cluster"
 	"bbsched/internal/core"
+	"bbsched/internal/lp"
 	"bbsched/internal/moo"
 	"bbsched/internal/sched"
+	"bbsched/internal/solver"
 )
 
 // Builder constructs a fresh method instance sharing the given solver
@@ -49,6 +53,12 @@ type MethodSpec struct {
 	// tooling. Nil means the method is dimension-agnostic: it optimizes
 	// (or respects) every dimension the machine defines.
 	Dimensions []string
+	// Solver names the optimization backend the spec's builders attach
+	// (see the solver registry): "" for a method's own default (the
+	// genetic algorithm for optimization methods, nothing for fixed
+	// heuristics). Listings surface it so method variants like
+	// Weighted_LP are self-describing.
+	Solver string
 	// Section4 and Section5 flag membership in the §4.3 and §5 rosters
 	// returned by the Section4/Section5 builders. Custom methods
 	// registered by downstream code may leave both false: they are
@@ -289,6 +299,150 @@ func init() {
 		},
 		Section4: true, Section5: true,
 	})
+}
+
+// SolverSpec describes one registered optimization backend.
+type SolverSpec struct {
+	// Name is the backend's unique registry name (what solver.Solver.Name
+	// returns), e.g. "ga", "lp".
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// New builds a backend instance. The GA configuration is the shared
+	// §4.3 solver configuration; backends that do not use it (lp) ignore
+	// it.
+	New func(ga moo.GAConfig) solver.Solver
+}
+
+var (
+	solverMu     sync.RWMutex
+	solverOrder  []string
+	solverByName = make(map[string]SolverSpec)
+)
+
+// RegisterSolver adds an optimization backend to the registry. The name
+// must be unique and the builder non-nil.
+func RegisterSolver(spec SolverSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("registry: solver with empty name")
+	}
+	if spec.New == nil {
+		return fmt.Errorf("registry: solver %q has no builder", spec.Name)
+	}
+	solverMu.Lock()
+	defer solverMu.Unlock()
+	if _, dup := solverByName[spec.Name]; dup {
+		return fmt.Errorf("registry: solver %q already registered", spec.Name)
+	}
+	solverByName[spec.Name] = spec
+	solverOrder = append(solverOrder, spec.Name)
+	return nil
+}
+
+// MustRegisterSolver is RegisterSolver but panics on error.
+func MustRegisterSolver(spec SolverSpec) {
+	if err := RegisterSolver(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Solvers returns every registered backend in registration order.
+func Solvers() []SolverSpec {
+	solverMu.RLock()
+	defer solverMu.RUnlock()
+	out := make([]SolverSpec, len(solverOrder))
+	for i, name := range solverOrder {
+		out[i] = solverByName[name]
+	}
+	return out
+}
+
+// SolverNames returns the registered backend names in registration order.
+func SolverNames() []string {
+	solverMu.RLock()
+	defer solverMu.RUnlock()
+	return append([]string(nil), solverOrder...)
+}
+
+// NewSolver instantiates the named backend.
+func NewSolver(name string, ga moo.GAConfig) (solver.Solver, error) {
+	solverMu.RLock()
+	spec, ok := solverByName[name]
+	solverMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown solver %q (have %v)", name, SolverNames())
+	}
+	return spec.New(ga), nil
+}
+
+// ApplySolver instantiates the named backend and attaches it to m, which
+// must be solver-configurable (Weighted, Constrained, BBSched). Fixed
+// heuristics reject the override, and methods with capability
+// requirements (BBSched needs Pareto fronts) veto incompatible backends
+// here, at configuration time, instead of failing mid-run.
+func ApplySolver(m sched.Method, name string, ga moo.GAConfig) error {
+	sc, ok := m.(sched.SolverConfigurable)
+	if !ok {
+		return fmt.Errorf("registry: method %s has a fixed selection heuristic, no solver to swap", m.Name())
+	}
+	sv, err := NewSolver(name, ga)
+	if err != nil {
+		return err
+	}
+	if v, ok := m.(sched.SolverVetoer); ok {
+		if err := v.VetoSolver(sv); err != nil {
+			return err
+		}
+	}
+	sc.SetSolver(sv)
+	return nil
+}
+
+func init() {
+	MustRegisterSolver(SolverSpec{
+		Name: "ga",
+		Desc: "the paper's §3.2.2 multi-objective genetic algorithm (Pareto fronts; any problem)",
+		New:  func(ga moo.GAConfig) solver.Solver { return solver.NewGA(ga) },
+	})
+	MustRegisterSolver(SolverSpec{
+		Name: "lp",
+		Desc: "matrix-free LP relaxation via restarted Halpern PDHG + randomized rounding (scalarized problems)",
+		New:  func(moo.GAConfig) solver.Solver { return lp.New(lp.DefaultConfig()) },
+	})
+
+	// LP-backed method variants: the scalarized formulations re-solved by
+	// the first-order backend. Not part of the paper's §4/§5 rosters —
+	// those stay MOGA-backed and golden-pinned — but instantiable by name
+	// everywhere methods are.
+	MustRegister(MethodSpec{
+		Name: "Weighted_LP",
+		Desc: "Weighted's equally weighted utilization sum solved by LP relaxation + rounding",
+		New: func(ga moo.GAConfig) sched.Method {
+			return withLP(sched.NewWeighted("Weighted_LP", 0.5, 0.5, ga))
+		},
+		NewDim: func(ga moo.GAConfig, objs []sched.Objective) sched.Method {
+			// Drop objectives with no linear column (the §5 SSD-waste
+			// term) so the LP-backed build stays solvable on any machine.
+			return withLP(sched.NewWeightedFor("Weighted_LP", sched.LinearObjectives(objs), ga))
+		},
+		Dimensions: []string{cluster.ResourceNodes, cluster.ResourceBB},
+		Solver:     "lp",
+	})
+	MustRegister(MethodSpec{
+		Name: "Constrained_LP",
+		Desc: "Constrained_CPU's node-utilization maximization solved by LP relaxation + rounding",
+		New: func(ga moo.GAConfig) sched.Method {
+			return withLP(&sched.Constrained{MethodName: "Constrained_LP", Target: sched.NodeUtil, GA: ga})
+		},
+		Dimensions: []string{cluster.ResourceNodes},
+		Solver:     "lp",
+	})
+}
+
+// withLP attaches the default LP backend to a solver-configurable method.
+func withLP(m sched.SolverConfigurable) sched.Method {
+	m.SetSolver(lp.New(lp.DefaultConfig()))
+	return m
 }
 
 func weightedSSD(ga moo.GAConfig) sched.Method {

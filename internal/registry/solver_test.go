@@ -1,0 +1,130 @@
+package registry
+
+import (
+	"testing"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/lp"
+	"bbsched/internal/moo"
+	"bbsched/internal/sched"
+	"bbsched/internal/solver"
+)
+
+// TestSolverRoster checks the built-in backend registry and name-based
+// instantiation.
+func TestSolverRoster(t *testing.T) {
+	names := SolverNames()
+	if len(names) < 2 || names[0] != "ga" || names[1] != "lp" {
+		t.Fatalf("solver roster = %v, want [ga lp ...]", names)
+	}
+	for _, name := range names {
+		sv, err := NewSolver(name, ga())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv.Name() != name {
+			t.Errorf("solver %q reports name %q", name, sv.Name())
+		}
+	}
+	if _, err := NewSolver("nope", ga()); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+// TestRegisterSolverValidation covers duplicate and malformed specs.
+func TestRegisterSolverValidation(t *testing.T) {
+	if err := RegisterSolver(SolverSpec{Name: "", New: func(moo.GAConfig) solver.Solver { return nil }}); err == nil {
+		t.Error("empty solver name accepted")
+	}
+	if err := RegisterSolver(SolverSpec{Name: "x"}); err == nil {
+		t.Error("builderless solver accepted")
+	}
+	if err := RegisterSolver(SolverSpec{Name: "ga", New: func(moo.GAConfig) solver.Solver { return solver.NewGA(ga()) }}); err == nil {
+		t.Error("duplicate solver name accepted")
+	}
+}
+
+// TestLPMethodVariants checks the registered LP-backed method variants:
+// instantiable by name, reporting the lp backend, outside the golden
+// paper rosters.
+func TestLPMethodVariants(t *testing.T) {
+	for _, name := range []string{"Weighted_LP", "Constrained_LP"} {
+		spec, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if spec.Solver != "lp" {
+			t.Errorf("%s spec solver = %q, want lp", name, spec.Solver)
+		}
+		if spec.Section4 || spec.Section5 {
+			t.Errorf("%s joined a paper roster; the golden §4/§5 rosters must stay MOGA-only", name)
+		}
+		m, err := New(name, ga(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Errorf("method name = %q, want %q", m.Name(), name)
+		}
+		if got := sched.SolverNameOf(m); got != "lp" {
+			t.Errorf("%s backend = %q, want lp", name, got)
+		}
+	}
+}
+
+// TestApplySolver covers the by-name backend attachment used by the
+// bbsim -solver flag.
+func TestApplySolver(t *testing.T) {
+	m, err := New("Weighted", ga(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySolver(m, "lp", ga()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.SolverNameOf(m); got != "lp" {
+		t.Errorf("backend after ApplySolver = %q, want lp", got)
+	}
+	if err := ApplySolver(m, "nope", ga()); err == nil {
+		t.Error("unknown solver name accepted")
+	}
+	base, err := New("Baseline", ga(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySolver(base, "lp", ga()); err == nil {
+		t.Error("fixed heuristic accepted a solver override")
+	}
+	bb, err := New("BBSched", ga(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySolver(bb, "lp", ga()); err == nil {
+		t.Error("BBSched accepted the scalar-only lp backend (veto bypassed)")
+	}
+	if err := ApplySolver(bb, "ga", ga()); err != nil {
+		t.Errorf("BBSched rejected the ga backend: %v", err)
+	}
+	// The §5 four-objective Weighted build scalarizes SSD waste, which
+	// has no linear column: the lp backend must be vetoed at setup, not
+	// fail at the first scheduling pass.
+	wSSD, err := New("Weighted", ga(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySolver(wSSD, "lp", ga()); err == nil {
+		t.Error("SSD-waste Weighted build accepted the lp backend (veto bypassed)")
+	}
+	// Weighted_LP's dimension-generated build drops the waste term
+	// instead, so it stays LP-solvable on SSD machines.
+	spec, _ := Lookup("Weighted_LP")
+	mDim := spec.NewDim(ga(), sched.ObjectivesFor(cluster.Config{
+		Nodes: 64, BurstBufferGB: 1000,
+		Extra: []cluster.ResourceSpec{{Name: "power_kw", Capacity: 100}},
+	}, true))
+	if v, ok := mDim.(sched.SolverVetoer); ok {
+		if err := v.VetoSolver(lp.New(lp.DefaultConfig())); err != nil {
+			t.Errorf("Weighted_LP NewDim build rejects its own backend: %v", err)
+		}
+	}
+}

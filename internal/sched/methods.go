@@ -9,6 +9,7 @@ import (
 	"bbsched/internal/job"
 	"bbsched/internal/moo"
 	"bbsched/internal/rng"
+	"bbsched/internal/solver"
 )
 
 // Context carries everything a scheduling method may use to pick jobs from
@@ -97,6 +98,88 @@ func (Baseline) Select(ctx *Context) ([]int, error) {
 // configuration for every method).
 type GASolverConfig = moo.GAConfig
 
+// SolverConfigurable is implemented by methods whose optimization backend
+// is pluggable (Weighted, Constrained, core.BBSched). SetSolver installs
+// the backend; a nil solver restores the method's default (the genetic
+// algorithm over its GA configuration). The override is synchronized, so
+// concurrent configuration (e.g. sweep workers re-applying the same
+// backend to a shared method) is safe; in-flight Selects use either the
+// old or the new backend.
+type SolverConfigurable interface {
+	Method
+	SetSolver(s solver.Solver)
+}
+
+// SolverVetoer is implemented by methods that can reject an incompatible
+// backend at configuration time (core.BBSched requires the Pareto-front
+// capability). registry.ApplySolver and sim.WithSolver consult it before
+// SetSolver, so misconfiguration fails at setup instead of mid-run.
+type SolverVetoer interface {
+	VetoSolver(s solver.Solver) error
+}
+
+// solverNamer is implemented by methods that report their backend name.
+type solverNamer interface{ SolverName() string }
+
+// SolverNameOf returns the optimization backend a method runs on: the
+// solver's registry name for solver-backed methods, "-" for fixed
+// heuristics (Baseline, BinPacking) that have no solver to swap.
+func SolverNameOf(m Method) string {
+	if n, ok := m.(solverNamer); ok {
+		return n.SolverName()
+	}
+	return "-"
+}
+
+// SolverSlot holds a method's pluggable backend: the configured override
+// (guarded — Set may race with in-flight Selects on a shared method
+// instance) or a lazily built (once) GA backend over the method's GA
+// configuration — the pre-refactor behaviour, bit for bit. Embed one to
+// give a custom method the same SetSolver/Select concurrency contract
+// the built-in methods have.
+type SolverSlot struct {
+	mu       sync.RWMutex
+	override solver.Solver
+
+	once sync.Once
+	ga   *solver.GA
+}
+
+// Set installs the backend override; nil restores the GA default.
+func (b *SolverSlot) Set(s solver.Solver) {
+	b.mu.Lock()
+	b.override = s
+	b.mu.Unlock()
+}
+
+// Resolve returns the configured backend, defaulting (once) to the
+// genetic algorithm over cfg.
+func (b *SolverSlot) Resolve(cfg moo.GAConfig) solver.Solver {
+	b.mu.RLock()
+	s := b.override
+	b.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	b.once.Do(func() { b.ga = solver.NewGA(cfg) })
+	return b.ga
+}
+
+// vetoNonLinear rejects linear-only backends when any optimized
+// objective has no linear column — knowable at configuration time, so
+// the mismatch fails at setup instead of at the first scheduling pass.
+func vetoNonLinear(method string, s solver.Solver, objectives []Objective) error {
+	if !s.Capabilities().NeedsLinear {
+		return nil
+	}
+	for _, o := range objectives {
+		if !o.Linearizable() {
+			return fmt.Errorf("sched: %s optimizes %s, which has no linear form; backend %q only solves LP-representable scalarizations", method, o, s.Name())
+		}
+	}
+	return nil
+}
+
 // Weighted maximizes a weighted sum of machine-normalized resource
 // utilizations (§4.3: Weighted 50/50, Weighted_CPU 80/20, Weighted_BB
 // 20/80; §5 adds SSD terms). It returns the single best solution found.
@@ -107,13 +190,15 @@ type Weighted struct {
 	Objectives []Objective
 	// Weights are the scalarization weights (summing to 1 by convention).
 	Weights []float64
-	// GA configures the solver.
+	// GA configures the default genetic backend; SetSolver overrides the
+	// backend entirely (nil restores the GA — the paper's behaviour).
 	GA GASolverConfig
 
 	// evals pools reusable evaluators so the solver keeps its
 	// memoization-cache capacity across scheduling decisions while
 	// staying safe for concurrent Select calls.
-	evals sync.Pool
+	evals   sync.Pool
+	backend SolverSlot
 }
 
 // NewWeighted builds a weighted method over the two §3.2 objectives.
@@ -135,7 +220,22 @@ func NewWeightedFor(name string, objectives []Objective, ga GASolverConfig) *Wei
 // Name implements Method.
 func (w *Weighted) Name() string { return w.MethodName }
 
-// Select implements Method.
+// SetSolver implements SolverConfigurable.
+func (w *Weighted) SetSolver(s solver.Solver) { w.backend.Set(s) }
+
+// VetoSolver implements SolverVetoer: a linear-only backend cannot
+// optimize a scalarization over non-linear objectives (the §5 SSD-waste
+// term), and the objective list is known here.
+func (w *Weighted) VetoSolver(s solver.Solver) error {
+	return vetoNonLinear(w.MethodName, s, w.Objectives)
+}
+
+// SolverName returns the backend's registry name.
+func (w *Weighted) SolverName() string { return w.backend.Resolve(w.GA).Name() }
+
+// Select implements Method: scalarize the utilization objectives and hand
+// the single-objective problem — wrapped in the method's pooled memoizing
+// evaluator — to the configured backend.
 func (w *Weighted) Select(ctx *Context) ([]int, error) {
 	if len(w.Weights) != len(w.Objectives) {
 		return nil, fmt.Errorf("sched: %s has %d weights for %d objectives", w.MethodName, len(w.Weights), len(w.Objectives))
@@ -147,10 +247,10 @@ func (w *Weighted) Select(ctx *Context) ([]int, error) {
 	p := &scalarized{inner: inner, weights: w.Weights, denom: ctx.Totals.Denominators(w.Objectives)}
 	ev, _ := w.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := moo.SolveGA(ev, w.GA, ctx.Rand)
+	front, err := w.backend.Resolve(w.GA).Solve(ev, solver.Options{Rand: ctx.Rand})
 	w.evals.Put(ev)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sched: %s: %w", w.MethodName, err)
 	}
 	best := bestScalar(front)
 	if best == nil {
@@ -167,15 +267,28 @@ type Constrained struct {
 	MethodName string
 	// Target is the single maximized objective.
 	Target Objective
-	// GA configures the solver.
+	// GA configures the default genetic backend; SetSolver overrides the
+	// backend entirely (see Weighted).
 	GA GASolverConfig
 
 	// evals pools reusable evaluators (see Weighted.evals).
-	evals sync.Pool
+	evals   sync.Pool
+	backend SolverSlot
 }
 
 // Name implements Method.
 func (c *Constrained) Name() string { return c.MethodName }
+
+// SetSolver implements SolverConfigurable.
+func (c *Constrained) SetSolver(s solver.Solver) { c.backend.Set(s) }
+
+// VetoSolver implements SolverVetoer (see Weighted.VetoSolver).
+func (c *Constrained) VetoSolver(s solver.Solver) error {
+	return vetoNonLinear(c.MethodName, s, []Objective{c.Target})
+}
+
+// SolverName returns the backend's registry name.
+func (c *Constrained) SolverName() string { return c.backend.Resolve(c.GA).Name() }
 
 // Select implements Method.
 func (c *Constrained) Select(ctx *Context) ([]int, error) {
@@ -185,10 +298,10 @@ func (c *Constrained) Select(ctx *Context) ([]int, error) {
 	p := NewSelectionProblem(ctx.Window, ctx.Snap, []Objective{c.Target})
 	ev, _ := c.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := moo.SolveGA(ev, c.GA, ctx.Rand)
+	front, err := c.backend.Resolve(c.GA).Solve(ev, solver.Options{Rand: ctx.Rand})
 	c.evals.Put(ev)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sched: %s: %w", c.MethodName, err)
 	}
 	best := bestScalar(front)
 	if best == nil {

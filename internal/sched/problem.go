@@ -13,6 +13,7 @@ import (
 	"bbsched/internal/cluster"
 	"bbsched/internal/job"
 	"bbsched/internal/moo"
+	"bbsched/internal/solver"
 )
 
 // Objective identifies one maximized objective: one of the paper's four
@@ -56,6 +57,33 @@ func (o Objective) ExtraIndex() int {
 		panic(fmt.Sprintf("sched: %s is not an extra-dimension objective", o))
 	}
 	return int(o - extraUtilBase)
+}
+
+// Linearizable reports whether the objective has a per-job linear
+// column — its value is a fixed amount per selected job, independent of
+// placement. Every utilization objective is; SSD waste (assigned minus
+// requested, a placement outcome) is not. LP backends can only optimize
+// linearizable objectives, and solver vetting uses this predicate at
+// configuration time.
+func (o Objective) Linearizable() bool {
+	switch {
+	case o == NodeUtil, o == BBUtil, o == SSDUtil, o.IsExtra():
+		return true
+	}
+	return false
+}
+
+// LinearObjectives returns the subset of objs with per-job linear
+// columns (dropping SSD waste) — the objective list LP-backed method
+// variants can optimize. The input is not modified.
+func LinearObjectives(objs []Objective) []Objective {
+	out := make([]Objective, 0, len(objs))
+	for _, o := range objs {
+		if o.Linearizable() {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // String returns the objective's short name.
@@ -359,6 +387,97 @@ func (p *SelectionProblem) Repair(g moo.Genome, drop func(n int) int) {
 	p.scratch.Put(sc)
 }
 
+// objectiveColumn returns the per-job linear coefficient column of one
+// objective: the amount job i contributes to o when selected. It reports
+// false exactly when !o.Linearizable() (SSD waste depends on placement,
+// not selection alone).
+func (p *SelectionProblem) objectiveColumn(o Objective) ([]float64, bool) {
+	col := make([]float64, len(p.jobs))
+	switch {
+	case o == NodeUtil:
+		for i, v := range p.nodes {
+			col[i] = float64(v)
+		}
+	case o == BBUtil:
+		for i, v := range p.bb {
+			col[i] = float64(v)
+		}
+	case o == SSDUtil:
+		for i, j := range p.jobs {
+			col[i] = float64(j.Demand.TotalSSD())
+		}
+	case o.IsExtra() && o.ExtraIndex() < len(p.extras):
+		for i, v := range p.extras[o.ExtraIndex()] {
+			col[i] = float64(v)
+		}
+	case o.IsExtra():
+		// Objective over a dimension this machine lacks: Evaluate scores
+		// it 0 for every selection, so the zero column is exact.
+	default:
+		return nil, false // SSDWasteNeg or unknown
+	}
+	return col, true
+}
+
+// linearConstraints returns the knapsack rows of the instance: one demand
+// row per machine resource against its free capacity. On SSD-class
+// machines the per-class placement constraint is relaxed to the aggregate
+// free SSD capacity — a valid LP relaxation; exact feasibility of rounded
+// selections still comes from Evaluate.
+func (p *SelectionProblem) linearConstraints() (rows [][]float64, caps []float64) {
+	n := len(p.jobs)
+	intRow := func(col []int64) []float64 {
+		row := make([]float64, n)
+		for i, v := range col {
+			row[i] = float64(v)
+		}
+		return row
+	}
+	rows = append(rows, intRow(p.nodes))
+	caps = append(caps, float64(p.snap.FreeNodes()))
+	rows = append(rows, intRow(p.bb))
+	caps = append(caps, float64(p.snap.FreeBB))
+	for k := range p.extras {
+		rows = append(rows, intRow(p.extras[k]))
+		caps = append(caps, float64(p.snap.FreeExtra[k]))
+	}
+	if !p.fastPath {
+		ssd := make([]float64, n)
+		any := false
+		for i, j := range p.jobs {
+			if d := j.Demand.TotalSSD(); d > 0 {
+				ssd[i] = float64(d)
+				any = true
+			}
+		}
+		if any {
+			var free int64
+			for c := 0; c < p.snap.NumClasses(); c++ {
+				free += int64(p.snap.FreeByClass[c]) * p.snap.ClassCapacity(c)
+			}
+			rows = append(rows, ssd)
+			caps = append(caps, float64(free))
+		}
+	}
+	return rows, caps
+}
+
+// LinearForm implements solver.Linearizable for single-objective
+// instances (the constrained methods' formulation): maximize the
+// objective's demand column under the machine's knapsack rows.
+// Multi-objective instances have no scalar linear form.
+func (p *SelectionProblem) LinearForm() (solver.LinearForm, bool) {
+	if len(p.objectives) != 1 {
+		return solver.LinearForm{}, false
+	}
+	c, ok := p.objectiveColumn(p.objectives[0])
+	if !ok {
+		return solver.LinearForm{}, false
+	}
+	rows, caps := p.linearConstraints()
+	return solver.LinearForm{C: c, Rows: rows, Caps: caps}, true
+}
+
 // Selected converts a solution genome to window indices.
 func Selected(g moo.Genome) []int { return g.Ones() }
 
@@ -396,6 +515,30 @@ func (s *scalarized) Evaluate(g moo.Genome) ([]float64, bool) {
 
 // Repair implements moo.Repairer.
 func (s *scalarized) Repair(g moo.Genome, drop func(n int) int) { s.inner.Repair(g, drop) }
+
+// LinearForm implements solver.Linearizable: the weighted sum of linear
+// utilization objectives is itself linear, with coefficients
+// Σₖ wₖ·colₖ[i]/denomₖ (matching Evaluate's normalization). It reports
+// false when any combined objective has no linear column (SSD waste).
+func (s *scalarized) LinearForm() (solver.LinearForm, bool) {
+	n := s.inner.Dim()
+	c := make([]float64, n)
+	for k, o := range s.inner.objectives {
+		col, ok := s.inner.objectiveColumn(o)
+		if !ok {
+			return solver.LinearForm{}, false
+		}
+		w := s.weights[k]
+		if s.denom[k] > 0 {
+			w /= s.denom[k]
+		}
+		for i, v := range col {
+			c[i] += w * v
+		}
+	}
+	rows, caps := s.inner.linearConstraints()
+	return solver.LinearForm{C: c, Rows: rows, Caps: caps}, true
+}
 
 // Totals carries machine capacity totals used to normalize objectives in
 // the weighted methods' scalarization and the decision rule.

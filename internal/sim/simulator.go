@@ -14,6 +14,7 @@ import (
 	"bbsched/internal/queue"
 	"bbsched/internal/rng"
 	"bbsched/internal/sched"
+	"bbsched/internal/solver"
 	"bbsched/internal/trace"
 )
 
@@ -30,6 +31,7 @@ type options struct {
 	slowdownFloor int64
 	buckets       metrics.Buckets
 	observers     []Observer
+	solver        solver.Solver
 }
 
 func defaultOptions() options {
@@ -120,6 +122,17 @@ func WithEventLog(w io.Writer) Option {
 	return func(o *options) { o.observers = append(o.observers, newJSONLObserver(w)) }
 }
 
+// WithSolver overrides the method's optimization backend (e.g. the LP
+// relaxation solver instead of the genetic algorithm). The method must be
+// solver-configurable (Weighted, Constrained, BBSched); NewSimulator
+// rejects fixed heuristics and backends the method vetoes (BBSched
+// requires Pareto-front capability). The override configures the method
+// itself — SetSolver is synchronized, so sweep workers sharing a method
+// may apply it concurrently; all runs use the backend set last.
+func WithSolver(s solver.Solver) Option {
+	return func(o *options) { o.solver = s }
+}
+
 // Simulator is a stateful, reusable trace-driven simulation engine: jobs
 // arrive per the trace, a window-based scheduling pass (core.Plugin
 // wrapping any §4.3 method) runs on every arrival and completion, EASY
@@ -191,6 +204,18 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 	}
 	if method == nil {
 		return nil, fmt.Errorf("sim: nil method")
+	}
+	if opt.solver != nil {
+		sc, ok := method.(sched.SolverConfigurable)
+		if !ok {
+			return nil, fmt.Errorf("sim: method %s has a fixed selection heuristic; WithSolver needs a solver-backed method", method.Name())
+		}
+		if v, ok := method.(sched.SolverVetoer); ok {
+			if err := v.VetoSolver(opt.solver); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+		}
+		sc.SetSolver(opt.solver)
 	}
 
 	wc := w.Clone()

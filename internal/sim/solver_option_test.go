@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bbsched/internal/core"
+	"bbsched/internal/lp"
+	"bbsched/internal/moo"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// TestWithSolverOverridesBackend runs a small workload under Weighted
+// with the LP backend injected via the option, and checks the override
+// actually took (the method reports lp) and the run completes.
+func TestWithSolverOverridesBackend(t *testing.T) {
+	theta := trace.Scale(trace.Theta(), 64)
+	w := trace.Generate(trace.GenConfig{System: theta, Jobs: 60, Seed: 11})
+	w.Name = "withsolver"
+
+	m := sched.NewWeighted("Weighted", 0.5, 0.5, moo.DefaultGAConfig())
+	s, err := NewSimulator(w, m, WithSeed(11), WithSolver(lp.New(lp.DefaultConfig())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.SolverNameOf(m); got != "lp" {
+		t.Fatalf("method backend after WithSolver = %q, want lp", got)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJobs != 60 || res.MakespanSec <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+// TestWithSolverVetoed pins the construction-time rejection of a
+// capability mismatch: BBSched needs Pareto fronts, the LP backend only
+// solves scalarizations.
+func TestWithSolverVetoed(t *testing.T) {
+	theta := trace.Scale(trace.Theta(), 64)
+	w := trace.Generate(trace.GenConfig{System: theta, Jobs: 10, Seed: 1})
+	w.Name = "withsolver-veto"
+	_, err := NewSimulator(w, core.New(), WithSolver(lp.New(lp.DefaultConfig())))
+	if err == nil {
+		t.Fatal("WithSolver attached a scalar-only backend to BBSched")
+	}
+	if !strings.Contains(err.Error(), "Pareto") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestRunSweepWithSolverShared drives a sweep whose parallel workers all
+// apply the same solver override to one shared method instance — the
+// SetSolver/Select synchronization contract, exercised under -race by
+// the CI short suite.
+func TestRunSweepWithSolverShared(t *testing.T) {
+	theta := trace.Scale(trace.Theta(), 64)
+	w := trace.Generate(trace.GenConfig{System: theta, Jobs: 40, Seed: 3})
+	w.Name = "sweep-withsolver"
+	m := sched.NewWeighted("Weighted", 0.5, 0.5, moo.DefaultGAConfig())
+	runs, err := RunSweep(context.Background(), Sweep{
+		Workloads: []trace.Workload{w},
+		Methods:   []sched.Method{m},
+		Seeds:     []uint64{1, 2, 3, 4},
+		Workers:   4,
+		Options:   []Option{WithSolver(lp.New(lp.DefaultConfig()))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(runs))
+	}
+	for _, r := range runs {
+		if r.Result == nil {
+			t.Fatalf("seed %d: missing result", r.Seed)
+		}
+	}
+	if got := sched.SolverNameOf(m); got != "lp" {
+		t.Fatalf("shared method backend = %q, want lp", got)
+	}
+}
+
+// TestWithSolverRejectsFixedHeuristics pins the construction-time error
+// for methods with nothing to swap.
+func TestWithSolverRejectsFixedHeuristics(t *testing.T) {
+	theta := trace.Scale(trace.Theta(), 64)
+	w := trace.Generate(trace.GenConfig{System: theta, Jobs: 10, Seed: 1})
+	w.Name = "withsolver-reject"
+	_, err := NewSimulator(w, sched.Baseline{}, WithSolver(lp.New(lp.DefaultConfig())))
+	if err == nil {
+		t.Fatal("WithSolver accepted a fixed heuristic")
+	}
+	if !strings.Contains(err.Error(), "fixed selection heuristic") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
