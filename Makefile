@@ -32,28 +32,33 @@ bench-smoke:
 bench-solver:
 	$(GO) test -bench='^BenchmarkSolveGA' -benchtime=20x -run='^$$' ./internal/moo
 
-# Performance trajectory: the 20k-job sim benches (reworked engine +
-# frozen pre-rework reference) plus the window-solver benches (MOGA
-# BenchmarkSolveGA, LP BenchmarkSolveLP vs BenchmarkSolveGAWindow on
-# 64/128-job windows); write/refresh the committed BENCH_sim.json
-# baseline from their combined output.
-# -require fails the parse if any bench package silently dropped out
-# (e.g. failed to build inside the { ...; } pipeline, whose exit status
-# is the last command's).
-BENCH_REQUIRE = BenchmarkSimThroughput,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveGAWindow/
+# Performance trajectory: the sim benches (materialized 20k-job engine,
+# the 1M-job streaming-ingestion bench with its peak-live-heap ceiling,
+# and the frozen pre-rework reference) plus the window-solver benches
+# (MOGA BenchmarkSolveGA, LP BenchmarkSolveLP vs BenchmarkSolveGAWindow
+# on 64/128-job windows); write/refresh the committed BENCH_sim.json
+# baseline from their combined output. The stream-1M bench runs once
+# (-benchtime=1x): one iteration already replays a million jobs.
+# -require fails the parse if any bench silently dropped out (e.g. its
+# package failed to build inside the { ...; } pipeline, whose exit
+# status is the last command's).
+BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveGAWindow/
 
 bench-json:
-	{ $(GO) test -bench '^BenchmarkSimThroughput' -benchtime=3x -run '^$$' ./internal/sim ; \
+	{ $(GO) test -bench '^BenchmarkSimThroughput(Reference)?$$/^materialized-20k$$' -benchtime=3x -run '^$$' ./internal/sim ; \
+	  $(GO) test -bench '^BenchmarkSimThroughput$$/^stream-1M$$' -benchtime=1x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
 	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
 		$(GO) run ./cmd/benchjson -out BENCH_sim.json -require '$(BENCH_REQUIRE)'
 
 # Regression gate: re-run the benches and fail if a rate metric
-# (jobs/sec, solves/sec) drops >20% or an allocation metric
-# (allocs/event, allocs/op) grows >20% vs the committed baseline. The
+# (jobs/sec, solves/sec) drops >20%, an allocation metric (allocs/event,
+# allocs/op) grows >20%, or the streaming engine's memory ceiling
+# (peak-B from stream-1M) grows >20% vs the committed baseline. The
 # nightly CI job runs this.
 bench-check:
-	{ $(GO) test -bench '^BenchmarkSimThroughput$$' -benchtime=3x -run '^$$' ./internal/sim ; \
+	{ $(GO) test -bench '^BenchmarkSimThroughput$$/^materialized-20k$$' -benchtime=3x -run '^$$' ./internal/sim ; \
+	  $(GO) test -bench '^BenchmarkSimThroughput$$/^stream-1M$$' -benchtime=1x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
 	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
 		$(GO) run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.20 -require '$(BENCH_REQUIRE)'

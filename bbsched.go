@@ -313,6 +313,27 @@ type (
 	SSDMix = trace.SSDMix
 	// SWFOptions controls Standard Workload Format import.
 	SWFOptions = trace.SWFOptions
+	// JobSource is the pull-based streaming workload contract: Next
+	// returns jobs in submit order until io.EOF. Materialized slices
+	// adapt via SliceSource; files via OpenSWF/OpenCSV.
+	JobSource = trace.JobSource
+	// SliceSource adapts a materialized job slice to JobSource (the
+	// compat bridge between the two workload representations).
+	SliceSource = trace.SliceSource
+	// SourceHorizoner is the optional JobSource refinement reporting the
+	// last submit time, which resolves fractional measurement trims.
+	SourceHorizoner = trace.Horizoner
+	// SourceCloser is the optional JobSource refinement for file-backed
+	// sources holding an OS handle.
+	SourceCloser = trace.Closer
+	// SWFSource and CSVSource stream trace files without materializing
+	// them; TraceCSVWriter is the matching incremental writer.
+	SWFSource      = trace.SWFSource
+	CSVSource      = trace.CSVSource
+	TraceCSVWriter = trace.CSVWriter
+	// StreamWorkload is a stream-backed sweep entry: a fresh JobSource
+	// is opened per grid cell.
+	StreamWorkload = sim.StreamWorkload
 )
 
 // BasePolicy names a queue base policy in a SystemModel.
@@ -366,6 +387,34 @@ var (
 	WithStageOut = trace.WithStageOut
 	// WithPersistentBB reserves a fraction of the pool persistently.
 	WithPersistentBB = trace.WithPersistentBB
+
+	// Streaming workloads: sources pull jobs on demand so trace length
+	// never bounds memory. NewSliceSource / SourceOf adapt materialized
+	// slices; CollectSource drains a source back into a slice.
+	NewSliceSource = trace.NewSliceSource
+	SourceOf       = trace.SourceOf
+	CollectSource  = trace.Collect
+	// OpenSWF / OpenCSV stream trace files; NewSWFSource / NewCSVSource
+	// wrap an arbitrary reader; NewTraceCSVWriter writes incrementally.
+	OpenSWF           = trace.OpenSWF
+	OpenCSV           = trace.OpenCSV
+	NewSWFSource      = trace.NewSWFSource
+	NewCSVSource      = trace.NewCSVSource
+	NewTraceCSVWriter = trace.NewCSVWriter
+	// GenSource is the streaming workload generator; LimitSource caps a
+	// source's job count.
+	GenSource   = trace.GenSource
+	LimitSource = trace.LimitSource
+	// Streaming counterparts of the workload transforms: StageOutSource
+	// mirrors WithStageOut; ExpandBBSource / AddSSDSource approximate
+	// ExpandBB / AddSSD distributionally; ApplyVariantSource derives any
+	// named variant; EstimateBBFloors calibrates expansion floors without
+	// a materialized workload.
+	StageOutSource     = trace.StageOutSource
+	ExpandBBSource     = trace.ExpandBBSource
+	AddSSDSource       = trace.AddSSDSource
+	ApplyVariantSource = trace.ApplyVariantSource
+	EstimateBBFloors   = trace.EstimateBBFloors
 )
 
 // S5, S6, S7 are the §5 SSD request mixes.
@@ -423,6 +472,16 @@ var (
 	WithObserver      = sim.WithObserver
 	WithEventLog      = sim.WithEventLog
 	WithSolver        = sim.WithSolver
+	// Streaming ingestion: WithSource replaces the preloaded trace with
+	// online arrivals from a JobSource; WithLookahead bounds how many
+	// pending arrivals are buffered; WithStreamingMetrics swaps the exact
+	// per-job metric slice for constant-memory accumulation (P²
+	// percentile sketches); WithMeasureWindow measures an absolute
+	// submit-time window when a stream's horizon is unknown.
+	WithSource           = sim.WithSource
+	WithLookahead        = sim.WithLookahead
+	WithStreamingMetrics = sim.WithStreamingMetrics
+	WithMeasureWindow    = sim.WithMeasureWindow
 )
 
 // Run simulates a workload under a scheduling method: the legacy one-shot

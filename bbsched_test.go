@@ -221,3 +221,78 @@ func TestFacadeExtensions(t *testing.T) {
 		t.Fatalf("swf round trip: %d jobs", len(back))
 	}
 }
+
+// TestFacadeStreaming drives the streaming surface through the facade:
+// a generated stream piped through the incremental CSV writer, re-opened
+// as a CSVSource, capped, run with bounded-memory metrics, and
+// cross-checked against the same jobs preloaded.
+func TestFacadeStreaming(t *testing.T) {
+	sys := bbsched.ScaleSystem(bbsched.Theta(), 128)
+	cfg := bbsched.GenConfig{System: sys, Jobs: 80, Seed: 5}
+
+	// GenSource agrees with nothing else — it is its own distribution —
+	// so materialize it once via CollectSource for the comparison run.
+	jobs, err := bbsched.CollectSource(bbsched.GenSource(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cw := bbsched.NewTraceCSVWriter(&buf)
+	for _, j := range jobs {
+		if err := cw.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := bbsched.NewCSVSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell := bbsched.Workload{Name: "stream", System: sys}
+	s, err := bbsched.NewSimulator(shell, bbsched.Baseline{},
+		bbsched.WithSource(bbsched.LimitSource(src, 50)),
+		bbsched.WithStreamingMetrics(), bbsched.WithMeasurement(0, 0), bbsched.WithLookahead(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJobs != 50 {
+		t.Fatalf("limited stream ran %d jobs, want 50", res.TotalJobs)
+	}
+
+	mat, err := bbsched.NewSimulator(
+		bbsched.Workload{Name: "stream", System: sys, Jobs: jobs[:50]},
+		bbsched.Baseline{}, bbsched.WithMeasurement(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := mat.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgWaitSec != wantRes.AvgWaitSec || res.MakespanSec != wantRes.MakespanSec ||
+		res.CompletedJobs != wantRes.CompletedJobs {
+		t.Fatalf("streamed run diverges from materialized: %+v vs %+v", res.Report, wantRes.Report)
+	}
+
+	// The streaming variant pipeline exists on the facade too.
+	floor5, _ := bbsched.EstimateBBFloors(sys, 5)
+	exp, err := bbsched.CollectSource(bbsched.ExpandBBSource(
+		bbsched.StageOutSource(bbsched.SourceOf(bbsched.Workload{System: sys, Jobs: jobs}), 2),
+		sys, 0.75, floor5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp) != len(jobs) {
+		t.Fatalf("combinator pipeline changed job count: %d vs %d", len(exp), len(jobs))
+	}
+	if _, _, _, err := bbsched.ApplyVariantSource(bbsched.NewSliceSource(jobs), sys, "S3", 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,11 +13,18 @@
 //
 //	bbsim -extra power_kw:400:kW -extra-demand power_kw:1-4 -method BBSched
 //
+// Large traces can be replayed through the streaming engine with
+// -stream: the file (SWF or CSV by extension) is decoded job by job,
+// metrics accumulate in constant memory, and peak usage is bounded by
+// queue depth plus the ingestion look-ahead instead of trace length.
+// -max-jobs caps how much of the file is ingested.
+//
 // Usage:
 //
 //	bbsim -system theta -scale 32 -jobs 500 -variant S4 -method BBSched
 //	bbsim -trace theta-s4.csv -system theta -method Constrained_CPU
 //	bbsim -variant S2 -sweep Baseline,BBSched -seeds 42,43   # parallel sweep
+//	bbsim -stream thetalog.swf -max-jobs 1000000 -method BBSched
 package main
 
 import (
@@ -106,6 +113,8 @@ func (f *extraDemandFlag) Set(v string) error {
 func main() {
 	var (
 		traceFile  = flag.String("trace", "", "CSV trace file (optional; otherwise generated)")
+		streamFile = flag.String("stream", "", "replay a trace file (.swf or .csv) through the streaming engine without materializing it: bounded-memory metrics, full-run measurement")
+		maxJobs    = flag.Int("max-jobs", 0, "with -stream, ingest at most this many jobs from the file (0 = all)")
 		system     = flag.String("system", "theta", "system model: cori or theta")
 		scale      = flag.Int("scale", 32, "machine scale divisor")
 		jobs       = flag.Int("jobs", 500, "generated job count (ignored with -trace)")
@@ -162,6 +171,24 @@ func main() {
 
 	ga := moo.GAConfig{Generations: *gens, Population: *pop, MutationProb: 0.0005}
 
+	if *streamFile != "" {
+		if *traceFile != "" {
+			fail(fmt.Errorf("-stream and -trace are mutually exclusive"))
+		}
+		if len(extraRes.specs) > 0 || len(extraDemands.demands) > 0 {
+			fail(fmt.Errorf("-extra/-extra-demand retrofit a materialized workload; use -trace"))
+		}
+		if err := runStream(*streamFile, *system, *scale, *variant, *maxJobs, *seed,
+			*methodName, *solverName, *sweep, *seedList, *workers, ga, *stageOut,
+			*eventLog, *adaptive, baseOptions(*window, *starve, *dynWindow, *noBackfill)); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *maxJobs > 0 {
+		fail(fmt.Errorf("-max-jobs only applies to -stream (use -jobs for the generator)"))
+	}
+
 	w, csvExtraNames, err := loadWorkload(*traceFile, *system, *jobs, *seed, *scale, *variant)
 	if err != nil {
 		fail(err)
@@ -195,14 +222,7 @@ func main() {
 	// variants; plain workloads with the two-objective §4 ones.
 	ssd := len(w.System.Cluster.SSDClasses) > 0
 
-	plugin := core.PluginConfig{WindowSize: *window, StarvationBound: *starve}
-	if *dynWindow {
-		plugin.WindowPolicy = core.NewAdaptiveWindow()
-	}
-	opts := []sim.Option{
-		sim.WithPlugin(plugin),
-		sim.WithBackfill(!*noBackfill),
-	}
+	opts := baseOptions(*window, *starve, *dynWindow, *noBackfill)
 
 	if *sweep != "" {
 		// Per-run flags that cannot apply to a grid of parallel runs.
@@ -212,7 +232,7 @@ func main() {
 		if *adaptive {
 			fail(fmt.Errorf("-adaptive is incompatible with -sweep (the controller is stateful per run)"))
 		}
-		if err := runSweep(w, *sweep, *seedList, *seed, ga, ssd, *solverName, *workers, opts); err != nil {
+		if err := runSweep(w, nil, *sweep, *seedList, *seed, ga, ssd, *solverName, *workers, opts); err != nil {
 			fail(err)
 		}
 		return
@@ -255,9 +275,128 @@ func main() {
 	printResult(res)
 }
 
+// baseOptions are the simulator options shared by every run mode.
+func baseOptions(window, starve int, dynWindow, noBackfill bool) []sim.Option {
+	plugin := core.PluginConfig{WindowSize: window, StarvationBound: starve}
+	if dynWindow {
+		plugin.WindowPolicy = core.NewAdaptiveWindow()
+	}
+	return []sim.Option{
+		sim.WithPlugin(plugin),
+		sim.WithBackfill(!noBackfill),
+	}
+}
+
+// openStream opens path as a streaming job source — SWF or CSV by
+// extension — caps it at maxJobs, and layers the requested variant and
+// stage-out transforms on top. It returns the wrapped source and the
+// system model the variant targets.
+func openStream(path, system string, scale int, variant string, maxJobs int, seed uint64, drainGBps float64) (trace.JobSource, trace.SystemModel, error) {
+	sys, err := systemModel(system, scale)
+	if err != nil {
+		return nil, trace.SystemModel{}, err
+	}
+	var src trace.JobSource
+	if strings.HasSuffix(strings.ToLower(path), ".swf") {
+		src, err = trace.OpenSWF(path, trace.SWFOptions{})
+	} else {
+		src, err = trace.OpenCSV(path)
+	}
+	if err != nil {
+		return nil, trace.SystemModel{}, err
+	}
+	if maxJobs > 0 {
+		src = trace.LimitSource(src, maxJobs)
+	}
+	src, sys, _, err = trace.ApplyVariantSource(src, sys, variant, seed)
+	if err != nil {
+		return nil, trace.SystemModel{}, err
+	}
+	if drainGBps > 0 {
+		src = trace.StageOutSource(src, drainGBps)
+	}
+	return src, sys, nil
+}
+
+// runStream drives a single run or a sweep over a file-backed stream.
+// Metrics accumulate in bounded memory and cover the full run (a file
+// stream has no known horizon for the fractional warm-up/cool-down trim).
+func runStream(path, system string, scale int, variant string, maxJobs int, seed uint64,
+	methodName, solverName, sweepCSV, seedCSV string, workers int, ga moo.GAConfig,
+	drainGBps float64, eventLog string, adaptive bool, opts []sim.Option) error {
+	// Resolve the variant's system (and whether it is SSD-equipped) from a
+	// probe open, so method construction matches what each run will see.
+	probe, sys, err := openStream(path, system, scale, variant, maxJobs, seed, drainGBps)
+	if err != nil {
+		return err
+	}
+	if c, ok := probe.(trace.Closer); ok {
+		c.Close()
+	}
+	ssd := len(sys.Cluster.SSDClasses) > 0
+	opts = append(opts, sim.WithStreamingMetrics(), sim.WithMeasurement(0, 0))
+
+	if sweepCSV != "" {
+		if eventLog != "" {
+			return fmt.Errorf("-eventlog is incompatible with -sweep (one log per run; use the single-run mode)")
+		}
+		if adaptive {
+			return fmt.Errorf("-adaptive is incompatible with -sweep (the controller is stateful per run)")
+		}
+		shell := trace.Workload{Name: path, System: sys}
+		open := func() (trace.JobSource, error) {
+			src, _, err := openStream(path, system, scale, variant, maxJobs, seed, drainGBps)
+			return src, err
+		}
+		return runSweep(shell, open, sweepCSV, seedCSV, seed, ga, ssd, solverName, workers, opts)
+	}
+
+	method, err := registry.NewForCluster(methodName, ga, sys.Cluster, ssd)
+	if err != nil {
+		return err
+	}
+	if solverName != "" {
+		if err := registry.ApplySolver(method, solverName, ga); err != nil {
+			return err
+		}
+	}
+	if adaptive {
+		bb, isBB := method.(*core.BBSched)
+		if !isBB {
+			return fmt.Errorf("-adaptive requires a BBSched method, got %s", method.Name())
+		}
+		method = core.NewAdaptive(bb)
+	}
+	if eventLog != "" {
+		f, err := os.Create(eventLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts = append(opts, sim.WithEventLog(f))
+	}
+	src, _, err := openStream(path, system, scale, variant, maxJobs, seed, drainGBps)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, sim.WithSource(src), sim.WithSeed(seed))
+	s, err := sim.NewSimulator(trace.Workload{Name: path, System: sys}, method, opts...)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
 // runSweep runs method × seed combinations over one workload on the
-// deterministic parallel sweep driver and prints a comparison table.
-func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, ga moo.GAConfig, ssd bool, solverName string, workers int, opts []sim.Option) error {
+// deterministic parallel sweep driver and prints a comparison table. A
+// non-nil open sweeps the workload as a stream, re-opening a fresh
+// source per grid cell.
+func runSweep(w trace.Workload, open func() (trace.JobSource, error), methodCSV, seedCSV string, defaultSeed uint64, ga moo.GAConfig, ssd bool, solverName string, workers int, opts []sim.Option) error {
 	var methods []sched.Method
 	if methodCSV == "all" {
 		var err error
@@ -307,13 +446,18 @@ func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, g
 		}
 	}
 
-	runs, err := sim.RunSweep(context.Background(), sim.Sweep{
-		Workloads: []trace.Workload{w},
-		Methods:   methods,
-		Seeds:     seeds,
-		Options:   opts,
-		Workers:   workers,
-	})
+	grid := sim.Sweep{
+		Methods: methods,
+		Seeds:   seeds,
+		Options: opts,
+		Workers: workers,
+	}
+	if open != nil {
+		grid.Streams = []sim.StreamWorkload{{Name: w.Name, System: w.System, Open: open}}
+	} else {
+		grid.Workloads = []trace.Workload{w}
+	}
+	runs, err := sim.RunSweep(context.Background(), grid)
 	if err != nil {
 		return err
 	}
@@ -321,7 +465,11 @@ func runSweep(w trace.Workload, methodCSV, seedCSV string, defaultSeed uint64, g
 	for _, m := range methods {
 		solverOf[m.Name()] = sched.SolverNameOf(m)
 	}
-	fmt.Printf("workload: %s (%d jobs)\n\n", w.Name, len(w.Jobs))
+	if open != nil {
+		fmt.Printf("workload: %s (streamed)\n\n", w.Name)
+	} else {
+		fmt.Printf("workload: %s (%d jobs)\n\n", w.Name, len(w.Jobs))
+	}
 	fmt.Printf("%-16s %-7s %-8s %10s %10s %12s %12s %10s\n",
 		"method", "solver", "seed", "node use", "bb use", "avg wait", "avg slowdown", "makespan")
 	for _, r := range runs {

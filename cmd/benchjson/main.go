@@ -246,12 +246,17 @@ func higherIsBetter(unit string) bool {
 // wall clock; allocs/event and allocs/op are machine-independent and
 // catch pooling regressions even across differing CI hardware (both
 // solver benches and the sim throughput bench are deterministic, so
-// their allocation counts are stable).
+// their allocation counts are stable). peak-B is the streaming engine's
+// memory ceiling (peak live heap of the stream-1M bench): it is bounded
+// by queue depth plus look-ahead, so any O(trace-length) regression —
+// retaining finished jobs, preloading arrivals, unbounded metrics —
+// blows far past the tolerance.
 var gatedMetrics = map[string]bool{
 	"jobs/sec":     true,
 	"solves/sec":   true,
 	"allocs/event": true,
 	"allocs/op":    true,
+	"peak-B":       true,
 }
 
 // Compare reports per-benchmark metric deltas and whether every gated

@@ -2,10 +2,18 @@
 // traces (optionally with the paper's S1–S4 burst-buffer expansions or
 // S5–S7 local-SSD mixes) and writes them as CSV.
 //
+// With -stream the trace is generated and written one job at a time
+// through the streaming pipeline (GenSource → variant combinators →
+// CSVWriter), so arbitrarily long traces — the 1M-job bench input, say —
+// are produced in constant memory. Streaming variants approximate the
+// materialized expansions distributionally (see ApplyVariantSource), so
+// the two modes emit different bytes for S1–S7.
+//
 // Usage:
 //
 //	tracegen -system theta -jobs 5000 -variant S4 -o theta-s4.csv
 //	tracegen -system cori -scale 64 -variant S6 -o cori-s6.csv
+//	tracegen -stream -jobs 1000000 -variant S2 -o theta-s2-1m.csv
 package main
 
 import (
@@ -26,15 +34,11 @@ func main() {
 		scale   = flag.Int("scale", 1, "machine scale divisor (1 = full size)")
 		variant = flag.String("variant", "original", "original, S1..S4 (burst buffer), S5..S7 (local SSD)")
 		deps    = flag.Float64("deps", 0, "fraction of jobs given a dependency")
+		stream  = flag.Bool("stream", false, "generate and write one job at a time (constant memory; for very large -jobs)")
 		out     = flag.String("o", "-", "output file ('-' = stdout)")
 	)
 	flag.Parse()
 
-	w, err := build(*system, *jobs, *seed, *scale, strings.ToUpper(*variant), *deps)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
 	var dst io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -45,16 +49,75 @@ func main() {
 		defer f.Close()
 		dst = f
 	}
-	if err := trace.WriteCSV(dst, w.Jobs); err != nil {
+
+	var err error
+	if *stream {
+		err = emitStream(dst, *system, *jobs, *seed, *scale, strings.ToUpper(*variant), *deps)
+	} else {
+		err = emitMaterialized(dst, *system, *jobs, *seed, *scale, strings.ToUpper(*variant), *deps)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
+	}
+}
+
+func emitMaterialized(dst io.Writer, system string, jobs int, seed uint64, scale int, variant string, deps float64) error {
+	w, err := build(system, jobs, seed, scale, variant, deps)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteCSV(dst, w.Jobs); err != nil {
+		return err
 	}
 	st := trace.ComputeStats(w.Jobs)
 	fmt.Fprintf(os.Stderr, "%s: %d jobs, %d with BB requests (%.1f TB aggregate), horizon %ds\n",
 		w.Name, st.Jobs, st.BBJobs, float64(st.TotalBBGB)/1000, st.HorizonSec)
+	return nil
 }
 
-func build(system string, jobs int, seed uint64, scale int, variant string, deps float64) (trace.Workload, error) {
+// emitStream writes the trace through the streaming pipeline, tracking
+// the summary line's statistics as running sums.
+func emitStream(dst io.Writer, system string, jobs int, seed uint64, scale int, variant string, deps float64) error {
+	sys, err := systemModel(system, scale)
+	if err != nil {
+		return err
+	}
+	src := trace.GenSource(trace.GenConfig{System: sys, Jobs: jobs, Seed: seed, DependencyFraction: deps})
+	src, _, name, err := trace.ApplyVariantSource(src, sys, variant, seed)
+	if err != nil {
+		return err
+	}
+	w := trace.NewCSVWriter(dst)
+	var n, bbJobs int
+	var bbGB, horizon int64
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.Write(j); err != nil {
+			return err
+		}
+		n++
+		if bb := j.Demand.BB(); bb > 0 {
+			bbJobs++
+			bbGB += bb
+		}
+		horizon = j.SubmitTime
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d jobs, %d with BB requests (%.1f TB aggregate), horizon %ds\n",
+		name, n, bbJobs, float64(bbGB)/1000, horizon)
+	return nil
+}
+
+func systemModel(system string, scale int) (trace.SystemModel, error) {
 	var sys trace.SystemModel
 	switch strings.ToLower(system) {
 	case "cori":
@@ -62,9 +125,16 @@ func build(system string, jobs int, seed uint64, scale int, variant string, deps
 	case "theta":
 		sys = trace.Theta()
 	default:
-		return trace.Workload{}, fmt.Errorf("unknown system %q (want cori or theta)", system)
+		return trace.SystemModel{}, fmt.Errorf("unknown system %q (want cori or theta)", system)
 	}
-	sys = trace.Scale(sys, scale)
+	return trace.Scale(sys, scale), nil
+}
+
+func build(system string, jobs int, seed uint64, scale int, variant string, deps float64) (trace.Workload, error) {
+	sys, err := systemModel(system, scale)
+	if err != nil {
+		return trace.Workload{}, err
+	}
 	base := trace.Generate(trace.GenConfig{System: sys, Jobs: jobs, Seed: seed, DependencyFraction: deps})
 	base.Name = sys.Cluster.Name + "-Original"
 

@@ -184,6 +184,13 @@ type Report struct {
 	AvgWaitSec float64
 	// AvgSlowdown is the mean bounded slowdown (§4.2).
 	AvgSlowdown float64
+	// WaitP50Sec, WaitP90Sec and WaitP99Sec are wait-time percentiles over
+	// the measured jobs: exact (nearest-rank) when computed from a
+	// materialized job list, P²-sketch estimates under bounded-memory
+	// streaming accumulation (JobStats).
+	WaitP50Sec float64
+	WaitP90Sec float64
+	WaitP99Sec float64
 	// CompletedJobs is the number of jobs the per-job averages cover.
 	CompletedJobs int
 
@@ -241,6 +248,50 @@ func DefaultBuckets() Buckets {
 // slowdown denominator (§4.2 filters abnormal short jobs; the standard
 // bounded-slowdown formulation achieves the same robustly).
 func Compute(c *Collector, cap Capacity, finished []*job.Job, slowdownFloor int64, b Buckets) Report {
+	r := usageReport(c, cap)
+	if len(finished) == 0 {
+		return r
+	}
+	var waitSum, sdSum float64
+	for _, j := range finished {
+		waitSum += float64(j.WaitTime())
+		sdSum += j.Slowdown(slowdownFloor)
+	}
+	r.CompletedJobs = len(finished)
+	r.AvgWaitSec = waitSum / float64(len(finished))
+	r.AvgSlowdown = sdSum / float64(len(finished))
+
+	waits := make([]float64, len(finished))
+	for i, j := range finished {
+		waits[i] = float64(j.WaitTime())
+	}
+	sort.Float64s(waits)
+	r.WaitP50Sec = nearestRank(waits, 0.50)
+	r.WaitP90Sec = nearestRank(waits, 0.90)
+	r.WaitP99Sec = nearestRank(waits, 0.99)
+
+	if len(b.SizeBounds) == 0 && len(b.BBBoundsGB) == 0 && len(b.RuntimeBounds) == 0 {
+		b = DefaultBuckets()
+	}
+	r.WaitBySize = breakdown(finished, sizeLabels(b.SizeBounds), func(j *job.Job) int {
+		return bucketIndex(int64(j.Demand.NodeCount()), toInt64(b.SizeBounds))
+	})
+	r.WaitByBB = breakdown(finished, bbLabels(b.BBBoundsGB), func(j *job.Job) int {
+		if j.Demand.BB() == 0 {
+			return 0
+		}
+		return 1 + bucketIndex(j.Demand.BB(), b.BBBoundsGB)
+	})
+	r.WaitByRuntime = breakdown(finished, runtimeLabels(b.RuntimeBounds), func(j *job.Job) int {
+		return bucketIndex(j.Runtime, b.RuntimeBounds)
+	})
+	return r
+}
+
+// usageReport fills the resource-usage ratios from the collector's
+// integrals — the part of the report shared by Compute (materialized) and
+// JobStats.Report (streaming).
+func usageReport(c *Collector, cap Capacity) Report {
 	var r Report
 	first, last := c.Span()
 	elapsed := float64(last - first)
@@ -263,34 +314,23 @@ func Compute(c *Collector, cap Capacity, finished []*job.Job, slowdownFloor int6
 			r.ExtraUsage = append(r.ExtraUsage, u)
 		}
 	}
-	if len(finished) == 0 {
-		return r
-	}
-	var waitSum, sdSum float64
-	for _, j := range finished {
-		waitSum += float64(j.WaitTime())
-		sdSum += j.Slowdown(slowdownFloor)
-	}
-	r.CompletedJobs = len(finished)
-	r.AvgWaitSec = waitSum / float64(len(finished))
-	r.AvgSlowdown = sdSum / float64(len(finished))
-
-	if len(b.SizeBounds) == 0 && len(b.BBBoundsGB) == 0 && len(b.RuntimeBounds) == 0 {
-		b = DefaultBuckets()
-	}
-	r.WaitBySize = breakdown(finished, sizeLabels(b.SizeBounds), func(j *job.Job) int {
-		return bucketIndex(int64(j.Demand.NodeCount()), toInt64(b.SizeBounds))
-	})
-	r.WaitByBB = breakdown(finished, bbLabels(b.BBBoundsGB), func(j *job.Job) int {
-		if j.Demand.BB() == 0 {
-			return 0
-		}
-		return 1 + bucketIndex(j.Demand.BB(), b.BBBoundsGB)
-	})
-	r.WaitByRuntime = breakdown(finished, runtimeLabels(b.RuntimeBounds), func(j *job.Job) int {
-		return bucketIndex(j.Runtime, b.RuntimeBounds)
-	})
 	return r
+}
+
+// nearestRank returns the nearest-rank percentile of sorted (ascending)
+// values: the ⌈p·n⌉-th value.
+func nearestRank(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // bucketIndex returns the index of v among inclusive upper bounds, with a

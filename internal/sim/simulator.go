@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"bbsched/internal/backfill"
@@ -32,6 +33,12 @@ type options struct {
 	buckets       metrics.Buckets
 	observers     []Observer
 	solver        solver.Solver
+	source        trace.JobSource
+	lookahead     int
+	streamStats   bool
+	measureAbs    bool
+	measureStart  int64
+	measureEnd    int64
 }
 
 func defaultOptions() options {
@@ -41,6 +48,7 @@ func defaultOptions() options {
 		warmupFrac:    0.1,
 		cooldownFrac:  0.1,
 		slowdownFloor: 60,
+		lookahead:     256,
 	}
 }
 
@@ -53,6 +61,12 @@ func (o options) validate() error {
 	}
 	if o.slowdownFloor < 0 {
 		return fmt.Errorf("sim: negative slowdown floor %d", o.slowdownFloor)
+	}
+	if o.lookahead < 1 {
+		return fmt.Errorf("sim: look-ahead %d, need at least 1", o.lookahead)
+	}
+	if o.measureAbs && o.measureEnd < o.measureStart {
+		return fmt.Errorf("sim: measurement window end %d before start %d", o.measureEnd, o.measureStart)
 	}
 	return nil
 }
@@ -133,6 +147,51 @@ func WithSolver(s solver.Solver) Option {
 	return func(o *options) { o.solver = s }
 }
 
+// WithSource drives the simulation from a streaming trace.JobSource
+// instead of a materialized job list: the event loop pulls arrivals
+// lazily through a bounded look-ahead buffer (WithLookahead), so memory
+// stays bounded by queue depth plus the look-ahead window rather than
+// trace length. The workload passed to NewSimulator must carry no jobs —
+// it contributes only the name and system model. Sources are single-use;
+// the simulator owns the one it is given.
+//
+// The source must satisfy the JobSource contract (non-decreasing submit
+// times, dense IDs, deps on earlier jobs only); violations surface as
+// Step errors when pulled. Fractional measurement trims (WithMeasurement)
+// need the source to know its horizon (trace.Horizoner, as SliceSource
+// does); otherwise use WithMeasureWindow or WithMeasurement(0, 0).
+func WithSource(src trace.JobSource) Option {
+	return func(o *options) { o.source = src }
+}
+
+// WithLookahead sets how many jobs beyond the current event frontier a
+// streaming source is buffered ahead (default 256, minimum 1). Larger
+// windows amortize source pulls; smaller ones tighten the memory bound.
+func WithLookahead(n int) Option {
+	return func(o *options) { o.lookahead = n }
+}
+
+// WithStreamingMetrics switches per-job metric accumulation to the
+// bounded-memory streaming path (metrics.JobStats): running sums and P²
+// percentile sketches replace the retained per-job slice, so arbitrarily
+// long streams measure in constant space. Means and bucket breakdowns
+// are bit-identical to the default path; wait-time percentiles become
+// streaming estimates instead of exact nearest-rank values, which is why
+// exact legacy quantiles remain the default for materialized runs.
+func WithStreamingMetrics() Option {
+	return func(o *options) { o.streamStats = true }
+}
+
+// WithMeasureWindow sets the measured interval as absolute simulation
+// times [start, end], overriding the fractional WithMeasurement trim.
+// This is how horizon-less streams (live SWF replays, generators) get a
+// warm-up/cool-down-trimmed measurement.
+func WithMeasureWindow(start, end int64) Option {
+	return func(o *options) {
+		o.measureAbs, o.measureStart, o.measureEnd = true, start, end
+	}
+}
+
 // Simulator is a stateful, reusable trace-driven simulation engine: jobs
 // arrive per the trace, a window-based scheduling pass (core.Plugin
 // wrapping any §4.3 method) runs on every arrival and completion, EASY
@@ -161,6 +220,25 @@ type Simulator struct {
 	running  map[int]*runningJob
 	done     map[int]bool
 	finished []*job.Job
+
+	// Streaming ingestion state (WithSource). pending is the bounded
+	// look-ahead FIFO between the source and the event heap; doneLow is
+	// the watermark below which every dense job ID has finished, with
+	// doneSparse holding the (small) set of finished IDs above it — the
+	// bounded-memory replacement for the done map.
+	source     trace.JobSource
+	admitCl    *cluster.Cluster // pristine machine for per-pull validation
+	pending    []*job.Job
+	pendHead   int
+	srcDone    bool
+	pulled     int
+	lastSubmit int64
+	doneLow    int
+	doneSparse map[int]struct{}
+
+	// stats accumulates per-job metrics in bounded memory
+	// (WithStreamingMetrics) instead of retaining finished.
+	stats *metrics.JobStats
 
 	warmEnd, coolStart int64
 
@@ -194,6 +272,11 @@ type Simulator struct {
 // (the input is never mutated) driving the given window job-selection
 // method. Defaults match the paper: w=20 window with starvation bound 50,
 // EASY backfilling on, 0.1 warm-up/cool-down trim, 60 s slowdown floor.
+//
+// With WithSource the workload is a job-less shell (name + system) and
+// arrivals are pulled lazily from the streaming source instead; pair it
+// with WithStreamingMetrics to run arbitrarily long traces in memory
+// bounded by queue depth plus the look-ahead window.
 func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simulator, error) {
 	opt := defaultOptions()
 	for _, apply := range opts {
@@ -216,6 +299,10 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 			}
 		}
 		sc.SetSolver(opt.solver)
+	}
+
+	if opt.source != nil && len(w.Jobs) > 0 {
+		return nil, fmt.Errorf("sim: WithSource on a workload that already carries %d materialized jobs; pass the job-less workload shell", len(w.Jobs))
 	}
 
 	wc := w.Clone()
@@ -241,6 +328,33 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 			horizon = j.SubmitTime
 		}
 	}
+	// Resolve the measured interval. An absolute window wins; otherwise
+	// the fractional trim needs a horizon — known up front for
+	// materialized workloads, and for streams only when the source
+	// reports one (SliceSource does). A horizon-less stream with zero
+	// trims measures the full run (open-ended cool-down sentinel).
+	var warmEnd, coolStart int64
+	switch {
+	case opt.measureAbs:
+		warmEnd, coolStart = opt.measureStart, opt.measureEnd
+	case opt.source == nil:
+		warmEnd = int64(float64(horizon) * opt.warmupFrac)
+		coolStart = horizon - int64(float64(horizon)*opt.cooldownFrac)
+	default:
+		hz, known := int64(0), false
+		if h, ok := opt.source.(trace.Horizoner); ok {
+			hz, known = h.Horizon()
+		}
+		switch {
+		case known:
+			warmEnd = int64(float64(hz) * opt.warmupFrac)
+			coolStart = hz - int64(float64(hz)*opt.cooldownFrac)
+		case opt.warmupFrac == 0 && opt.cooldownFrac == 0:
+			warmEnd, coolStart = 0, math.MaxInt64
+		default:
+			return nil, fmt.Errorf("sim: source has no known horizon to resolve the fractional measurement trim; use WithMeasureWindow, WithMeasurement(0, 0), or a horizon-reporting source")
+		}
+	}
 	s := &Simulator{
 		opt:       opt,
 		workload:  wc,
@@ -252,12 +366,27 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 		rand:      rng.New(opt.seed).Split("sim:" + wc.Name + ":" + method.Name()),
 		observers: opt.observers,
 		running:   make(map[int]*runningJob),
-		done:      make(map[int]bool, len(wc.Jobs)),
-		finished:  make([]*job.Job, 0, len(wc.Jobs)),
-		warmEnd:   int64(float64(horizon) * opt.warmupFrac),
-		coolStart: horizon - int64(float64(horizon)*opt.cooldownFrac),
+		source:    opt.source,
+		warmEnd:   warmEnd,
+		coolStart: coolStart,
 	}
-	s.depsDone = func(id int) bool { return s.done[id] }
+	if s.source == nil {
+		s.done = make(map[int]bool, len(wc.Jobs))
+	} else {
+		s.doneSparse = make(map[int]struct{})
+		// A second pristine machine validates each pulled job's demand
+		// (the streaming analogue of Workload.Validate's fit check).
+		if s.admitCl, err = cluster.New(wc.System.Cluster); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.pending = make([]*job.Job, 0, opt.lookahead)
+	}
+	if opt.streamStats {
+		s.stats = metrics.NewJobStats(opt.slowdownFloor, opt.buckets)
+	} else {
+		s.finished = make([]*job.Job, 0, len(wc.Jobs))
+	}
+	s.depsDone = s.isDone
 	if len(s.extra) > 0 {
 		s.usage.Extra = make([]int64, len(s.extra))
 	}
@@ -266,7 +395,7 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 			s.failing = append(s.failing, f)
 		}
 	}
-	if s.coolStart > s.warmEnd {
+	if s.coolStart > s.warmEnd && s.coolStart != math.MaxInt64 {
 		s.collector.SetWindow(s.warmEnd, s.coolStart)
 	}
 	// Persistent burst-buffer reservations (§4.1) are taken before any job
@@ -278,18 +407,149 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 		}
 		s.usage.BBGB += p
 	}
-	s.events = make(eventHeap, 0, len(wc.Jobs)+1)
-	for _, j := range wc.Jobs {
-		s.events = append(s.events, event{t: j.SubmitTime, kind: evArrive, j: j})
+	if s.source == nil {
+		s.events = make(eventHeap, 0, len(wc.Jobs)+1)
+		for _, j := range wc.Jobs {
+			s.events = append(s.events, event{t: j.SubmitTime, kind: evArrive, j: j})
+		}
+		s.events.init()
+	} else {
+		s.events = make(eventHeap, 0, opt.lookahead+1)
 	}
-	s.events.init()
 	s.collector.Observe(0, metrics.Usage{})
 	return s, nil
 }
 
+// isDone reports whether the job with the given ID has finished, reading
+// the done map (materialized runs) or the watermark + sparse set
+// (streaming runs).
+func (s *Simulator) isDone(id int) bool {
+	if s.done != nil {
+		return s.done[id]
+	}
+	if id < s.doneLow {
+		return true
+	}
+	_, ok := s.doneSparse[id]
+	return ok
+}
+
+// markDone records a finished job. Streaming runs compact the record into
+// a watermark over the dense submit-ordered IDs: the sparse overflow set
+// only holds jobs that finished ahead of a still-running earlier job, so
+// its size tracks the in-flight spread, not the trace length.
+func (s *Simulator) markDone(id int) {
+	if s.done != nil {
+		s.done[id] = true
+		return
+	}
+	if id != s.doneLow {
+		s.doneSparse[id] = struct{}{}
+		return
+	}
+	s.doneLow++
+	for len(s.doneSparse) > 0 {
+		if _, ok := s.doneSparse[s.doneLow]; !ok {
+			break
+		}
+		delete(s.doneSparse, s.doneLow)
+		s.doneLow++
+	}
+}
+
+// fill tops up the look-ahead buffer from the source and pushes every
+// buffered arrival at or before the next event instant into the heap.
+// Because sources yield non-decreasing submit times, once the buffer's
+// head is beyond the heap top every later arrival is too — so when Step
+// processes an instant, all arrivals at or before it are present, and
+// the heap's total (time, kind, ID) order makes the resulting event
+// sequence identical to the fully preloaded heap's.
+func (s *Simulator) fill() error {
+	for {
+		if s.pendHead == len(s.pending) {
+			s.pendHead = 0
+			s.pending = s.pending[:0]
+			if err := s.refill(); err != nil {
+				return err
+			}
+			if len(s.pending) == 0 {
+				return nil
+			}
+		}
+		next := s.pending[s.pendHead]
+		if s.events.Len() > 0 && next.SubmitTime > s.events[0].t {
+			return nil
+		}
+		s.pendHead++
+		s.events.push(event{t: next.SubmitTime, kind: evArrive, j: next})
+	}
+}
+
+// refill pulls up to the look-ahead window of jobs from the source,
+// validating each against the JobSource contract and the machine.
+func (s *Simulator) refill() error {
+	if s.srcDone {
+		return nil
+	}
+	for len(s.pending) < s.opt.lookahead {
+		j, err := s.source.Next()
+		if err == io.EOF {
+			s.srcDone = true
+			return nil
+		}
+		if err != nil {
+			s.srcDone = true
+			return fmt.Errorf("sim: source: %w", err)
+		}
+		if err := s.admit(j); err != nil {
+			s.srcDone = true
+			return err
+		}
+		s.pending = append(s.pending, j)
+	}
+	return nil
+}
+
+// admit enforces the JobSource contract on a pulled job — the streaming
+// analogue of Workload.Validate.
+func (s *Simulator) admit(j *job.Job) error {
+	if j == nil {
+		return fmt.Errorf("sim: source returned a nil job")
+	}
+	if j.ID != s.pulled {
+		return fmt.Errorf("sim: source job ID %d breaks the dense pull-order sequence (want %d)", j.ID, s.pulled)
+	}
+	if j.SubmitTime < s.lastSubmit {
+		return fmt.Errorf("sim: source job %d submits at %d, before previous job's %d", j.ID, j.SubmitTime, s.lastSubmit)
+	}
+	if err := j.Validate(); err != nil {
+		return fmt.Errorf("sim: source job %d: %w", j.ID, err)
+	}
+	if n := j.Demand.NodeCount(); n > s.workload.System.Cluster.Nodes {
+		return fmt.Errorf("sim: source job %d requests %d nodes on a %d-node system", j.ID, n, s.workload.System.Cluster.Nodes)
+	}
+	if !s.admitCl.CanFit(j.Demand) {
+		return fmt.Errorf("sim: source job %d demand %v cannot fit the empty machine", j.ID, j.Demand)
+	}
+	for _, d := range j.Deps {
+		if d < 0 || d >= j.ID {
+			return fmt.Errorf("sim: source job %d dep %d does not reference an earlier job", j.ID, d)
+		}
+	}
+	s.lastSubmit = j.SubmitTime
+	s.pulled++
+	return nil
+}
+
 // Done reports whether the simulation has drained: no pending events
-// remain and Result is available.
-func (s *Simulator) Done() bool { return s.events.Len() == 0 }
+// remain (and, for streaming runs, the source and look-ahead buffer are
+// exhausted) and Result is available.
+func (s *Simulator) Done() bool {
+	if s.events.Len() != 0 {
+		return false
+	}
+	return s.source == nil || (s.srcDone && s.pendHead == len(s.pending))
+}
 
 // Now returns the simulation clock in seconds (the time of the last
 // processed event instant).
@@ -353,6 +613,11 @@ func (s *Simulator) Method() sched.Method { return s.plugin.Method() }
 // releases) and then runs one scheduling pass. It returns false when the
 // simulation had already drained and no work remains.
 func (s *Simulator) Step() (bool, error) {
+	if s.source != nil {
+		if err := s.fill(); err != nil {
+			return false, err
+		}
+	}
 	if s.events.Len() == 0 {
 		return false, nil
 	}
@@ -390,12 +655,19 @@ func (s *Simulator) Step() (bool, error) {
 // always consistent). The clock does not advance past the last processed
 // instant; use Run to drain completely.
 func (s *Simulator) RunUntil(t int64) error {
-	for s.events.Len() > 0 && s.events[0].t <= t {
+	for {
+		if s.source != nil {
+			if err := s.fill(); err != nil {
+				return err
+			}
+		}
+		if s.events.Len() == 0 || s.events[0].t > t {
+			return nil
+		}
 		if _, err := s.Step(); err != nil {
 			return err
 		}
 	}
-	return nil
 }
 
 // Run drains the simulation and returns the final Result. The context is
@@ -435,23 +707,35 @@ func (s *Simulator) Result() (*Result, error) {
 	}
 	// Close the usage integral at the last event time.
 	s.collector.Observe(s.now, s.usage)
-	var measured []*job.Job
-	for _, j := range s.finished {
-		if j.SubmitTime >= s.warmEnd && j.SubmitTime <= s.coolStart {
-			measured = append(measured, j)
-		}
-	}
 	capTotals := metrics.Capacity{Nodes: s.totals.Nodes, BBGB: s.totals.BBGB, SSDGB: s.totals.SSDGB}
 	for _, r := range s.extra {
 		capTotals.Extra = append(capTotals.Extra, metrics.DimCapacity{Name: r.Name, Total: r.Capacity})
 	}
-	rep := metrics.Compute(&s.collector, capTotals, measured, s.opt.slowdownFloor, s.opt.buckets)
+	var rep metrics.Report
+	var measuredCount int
+	if s.stats != nil {
+		rep = s.stats.Report(&s.collector, capTotals)
+		measuredCount = s.stats.Count()
+	} else {
+		var measured []*job.Job
+		for _, j := range s.finished {
+			if j.SubmitTime >= s.warmEnd && j.SubmitTime <= s.coolStart {
+				measured = append(measured, j)
+			}
+		}
+		rep = metrics.Compute(&s.collector, capTotals, measured, s.opt.slowdownFloor, s.opt.buckets)
+		measuredCount = len(measured)
+	}
+	totalJobs := len(s.workload.Jobs)
+	if s.source != nil {
+		totalJobs = s.pulled
+	}
 	res := &Result{
 		Report:           rep,
 		Workload:         s.workload.Name,
 		Method:           s.plugin.Method().Name(),
-		TotalJobs:        len(s.workload.Jobs),
-		MeasuredJobs:     len(measured),
+		TotalJobs:        totalJobs,
+		MeasuredJobs:     measuredCount,
 		SchedInvocations: s.invocations,
 		MaxDecisionTime:  s.decideMax,
 		MakespanSec:      s.now,
@@ -510,8 +794,18 @@ func (s *Simulator) finish(j *job.Job) error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	j.EndTime = s.now
-	s.done[j.ID] = true
-	s.finished = append(s.finished, j)
+	s.markDone(j.ID)
+	// Per-job metrics: the streaming accumulator applies the measurement
+	// filter here, in completion order — the same jobs, in the same
+	// order, as Result's filter over a retained finished slice, so the
+	// accumulated floats are bit-identical between the two paths.
+	if s.stats != nil {
+		if j.SubmitTime >= s.warmEnd && j.SubmitTime <= s.coolStart {
+			s.stats.Observe(j)
+		}
+	} else {
+		s.finished = append(s.finished, j)
+	}
 
 	if j.StageOutSec > 0 && j.Demand.BB() > 0 {
 		// Swap the job's planned release entries (walltime-based) for one

@@ -17,6 +17,10 @@ import (
 type Sweep struct {
 	// Workloads are the traces to replay.
 	Workloads []trace.Workload
+	// Streams are stream-backed workloads swept after Workloads: each run
+	// opens a fresh JobSource (sources are single-use) and drives it
+	// through the streaming ingestion path (WithSource).
+	Streams []StreamWorkload
 	// Methods are the window job-selection methods under test. Instances
 	// are shared across runs — all shipped methods are safe for
 	// concurrent use and reuse their pooled solver evaluators across
@@ -39,6 +43,19 @@ type Sweep struct {
 	Workers int
 }
 
+// StreamWorkload is a stream-backed sweep entry: a workload identified by
+// name and system whose jobs come from a freshly opened JobSource per run
+// instead of a materialized slice.
+type StreamWorkload struct {
+	// Name identifies the workload in results.
+	Name string
+	// System is the machine model the stream targets.
+	System trace.SystemModel
+	// Open returns a fresh source for one run. It is called once per
+	// (method, seed) grid cell, possibly from concurrent workers.
+	Open func() (trace.JobSource, error)
+}
+
 // SweepRun is one completed run of a sweep.
 type SweepRun struct {
 	// Workload, Method, and Seed identify the run.
@@ -56,7 +73,7 @@ type SweepRun struct {
 // filtered out) is returned; the returned slice still holds every run
 // that completed. Cancelling ctx aborts in-flight runs.
 func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
-	if len(sw.Workloads) == 0 {
+	if len(sw.Workloads) == 0 && len(sw.Streams) == 0 {
 		return nil, fmt.Errorf("sim: sweep with no workloads")
 	}
 	if len(sw.Methods) == 0 {
@@ -65,8 +82,14 @@ func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 	if len(sw.Seeds) == 0 {
 		return nil, fmt.Errorf("sim: sweep with no seeds")
 	}
+	for _, st := range sw.Streams {
+		if st.Open == nil {
+			return nil, fmt.Errorf("sim: stream workload %q has no Open", st.Name)
+		}
+	}
 	type task struct {
 		w    trace.Workload
+		open func() (trace.JobSource, error)
 		m    sched.Method
 		seed uint64
 	}
@@ -75,6 +98,14 @@ func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 		for _, m := range sw.Methods {
 			for _, seed := range sw.Seeds {
 				tasks = append(tasks, task{w: w, m: m, seed: seed})
+			}
+		}
+	}
+	for _, st := range sw.Streams {
+		shell := trace.Workload{Name: st.Name, System: st.System}
+		for _, m := range sw.Methods {
+			for _, seed := range sw.Seeds {
+				tasks = append(tasks, task{w: shell, open: st.Open, m: m, seed: seed})
 			}
 		}
 	}
@@ -106,6 +137,16 @@ func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 				}
 				opts := append([]Option(nil), sw.Options...)
 				opts = append(opts, WithSeed(tk.seed))
+				if tk.open != nil {
+					src, err := tk.open()
+					if err != nil {
+						errs[i] = fmt.Errorf("sim: sweep %s/%s/seed %d: opening source: %w",
+							tk.w.Name, tk.m.Name(), tk.seed, err)
+						cancel()
+						continue
+					}
+					opts = append(opts, WithSource(src))
+				}
 				if sw.PerRun != nil {
 					opts = append(opts, sw.PerRun(tk.w, tk.m, tk.seed)...)
 				}

@@ -1,13 +1,15 @@
 package sim
 
-// The engine throughput harness. BenchmarkSimThroughput drives the
-// production Simulator over a 20k-job Theta-S4-like trace with a cheap
-// selection method, so the event loop — queue index, release timeline,
-// pooled scheduling pass, event heap — dominates the profile;
-// BenchmarkSimThroughputReference runs the identical trace on the frozen
-// pre-rework engine (reference_engine_test.go). Both report jobs/sec,
-// allocs/event, and B/event so `make bench-json` can track the trajectory
-// in BENCH_sim.json.
+// The engine throughput harness. BenchmarkSimThroughput/materialized-20k
+// drives the production Simulator over a 20k-job Theta-S4-like trace with
+// a cheap selection method, so the event loop — queue index, release
+// timeline, pooled scheduling pass, event heap — dominates the profile;
+// BenchmarkSimThroughput/stream-1M replays a million-job generated stream
+// through the online ingestion path and reports peak live heap;
+// BenchmarkSimThroughputReference runs the materialized trace on the
+// frozen pre-rework engine (reference_engine_test.go). All report
+// jobs/sec (plus allocs/event or peak-B) so `make bench-json` can track
+// the trajectory in BENCH_sim.json.
 
 import (
 	"bytes"
@@ -70,23 +72,92 @@ func benchThroughput(b *testing.B, run func() (*Result, error), jobs, events int
 	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/n/float64(events), "B/event")
 }
 
-// BenchmarkSimThroughput measures the production engine's steady-state
-// throughput (one op = one full 20k-job simulation, construction
-// included).
+// BenchmarkSimThroughput measures the production engine in two regimes.
+// materialized-20k preloads a 20k-job trace (one op = one full
+// simulation, construction included) — the historical headline number.
+// stream-1M drives a million-job synthetic Theta trace through the
+// streaming ingestion path (WithSource + bounded-memory metrics) and
+// additionally reports "peak-B", the peak live heap above the pre-run
+// baseline: streaming memory is bounded by queue depth plus the
+// look-ahead window, not trace length, and the BENCH_sim.json gate holds
+// that ceiling flat.
 func BenchmarkSimThroughput(b *testing.B) {
-	jobs := 20000
-	if testing.Short() {
-		jobs = 2000
-	}
-	w := throughputWorkload(jobs, false)
-	events := countEvents(w)
-	benchThroughput(b, func() (*Result, error) {
-		s, err := NewSimulator(w, sched.Baseline{}, WithSeed(1))
-		if err != nil {
-			return nil, err
+	b.Run("materialized-20k", func(b *testing.B) {
+		jobs := 20000
+		if testing.Short() {
+			jobs = 2000
 		}
-		return s.Run(context.Background())
-	}, jobs, events)
+		w := throughputWorkload(jobs, false)
+		events := countEvents(w)
+		benchThroughput(b, func() (*Result, error) {
+			s, err := NewSimulator(w, sched.Baseline{}, WithSeed(1))
+			if err != nil {
+				return nil, err
+			}
+			return s.Run(context.Background())
+		}, jobs, events)
+	})
+	b.Run("stream-1M", func(b *testing.B) {
+		benchStream(b, 1_000_000)
+	})
+}
+
+// benchStream runs a generated stream of the given length and reports
+// jobs/sec plus peak live heap, sampled after forced collections every
+// 100k event instants (the forced GCs are inside the timed region, so
+// jobs/sec here is slightly conservative).
+func benchStream(b *testing.B, jobs int) {
+	sys := trace.Scale(trace.Theta(), 32)
+	shell := trace.Workload{Name: "Theta-stream", System: sys}
+	b.ReportAllocs()
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	var peak uint64
+	sample := func() {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Load just under capacity keeps the queue — and so the streaming
+		// engine's live set — bounded over an arbitrarily long trace.
+		src := trace.GenSource(trace.GenConfig{System: sys, Jobs: jobs, Seed: 42, TargetLoad: 0.95})
+		s, err := NewSimulator(shell, sched.Baseline{}, WithSource(src),
+			WithStreamingMetrics(), WithMeasurement(0, 0), WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps := 0
+		for {
+			more, err := s.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !more {
+				break
+			}
+			if steps++; steps%100_000 == 0 {
+				sample()
+			}
+		}
+		sample()
+		if _, err := s.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)*float64(b.N)/sec, "jobs/sec")
+	}
+	if peak < base {
+		peak = base
+	}
+	b.ReportMetric(float64(peak-base), "peak-B")
 }
 
 // BenchmarkSimThroughputReference is the frozen pre-rework baseline for

@@ -25,42 +25,53 @@ const extraColPrefix = "res:"
 // demand in that extra dimension (in spec order).
 func WriteCSV(w io.Writer, jobs []*job.Job, extraNames ...string) error {
 	cw := csv.NewWriter(w)
-	header := csvHeader
-	if len(extraNames) > 0 {
-		header = append(append([]string(nil), csvHeader...), make([]string, len(extraNames))...)
-		for i, n := range extraNames {
-			header[len(csvHeader)+i] = extraColPrefix + n
-		}
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(csvHeaderWith(extraNames)); err != nil {
 		return err
 	}
 	for _, j := range jobs {
-		deps := make([]string, len(j.Deps))
-		for i, d := range j.Deps {
-			deps[i] = strconv.Itoa(d)
-		}
-		rec := []string{
-			strconv.Itoa(j.ID),
-			j.User,
-			strconv.FormatInt(j.SubmitTime, 10),
-			strconv.FormatInt(j.Runtime, 10),
-			strconv.FormatInt(j.WalltimeEst, 10),
-			strconv.Itoa(j.Demand.NodeCount()),
-			strconv.FormatInt(j.Demand.BB(), 10),
-			strconv.FormatInt(j.Demand.SSDPerNode(), 10),
-			strconv.FormatInt(j.StageOutSec, 10),
-			strings.Join(deps, ";"),
-		}
-		for k := range extraNames {
-			rec = append(rec, strconv.FormatInt(j.Demand.Extra(k), 10))
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(csvRecord(j, len(extraNames))); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// csvHeaderWith returns the header row for nExtra extra-dimension columns.
+func csvHeaderWith(extraNames []string) []string {
+	if len(extraNames) == 0 {
+		return csvHeader
+	}
+	header := append(append([]string(nil), csvHeader...), make([]string, len(extraNames))...)
+	for i, n := range extraNames {
+		header[len(csvHeader)+i] = extraColPrefix + n
+	}
+	return header
+}
+
+// csvRecord serializes one job row (shared by WriteCSV and CSVWriter so
+// the materialized and streaming writers cannot drift).
+func csvRecord(j *job.Job, nExtra int) []string {
+	deps := make([]string, len(j.Deps))
+	for i, d := range j.Deps {
+		deps[i] = strconv.Itoa(d)
+	}
+	rec := []string{
+		strconv.Itoa(j.ID),
+		j.User,
+		strconv.FormatInt(j.SubmitTime, 10),
+		strconv.FormatInt(j.Runtime, 10),
+		strconv.FormatInt(j.WalltimeEst, 10),
+		strconv.Itoa(j.Demand.NodeCount()),
+		strconv.FormatInt(j.Demand.BB(), 10),
+		strconv.FormatInt(j.Demand.SSDPerNode(), 10),
+		strconv.FormatInt(j.StageOutSec, 10),
+		strings.Join(deps, ";"),
+	}
+	for k := 0; k < nExtra; k++ {
+		rec = append(rec, strconv.FormatInt(j.Demand.Extra(k), 10))
+	}
+	return rec
 }
 
 // ReadCSV parses a trace written by WriteCSV and validates the workload,
@@ -79,21 +90,9 @@ func ReadCSVNamed(r io.Reader) ([]*job.Job, []string, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if len(header) < len(csvHeader) {
-		return nil, nil, fmt.Errorf("trace: header has %d columns, want at least %d", len(header), len(csvHeader))
-	}
-	for i, col := range csvHeader {
-		if header[i] != col {
-			return nil, nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], col)
-		}
-	}
-	var extraNames []string
-	for _, col := range header[len(csvHeader):] {
-		name := strings.TrimPrefix(col, extraColPrefix)
-		if name == col || name == "" {
-			return nil, nil, fmt.Errorf("trace: extra header column %q must be %q-prefixed and named", col, extraColPrefix)
-		}
-		extraNames = append(extraNames, name)
+	extraNames, err := parseCSVHeader(header)
+	if err != nil {
+		return nil, nil, err
 	}
 	// The header fixed the record width; the csv reader now enforces it
 	// (FieldsPerRecord was set from the first read).
@@ -118,6 +117,28 @@ func ReadCSVNamed(r io.Reader) ([]*job.Job, []string, error) {
 		return nil, nil, fmt.Errorf("trace: %w", err)
 	}
 	return jobs, extraNames, nil
+}
+
+// parseCSVHeader validates a header row and returns the extra-dimension
+// names (shared by the materialized and streaming readers).
+func parseCSVHeader(header []string) ([]string, error) {
+	if len(header) < len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want at least %d", len(header), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var extraNames []string
+	for _, col := range header[len(csvHeader):] {
+		name := strings.TrimPrefix(col, extraColPrefix)
+		if name == col || name == "" {
+			return nil, fmt.Errorf("trace: extra header column %q must be %q-prefixed and named", col, extraColPrefix)
+		}
+		extraNames = append(extraNames, name)
+	}
+	return extraNames, nil
 }
 
 func parseRecord(rec []string, nExtra int) (*job.Job, error) {

@@ -63,6 +63,25 @@ func FuzzParseCSV(f *testing.F) {
 				t.Fatalf("round trip changed job %d: %+v vs %+v", i, r, j)
 			}
 		}
+		// The streaming decoder shares parseRecord but layers its own
+		// ordering contract on top: it must never panic, and whatever it
+		// accepts must be a valid workload. On traces the materialized
+		// reader accepts that are already dense and submit-ordered, the
+		// stream must agree exactly.
+		src, err := NewCSVSource(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		streamed, serr := Collect(src)
+		if serr != nil {
+			return // stream-only contract violation (non-dense, unordered)
+		}
+		if err := job.ValidateWorkload(streamed); err != nil {
+			t.Fatalf("stream accepted workload failing validation: %v", err)
+		}
+		if len(streamed) != len(jobs) {
+			t.Fatalf("stream decoded %d jobs, materialized %d", len(streamed), len(jobs))
+		}
 	})
 }
 
@@ -96,6 +115,25 @@ func FuzzParseSWF(f *testing.F) {
 				}
 				if j.WalltimeEst < j.Runtime {
 					t.Fatalf("opts %+v: job %d walltime %d < runtime %d", opts, i, j.WalltimeEst, j.Runtime)
+				}
+			}
+			// The streaming decoder shares parseSWFFields/swfJob and clamps
+			// disorder instead of sorting; it must never panic and must
+			// yield a valid, dense, submit-ordered workload whenever it
+			// accepts the input.
+			streamed, serr := Collect(NewSWFSource(bytes.NewReader(data), opts))
+			if serr != nil {
+				continue
+			}
+			if err := job.ValidateWorkload(streamed); err != nil {
+				t.Fatalf("opts %+v: stream accepted workload failing validation: %v", opts, err)
+			}
+			if len(streamed) != len(jobs) {
+				t.Fatalf("opts %+v: stream decoded %d jobs, materialized %d", opts, len(streamed), len(jobs))
+			}
+			for i, j := range streamed {
+				if j.ID != i || (i > 0 && j.SubmitTime < streamed[i-1].SubmitTime) {
+					t.Fatalf("opts %+v: stream order contract broken at %d", opts, i)
 				}
 			}
 		}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bbsched/internal/job"
+	"bbsched/internal/rng"
+)
+
+// canonicalVariant normalizes a variant name for matching.
+func canonicalVariant(v string) string { return strings.ToUpper(strings.TrimSpace(v)) }
+
+func joinVariants() string { return strings.Join(Variants(), ", ") }
+
+// JobSource is the streaming workload contract: a pull-based iterator over
+// jobs in non-decreasing submit-time order with dense IDs (0, 1, 2, … in
+// submission order), terminated by io.EOF. It exists so month- or
+// year-scale archive logs (millions of jobs) can drive the simulator
+// without ever being materialized: the event loop pulls arrivals lazily
+// and memory stays bounded by queue depth plus a small look-ahead window.
+//
+// Sources are single-use. A drained (or failed) source stays drained;
+// callers that need to replay open a fresh source.
+type JobSource interface {
+	// Next returns the next job in submit order, or io.EOF when the
+	// stream is exhausted. Returned jobs are owned by the caller.
+	Next() (*job.Job, error)
+}
+
+// Horizoner is an optional JobSource refinement for sources that know
+// their last submission time up front (e.g. SliceSource over a
+// materialized workload). The simulator uses it to resolve fractional
+// warmup/cooldown measurement windows; sources without a known horizon
+// require an absolute window (sim.WithMeasureWindow) or none.
+type Horizoner interface {
+	// Horizon returns the last submission time and true, or (0, false)
+	// when the horizon is unknown until the stream drains.
+	Horizon() (int64, bool)
+}
+
+// Closer is implemented by file-backed sources (OpenSWF/OpenCSV). Sources
+// close themselves when drained; Close exists for early abandonment.
+type Closer interface {
+	Close() error
+}
+
+// SliceSource adapts a materialized job slice to the JobSource contract —
+// the compat bridge that makes every existing Workload a source. Next
+// clones each job, mirroring NewSimulator's defensive copy, so the
+// backing slice is never mutated by a run.
+type SliceSource struct {
+	jobs    []*job.Job
+	i       int
+	horizon int64
+	haveHor bool
+}
+
+// NewSliceSource returns a source over jobs, which must already be in
+// submit order with dense IDs (as every Workload constructor guarantees).
+func NewSliceSource(jobs []*job.Job) *SliceSource {
+	return &SliceSource{jobs: jobs}
+}
+
+// SourceOf returns a SliceSource over the workload's jobs.
+func SourceOf(w Workload) *SliceSource { return NewSliceSource(w.Jobs) }
+
+// Next implements JobSource.
+func (s *SliceSource) Next() (*job.Job, error) {
+	if s.i >= len(s.jobs) {
+		return nil, io.EOF
+	}
+	j := s.jobs[s.i].Clone()
+	s.i++
+	return j, nil
+}
+
+// Horizon implements Horizoner: the backing slice's last submit time.
+func (s *SliceSource) Horizon() (int64, bool) {
+	if !s.haveHor {
+		for _, j := range s.jobs {
+			if j.SubmitTime > s.horizon {
+				s.horizon = j.SubmitTime
+			}
+		}
+		s.haveHor = true
+	}
+	return s.horizon, true
+}
+
+// Remaining returns the number of jobs not yet pulled.
+func (s *SliceSource) Remaining() int { return len(s.jobs) - s.i }
+
+// Collect drains src into a slice — the inverse of NewSliceSource, for
+// tests and for callers that want a materialized workload after all.
+func Collect(src JobSource) ([]*job.Job, error) {
+	var jobs []*job.Job
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			return jobs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// limitSource caps a stream at n jobs.
+type limitSource struct {
+	src  JobSource
+	left int
+}
+
+// LimitSource returns a source that yields at most n jobs from src (the
+// streaming analogue of SWFOptions.MaxJobs / truncating a slice). The
+// horizon, if src knows one, is discarded — truncation changes it.
+func LimitSource(src JobSource, n int) JobSource {
+	return &limitSource{src: src, left: n}
+}
+
+func (l *limitSource) Next() (*job.Job, error) {
+	if l.left <= 0 {
+		if c, ok := l.src.(Closer); ok {
+			c.Close()
+		}
+		return nil, io.EOF
+	}
+	j, err := l.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.left--
+	return j, nil
+}
+
+// mapSource applies a per-job transform. Transforms never change submit
+// times, so a known horizon passes through.
+type mapSource struct {
+	src JobSource
+	fn  func(*job.Job) *job.Job
+}
+
+func (m *mapSource) Next() (*job.Job, error) {
+	j, err := m.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	return m.fn(j), nil
+}
+
+func (m *mapSource) Horizon() (int64, bool) {
+	if h, ok := m.src.(Horizoner); ok {
+		return h.Horizon()
+	}
+	return 0, false
+}
+
+func (m *mapSource) Close() error {
+	if c, ok := m.src.(Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// StageOutSource is the streaming counterpart of WithStageOut: every
+// burst-buffer job is given a stage-out phase of bb_size / drainGBps
+// seconds; non-BB jobs have stage-out cleared.
+func StageOutSource(src JobSource, drainGBps float64) JobSource {
+	if drainGBps <= 0 {
+		return src
+	}
+	return &mapSource{src: src, fn: func(j *job.Job) *job.Job {
+		if bb := j.Demand.BB(); bb > 0 {
+			j.StageOutSec = int64(float64(bb) / drainGBps)
+		} else {
+			j.StageOutSec = 0
+		}
+		return j
+	}}
+}
+
+// ExpandBBSource is the streaming counterpart of the paper's S1–S4
+// expansion (ExpandBB): jobs without a burst-buffer request are converted
+// with a per-job probability chosen so the expected BB-requesting
+// fraction reaches frac, each converted job drawing a fresh heavy-tailed
+// request in [floorGB, sys.MaxBBRequestGB].
+//
+// It is an approximation of the materialized ExpandBB, which hits frac
+// exactly and resamples from the trace's own request pool — a stream has
+// neither a known length nor a materialized pool. Distributionally the
+// two match the same calibration targets; byte-for-byte they differ.
+func ExpandBBSource(src JobSource, sys SystemModel, frac float64, floorGB int64, seed uint64) JobSource {
+	base := sys.BBFraction
+	p := 0.0
+	if frac > base && base < 1 {
+		p = (frac - base) / (1 - base)
+	}
+	s := rng.New(seed).Split("expand-stream:" + sys.Cluster.Name)
+	return &mapSource{src: src, fn: func(j *job.Job) *job.Job {
+		if j.Demand.BB() == 0 && s.Bool(p) {
+			j.Demand.Set(job.BurstBufferGB, sampleBB(s, floorGB, sys.MaxBBRequestGB))
+		}
+		return j
+	}}
+}
+
+// AddSSDSource is the streaming counterpart of AddSSD: per-job local-SSD
+// demands drawn per mix against the SSD-equipped variant of sys, which is
+// returned alongside the source (jobs wider than the big-SSD node class
+// receive small requests, as in AddSSD).
+func AddSSDSource(src JobSource, sys SystemModel, mix SSDMix, seed uint64) (JobSource, SystemModel) {
+	out := WithSSD(sys)
+	s := rng.New(seed).Split("ssd-stream:" + sys.Cluster.Name)
+	bigNodes := 0
+	for _, cl := range out.Cluster.SSDClasses {
+		if cl.CapacityGB > 128 {
+			bigNodes += cl.Count
+		}
+	}
+	return &mapSource{src: src, fn: func(j *job.Job) *job.Job {
+		var ssd int64
+		if s.Bool(mix.SmallFrac) || j.Demand.NodeCount() > bigNodes {
+			ssd = s.Int63n(128) + 1
+		} else {
+			ssd = 128 + s.Int63n(128) + 1
+		}
+		j.Demand.Set(job.LocalSSDGBPerNode, ssd)
+		return j
+	}}, out
+}
+
+// EstimateBBFloors returns S1/S2 and S3/S4 resample floors for streams
+// over sys, where BBFloors' input workload does not exist. It calibrates
+// exactly like BBFloors but estimates the mean job size from a small
+// pilot workload generated for sys — deterministic in (sys, seed) and
+// independent of the stream's length.
+func EstimateBBFloors(sys SystemModel, seed uint64) (moderate, heavy int64) {
+	pilot := Generate(GenConfig{System: sys, Jobs: 512, Seed: seed})
+	return BBFloors(pilot)
+}
+
+// ApplyVariantSource derives the named workload variant (see Variants) as
+// a source combinator — the streaming counterpart of ApplyVariant. It
+// returns the wrapped source, the system the variant targets (SSD
+// variants switch to the SSD-equipped machine), and the conventional
+// "<cluster>-<variant>" workload name. Expansion floors come from
+// EstimateBBFloors; seed offsets match ApplyVariant.
+func ApplyVariantSource(src JobSource, sys SystemModel, variant string, seed uint64) (JobSource, SystemModel, string, error) {
+	v := canonicalVariant(variant)
+	name := sys.Cluster.Name
+	if v == "" || v == "ORIGINAL" {
+		return src, sys, name + "-Original", nil
+	}
+	floor5, floor20 := EstimateBBFloors(sys, seed)
+	switch v {
+	case "S1":
+		return ExpandBBSource(src, sys, 0.50, floor5, seed+1), sys, name + "-S1", nil
+	case "S2":
+		return ExpandBBSource(src, sys, 0.75, floor5, seed+2), sys, name + "-S2", nil
+	case "S3":
+		return ExpandBBSource(src, sys, 0.50, floor20, seed+3), sys, name + "-S3", nil
+	case "S4":
+		return ExpandBBSource(src, sys, 0.75, floor20, seed+4), sys, name + "-S4", nil
+	case "S5", "S6", "S7":
+		mix := map[string]SSDMix{"S5": S5, "S6": S6, "S7": S7}[v]
+		off := map[string]uint64{"S5": 5, "S6": 6, "S7": 7}[v]
+		s2 := ExpandBBSource(src, sys, 0.75, floor5, seed+2)
+		out, ssdSys := AddSSDSource(s2, sys, mix, seed+off)
+		return out, ssdSys, name + "-" + v, nil
+	}
+	return nil, SystemModel{}, "", fmt.Errorf("trace: unknown variant %q (have %s)", variant, joinVariants())
+}

@@ -81,76 +81,16 @@ func ReadSWF(r io.Reader, opts SWFOptions) ([]*job.Job, error) {
 		if text == "" || strings.HasPrefix(text, ";") {
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) != swfNumFields {
-			return nil, fmt.Errorf("trace: swf line %d: %d fields, want %d", line, len(fields), swfNumFields)
+		var v [swfNumFields]int64
+		if err := parseSWFFields(text, v[:]); err != nil {
+			return nil, fmt.Errorf("trace: swf line %d: %w", line, err)
 		}
-		v := make([]int64, swfNumFields)
-		for i, f := range fields {
-			// SWF is integer-valued but some archives emit floats (e.g.
-			// average CPU time); parse through float.
-			fv, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: swf line %d field %d: %w", line, i+1, err)
-			}
-			if math.IsNaN(fv) {
-				return nil, fmt.Errorf("trace: swf line %d field %d: NaN value", line, i+1)
-			}
-			// Clamp before converting: float→int64 overflow behaviour is
-			// implementation-defined in Go, and no SWF semantics exceed the
-			// demand cap anyway.
-			if fv > float64(job.MaxDemand) {
-				fv = float64(job.MaxDemand)
-			} else if fv < -float64(job.MaxDemand) {
-				fv = -float64(job.MaxDemand)
-			}
-			v[i] = int64(fv)
-		}
-		if opts.SkipFailed && v[swfStatus] != 1 {
-			continue
-		}
-		runtime := v[swfRunTime]
-		if runtime <= 0 {
-			continue // cancelled before start; nothing to simulate
-		}
-		procs := v[swfReqProcs]
-		if procs <= 0 {
-			procs = v[swfUsedProcs]
-		}
-		if procs <= 0 {
-			continue
-		}
-		nodes := int((procs + int64(cores) - 1) / int64(cores))
-		walltime := v[swfReqTime]
-		if walltime <= 0 {
-			walltime = runtime
-		}
-		if walltime < runtime {
-			// Production logs kill jobs at the limit; clamp so the model's
-			// walltime >= runtime invariant holds.
-			walltime = runtime
-		}
-		submit := v[swfSubmit]
-		if submit < 0 {
-			submit = 0
-		}
-		d := job.NewDemand(nodes, 0, 0)
-		if opts.MemoryAsDim != "" {
-			mem := v[swfReqMem]
-			if mem <= 0 {
-				mem = v[swfUsedMem]
-			}
-			if mem < 0 {
-				mem = 0
-			}
-			d = job.NewDemandVector(nodes, 0, 0, saturatingMul(mem, procs))
-		}
-		j, err := job.New(len(jobs), submit, runtime, walltime, d)
+		j, err := swfJob(v[:], len(jobs), cores, opts)
 		if err != nil {
 			return nil, fmt.Errorf("trace: swf line %d: %w", line, err)
 		}
-		if uid := v[swfUserID]; uid >= 0 {
-			j.User = fmt.Sprintf("user%03d", uid)
+		if j == nil {
+			continue // skipped record (failed/zero-runtime/zero-width)
 		}
 		if prev := int(v[swfPrecedingJob]); prev > 0 {
 			if ours, ok := swfToOurs[prev]; ok {
@@ -185,6 +125,90 @@ func ReadSWF(r io.Reader, opts SWFOptions) ([]*job.Job, error) {
 		return nil, fmt.Errorf("trace: swf: %w", err)
 	}
 	return jobs, nil
+}
+
+// parseSWFFields parses one non-comment SWF line into v (len
+// swfNumFields), applying the fuzz-hardened numeric handling shared by
+// the materialized and streaming decoders: SWF is integer-valued but some
+// archives emit floats (e.g. average CPU time), so fields parse through
+// float; NaN is rejected; values clamp to ±job.MaxDemand before the
+// float→int64 conversion, whose overflow behaviour is otherwise
+// implementation-defined in Go (no SWF semantics exceed the demand cap).
+func parseSWFFields(text string, v []int64) error {
+	fields := strings.Fields(text)
+	if len(fields) != swfNumFields {
+		return fmt.Errorf("%d fields, want %d", len(fields), swfNumFields)
+	}
+	for i, f := range fields {
+		fv, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("field %d: %w", i+1, err)
+		}
+		if math.IsNaN(fv) {
+			return fmt.Errorf("field %d: NaN value", i+1)
+		}
+		if fv > float64(job.MaxDemand) {
+			fv = float64(job.MaxDemand)
+		} else if fv < -float64(job.MaxDemand) {
+			fv = -float64(job.MaxDemand)
+		}
+		v[i] = int64(fv)
+	}
+	return nil
+}
+
+// swfJob builds a job with the given dense ID from parsed SWF fields,
+// applying the record-level conversions both decoders share. A (nil, nil)
+// return means the record is skipped: failed status under SkipFailed,
+// non-positive runtime (cancelled before start), or zero width.
+func swfJob(v []int64, id, cores int, opts SWFOptions) (*job.Job, error) {
+	if opts.SkipFailed && v[swfStatus] != 1 {
+		return nil, nil
+	}
+	runtime := v[swfRunTime]
+	if runtime <= 0 {
+		return nil, nil
+	}
+	procs := v[swfReqProcs]
+	if procs <= 0 {
+		procs = v[swfUsedProcs]
+	}
+	if procs <= 0 {
+		return nil, nil
+	}
+	nodes := int((procs + int64(cores) - 1) / int64(cores))
+	walltime := v[swfReqTime]
+	if walltime <= 0 {
+		walltime = runtime
+	}
+	if walltime < runtime {
+		// Production logs kill jobs at the limit; clamp so the model's
+		// walltime >= runtime invariant holds.
+		walltime = runtime
+	}
+	submit := v[swfSubmit]
+	if submit < 0 {
+		submit = 0
+	}
+	d := job.NewDemand(nodes, 0, 0)
+	if opts.MemoryAsDim != "" {
+		mem := v[swfReqMem]
+		if mem <= 0 {
+			mem = v[swfUsedMem]
+		}
+		if mem < 0 {
+			mem = 0
+		}
+		d = job.NewDemandVector(nodes, 0, 0, saturatingMul(mem, procs))
+	}
+	j, err := job.New(id, submit, runtime, walltime, d)
+	if err != nil {
+		return nil, err
+	}
+	if uid := v[swfUserID]; uid >= 0 {
+		j.User = fmt.Sprintf("user%03d", uid)
+	}
+	return j, nil
 }
 
 // saturatingMul multiplies non-negative a×b, clamping to job.MaxDemand so
