@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench bench-smoke bench-json bench-check sweep-smoke fuzz-smoke cover-gate lint fmt vet staticcheck clean
+.PHONY: all build test test-full race bench bench-smoke bench-json bench-check sweep-smoke farm-smoke fuzz-smoke cover-gate lint fmt vet staticcheck clean
 
 all: lint build test
 
@@ -42,11 +42,12 @@ bench-solver:
 # -require fails the parse if any bench silently dropped out (e.g. its
 # package failed to build inside the { ...; } pipeline, whose exit
 # status is the last command's).
-BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveGAWindow/
+BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveGAWindow/,BenchmarkCheckpoint/
 
 bench-json:
 	{ $(GO) test -bench '^BenchmarkSimThroughput(Reference)?$$/^materialized-20k$$' -benchtime=3x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSimThroughput$$/^stream-1M$$' -benchtime=1x -run '^$$' ./internal/sim ; \
+	  $(GO) test -bench '^BenchmarkCheckpoint$$' -benchtime=10x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
 	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
 		$(GO) run ./cmd/benchjson -out BENCH_sim.json -require '$(BENCH_REQUIRE)'
@@ -59,6 +60,7 @@ bench-json:
 bench-check:
 	{ $(GO) test -bench '^BenchmarkSimThroughput$$/^materialized-20k$$' -benchtime=3x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSimThroughput$$/^stream-1M$$' -benchtime=1x -run '^$$' ./internal/sim ; \
+	  $(GO) test -bench '^BenchmarkCheckpoint$$' -benchtime=10x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
 	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
 		$(GO) run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.20 -require '$(BENCH_REQUIRE)'
@@ -67,6 +69,16 @@ bench-check:
 # tiny method × seed grids (2 × 2) under -race, parallel vs serial.
 sweep-smoke:
 	$(GO) test -race -run '^TestRunSweep|^TestFacadeEngineSweepRegistry$$' ./internal/sim .
+
+# Distributed-farm smoke under -race: an in-process coordinator, three
+# HTTP workers, and two injected crashes (one pre-checkpoint, one
+# post-checkpoint) must still assemble a grid identical to serial
+# RunSweep; plus the checkpoint golden-equivalence and version-skew
+# tests.
+farm-smoke:
+	$(GO) test -race -short -run '^TestFarm' ./internal/farm
+	$(GO) test -race -short -run '^TestGoldenCheckpointEquivalence$$|^TestCheckpointRoundTrip' ./internal/sim
+	$(GO) test -race -run '^TestDecodeVersionSkew$$|^TestEncodeDecodeRoundTrip$$' ./internal/checkpoint
 
 # Fuzz the trace parsers for 30s per target (CI smoke; seed corpora under
 # internal/trace/testdata/fuzz run in every plain `go test` too).

@@ -30,8 +30,10 @@
 package bbsched
 
 import (
+	"bbsched/internal/checkpoint"
 	"bbsched/internal/cluster"
 	"bbsched/internal/core"
+	"bbsched/internal/farm"
 	"bbsched/internal/job"
 	"bbsched/internal/lp"
 	"bbsched/internal/metrics"
@@ -157,6 +159,10 @@ type (
 	LPConfig = lp.Config
 	// LPStats reports one LP-relaxation solve.
 	LPStats = lp.Stats
+	// LPIterate is a serializable PDHG iterate for warm-starting
+	// SolveLPRelaxationWarm across related instances (checkpoint resume,
+	// successive scheduling passes).
+	LPIterate = lp.Iterate
 	// SolverSpec describes one registered backend.
 	SolverSpec = registry.SolverSpec
 	// SolverConfigurable is implemented by methods whose backend is
@@ -181,8 +187,11 @@ var (
 	NewLPSolver     = lp.New
 	DefaultLPConfig = lp.DefaultConfig
 	// SolveLPRelaxation solves just the fractional relaxation of a linear
-	// selection instance (diagnostics and custom rounding schemes).
-	SolveLPRelaxation = lp.SolveRelaxation
+	// selection instance (diagnostics and custom rounding schemes);
+	// SolveLPRelaxationWarm additionally seeds PDHG from a prior iterate
+	// and returns the final one (a dimension-mismatched seed is ignored).
+	SolveLPRelaxation     = lp.SolveRelaxation
+	SolveLPRelaxationWarm = lp.SolveRelaxationWarm
 	// LinearizeProblem extracts a problem's LP structure (unwrapping a
 	// memoizing Evaluator).
 	LinearizeProblem = solver.Linearize
@@ -482,6 +491,57 @@ var (
 	WithLookahead        = sim.WithLookahead
 	WithStreamingMetrics = sim.WithStreamingMetrics
 	WithMeasureWindow    = sim.WithMeasureWindow
+)
+
+// Checkpoint / restore: Simulator.Checkpoint writes a versioned binary
+// snapshot of the complete engine state at an event boundary;
+// RestoreSimulator rebuilds a simulator from it that continues with a
+// byte-identical event stream and an identical final Result. The caller
+// re-supplies the same workload, method, and options (streaming runs also
+// re-supply a fresh source via WithSource; the restore repositions it).
+var RestoreSimulator = sim.Restore
+
+// SnapshotVersion is the snapshot format version RestoreSimulator
+// accepts; ErrSnapshotVersion is returned (wrapped) for any other.
+const SnapshotVersion = checkpoint.Version
+
+var ErrSnapshotVersion = checkpoint.ErrVersion
+
+// Distributed sweep farm: a Coordinator shards a workloads × methods ×
+// solvers × seeds grid onto Workers over HTTP/JSON, retrying failed or
+// preempted cells from their last uploaded checkpoint, and assembles
+// results in grid order identical to a serial RunSweep.
+type (
+	// FarmGrid declares the sweep: workload recipes × method specs ×
+	// solver names × seeds, plus per-run options and checkpoint cadence.
+	FarmGrid = farm.Grid
+	// FarmCell is one grid cell, the unit of leased work.
+	FarmCell = farm.Cell
+	// FarmWorkloadSpec is a workload recipe every worker rebuilds
+	// bit-for-bit (materialized or stream-backed).
+	FarmWorkloadSpec = farm.WorkloadSpec
+	// FarmMethodSpec names a registry method build.
+	FarmMethodSpec = farm.MethodSpec
+	// FarmRunOptions is the serializable per-run simulator options.
+	FarmRunOptions = farm.RunOptions
+	// FarmCoordinator owns one sweep: Handler serves the worker API,
+	// Wait blocks for the assembled grid.
+	FarmCoordinator = farm.Coordinator
+	// FarmWorker leases and executes cells against a coordinator URL.
+	FarmWorker = farm.Worker
+	// FarmStats counts coordinator-side recovery events.
+	FarmStats = farm.Stats
+	// FarmCoordinatorOption configures NewFarmCoordinator.
+	FarmCoordinatorOption = farm.CoordinatorOption
+)
+
+var (
+	// NewFarmCoordinator validates a grid and prepares the sweep.
+	NewFarmCoordinator = farm.NewCoordinator
+	// WithFarmLeaseTTL sets the worker lease duration (checkpoint
+	// uploads renew it); WithFarmMaxAttempts bounds retries per cell.
+	WithFarmLeaseTTL    = farm.WithLeaseTTL
+	WithFarmMaxAttempts = farm.WithMaxAttempts
 )
 
 // Run simulates a workload under a scheduling method: the legacy one-shot

@@ -357,6 +357,61 @@ func (c *Cluster) ReserveBB(ownerID int, amount int64) error {
 	return nil
 }
 
+// RestoreAllocation installs a previously recorded allocation — the
+// checkpoint/restore counterpart of Allocate. The record is validated
+// (no duplicate owner, class/extra arity matching the machine,
+// non-negative amounts, within the remaining free capacity), deep-copied
+// into cluster-owned buffers, and subtracted from the free pools. As with
+// Allocate, the returned allocation's buffers are owned by the cluster
+// and recycled on Release.
+func (c *Cluster) RestoreAllocation(a Allocation) (Allocation, error) {
+	if _, dup := c.allocs[a.JobID]; dup {
+		return Allocation{}, fmt.Errorf("cluster: job %d already allocated", a.JobID)
+	}
+	if len(a.NodesByClass) != len(c.classes) {
+		return Allocation{}, fmt.Errorf("cluster: job %d allocation spans %d classes, machine has %d",
+			a.JobID, len(a.NodesByClass), len(c.classes))
+	}
+	if len(a.Extra) != 0 && len(a.Extra) != len(c.cfg.Extra) {
+		return Allocation{}, fmt.Errorf("cluster: job %d allocation has %d extra dimensions, machine has %d",
+			a.JobID, len(a.Extra), len(c.cfg.Extra))
+	}
+	if a.BB < 0 || a.BB > c.free.FreeBB {
+		return Allocation{}, fmt.Errorf("cluster: job %d burst buffer %d outside free pool %d",
+			a.JobID, a.BB, c.free.FreeBB)
+	}
+	for i, n := range a.NodesByClass {
+		if n < 0 || n > c.free.FreeByClass[i] {
+			return Allocation{}, fmt.Errorf("cluster: job %d takes %d nodes from class %d with %d free",
+				a.JobID, n, i, c.free.FreeByClass[i])
+		}
+	}
+	for i, v := range a.Extra {
+		if v < 0 || v > c.free.FreeExtra[i] {
+			return Allocation{}, fmt.Errorf("cluster: job %d takes %d of %s with %d free",
+				a.JobID, v, c.cfg.Extra[i].Name, c.free.FreeExtra[i])
+		}
+	}
+	stored := Allocation{
+		JobID:        a.JobID,
+		NodesByClass: append([]int(nil), a.NodesByClass...),
+		BB:           a.BB,
+		WastedSSD:    a.WastedSSD,
+	}
+	if len(a.Extra) > 0 {
+		stored.Extra = append([]int64(nil), a.Extra...)
+	}
+	for i, n := range stored.NodesByClass {
+		c.free.FreeByClass[i] -= n
+	}
+	c.free.FreeBB -= stored.BB
+	for i, v := range stored.Extra {
+		c.free.FreeExtra[i] -= v
+	}
+	c.allocs[stored.JobID] = stored
+	return stored, nil
+}
+
 // CheckInvariants verifies conservation: free + allocated equals machine
 // totals in every dimension. Tests call it after random workloads.
 func (c *Cluster) CheckInvariants() error {

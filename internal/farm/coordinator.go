@@ -1,0 +1,402 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bbsched/internal/sim"
+)
+
+// Cell lifecycle states.
+const (
+	cellPending = iota
+	cellLeased
+	cellDone
+	cellFailed
+)
+
+// Wire messages. Checkpoints travel as JSON []byte (base64).
+
+// LeaseRequest asks for work.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one cell, reports the sweep drained, or reports
+// nothing available right now (Cell == -1: every pending cell is leased
+// to someone else — poll again).
+type LeaseResponse struct {
+	Done             bool   `json:"done"`
+	Cell             int    `json:"cell"`
+	Attempt          int    `json:"attempt,omitempty"`
+	Spec             Cell   `json:"spec,omitempty"`
+	CheckpointEvents int    `json:"checkpoint_events,omitempty"`
+	Checkpoint       []byte `json:"checkpoint,omitempty"`
+	LeaseMillis      int64  `json:"lease_millis,omitempty"`
+}
+
+// CheckpointMsg uploads a mid-run snapshot; accepting it renews the lease.
+type CheckpointMsg struct {
+	Cell    int    `json:"cell"`
+	Attempt int    `json:"attempt"`
+	Worker  string `json:"worker"`
+	Data    []byte `json:"data"`
+}
+
+// ResultMsg reports a completed cell.
+type ResultMsg struct {
+	Cell    int         `json:"cell"`
+	Attempt int         `json:"attempt"`
+	Worker  string      `json:"worker"`
+	Result  *sim.Result `json:"result"`
+}
+
+// FailMsg reports a failed attempt (workers that die silently are caught
+// by lease expiry instead).
+type FailMsg struct {
+	Cell    int    `json:"cell"`
+	Attempt int    `json:"attempt"`
+	Worker  string `json:"worker"`
+	Error   string `json:"error"`
+}
+
+// Ack is the coordinator's reply to checkpoint/result/fail posts. Stale
+// is true when the message referenced a lease the coordinator no longer
+// honors (expired and re-issued, or the cell already completed); a stale
+// worker should abandon the cell and lease fresh work.
+type Ack struct {
+	Stale bool `json:"stale,omitempty"`
+}
+
+// Stats counts coordinator-side recovery events.
+type Stats struct {
+	// Retries counts re-leases of a cell after a failed or expired
+	// attempt; Resumes counts the subset that carried a checkpoint.
+	Retries, Resumes int
+	// Expired counts leases reaped by deadline (silent worker death or
+	// hang); Failed counts explicit failure reports.
+	Expired, Failed int
+}
+
+type cellRun struct {
+	spec       Cell
+	state      int
+	attempt    int
+	worker     string
+	deadline   time.Time
+	checkpoint []byte
+	result     *sim.Result
+	lastErr    error
+}
+
+// Coordinator owns a grid sweep: it leases cells to workers, collects
+// checkpoints and results, requeues failed or expired attempts (resuming
+// from the last checkpoint), and assembles the grid-ordered results.
+type Coordinator struct {
+	grid        Grid
+	leaseTTL    time.Duration
+	maxAttempts int
+
+	mu       sync.Mutex
+	cells    []cellRun
+	open     int // cells not yet done
+	stats    Stats
+	failErr  error
+	finished chan struct{}
+	once     sync.Once
+}
+
+// CoordinatorOption configures a Coordinator.
+type CoordinatorOption func(*Coordinator)
+
+// WithLeaseTTL sets how long a worker may hold a cell without renewing
+// (a checkpoint upload renews). Default 60s.
+func WithLeaseTTL(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.leaseTTL = d }
+}
+
+// WithMaxAttempts bounds attempts per cell before the sweep fails.
+// Default 3.
+func WithMaxAttempts(n int) CoordinatorOption {
+	return func(c *Coordinator) { c.maxAttempts = n }
+}
+
+// NewCoordinator validates the grid and prepares the sweep.
+func NewCoordinator(g Grid, opts ...CoordinatorOption) (*Coordinator, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		grid:        g,
+		leaseTTL:    60 * time.Second,
+		maxAttempts: 3,
+		finished:    make(chan struct{}),
+	}
+	for _, apply := range opts {
+		apply(c)
+	}
+	if c.leaseTTL <= 0 {
+		return nil, fmt.Errorf("farm: non-positive lease TTL %v", c.leaseTTL)
+	}
+	if c.maxAttempts < 1 {
+		return nil, fmt.Errorf("farm: max attempts %d < 1", c.maxAttempts)
+	}
+	for _, cell := range g.Cells() {
+		c.cells = append(c.cells, cellRun{spec: cell})
+	}
+	c.open = len(c.cells)
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST /lease      LeaseRequest  → LeaseResponse
+//	POST /checkpoint CheckpointMsg → Ack
+//	POST /result     ResultMsg     → Ack
+//	POST /fail       FailMsg       → Ack
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.lease(req.Worker))
+	})
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		var msg CheckpointMsg
+		if !decodeBody(w, r, &msg) {
+			return
+		}
+		writeJSON(w, Ack{Stale: !c.acceptCheckpoint(msg)})
+	})
+	mux.HandleFunc("POST /result", func(w http.ResponseWriter, r *http.Request) {
+		var msg ResultMsg
+		if !decodeBody(w, r, &msg) {
+			return
+		}
+		if msg.Result == nil {
+			http.Error(w, "result message without a result", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, Ack{Stale: !c.acceptResult(msg)})
+	})
+	mux.HandleFunc("POST /fail", func(w http.ResponseWriter, r *http.Request) {
+		var msg FailMsg
+		if !decodeBody(w, r, &msg) {
+			return
+		}
+		writeJSON(w, Ack{Stale: !c.acceptFailure(msg)})
+	})
+	return mux
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// lease reaps expired leases and grants the lowest-indexed pending cell.
+func (c *Coordinator) lease(worker string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(time.Now())
+	if c.open == 0 || c.failErr != nil {
+		return LeaseResponse{Done: true, Cell: -1}
+	}
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.state != cellPending {
+			continue
+		}
+		cell.state = cellLeased
+		cell.attempt++
+		cell.worker = worker
+		cell.deadline = time.Now().Add(c.leaseTTL)
+		if cell.attempt > 1 {
+			c.stats.Retries++
+			if len(cell.checkpoint) > 0 {
+				c.stats.Resumes++
+			}
+		}
+		return LeaseResponse{
+			Cell:             i,
+			Attempt:          cell.attempt,
+			Spec:             cell.spec,
+			CheckpointEvents: c.grid.CheckpointEvents,
+			Checkpoint:       cell.checkpoint,
+			LeaseMillis:      c.leaseTTL.Milliseconds(),
+		}
+	}
+	return LeaseResponse{Cell: -1}
+}
+
+// current reports whether the message references the live attempt.
+func (c *Coordinator) currentLocked(cell, attempt int) bool {
+	return cell >= 0 && cell < len(c.cells) &&
+		c.cells[cell].state == cellLeased && c.cells[cell].attempt == attempt
+}
+
+func (c *Coordinator) acceptCheckpoint(msg CheckpointMsg) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.currentLocked(msg.Cell, msg.Attempt) || len(msg.Data) == 0 {
+		return false
+	}
+	cell := &c.cells[msg.Cell]
+	cell.checkpoint = msg.Data
+	cell.deadline = time.Now().Add(c.leaseTTL)
+	return true
+}
+
+func (c *Coordinator) acceptResult(msg ResultMsg) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.currentLocked(msg.Cell, msg.Attempt) {
+		return false
+	}
+	cell := &c.cells[msg.Cell]
+	cell.state = cellDone
+	cell.result = msg.Result
+	cell.checkpoint = nil
+	c.open--
+	if c.open == 0 {
+		c.once.Do(func() { close(c.finished) })
+	}
+	return true
+}
+
+func (c *Coordinator) acceptFailure(msg FailMsg) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.currentLocked(msg.Cell, msg.Attempt) {
+		return false
+	}
+	c.stats.Failed++
+	c.requeueLocked(msg.Cell, fmt.Errorf("worker %s: %s", msg.Worker, msg.Error))
+	return true
+}
+
+// reapLocked requeues every leased cell whose deadline has passed.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.state == cellLeased && now.After(cell.deadline) {
+			c.stats.Expired++
+			c.requeueLocked(i, fmt.Errorf("worker %s: lease expired", cell.worker))
+		}
+	}
+}
+
+// requeueLocked returns a cell to the pending pool for another attempt —
+// keeping its last checkpoint so the retry resumes instead of restarting
+// — or fails the sweep when attempts are exhausted.
+func (c *Coordinator) requeueLocked(i int, cause error) {
+	cell := &c.cells[i]
+	cell.lastErr = cause
+	if cell.attempt >= c.maxAttempts {
+		cell.state = cellFailed
+		if c.failErr == nil {
+			c.failErr = fmt.Errorf("farm: cell %d (%s/%s/seed %d) failed %d attempts: %w",
+				i, cell.spec.Workload.Name, cell.spec.Method.Name, cell.spec.Seed, cell.attempt, cause)
+		}
+		c.once.Do(func() { close(c.finished) })
+		return
+	}
+	cell.state = cellPending
+	cell.worker = ""
+}
+
+// Progress returns completed and total cell counts.
+func (c *Coordinator) Progress() (done, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells) - c.open, len(c.cells)
+}
+
+// Stats returns a snapshot of the recovery counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Wait blocks until the sweep drains, a cell exhausts its attempts, or
+// ctx is cancelled, reaping expired leases in the background throughout.
+// Like sim.RunSweep, it always returns the full grid in grid order:
+// completed cells carry their Result, unfinished cells their identity
+// with Canceled set, so an interrupted sweep keeps its completed work.
+func (c *Coordinator) Wait(ctx context.Context) ([]sim.SweepRun, error) {
+	tick := c.leaseTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return c.assemble(), ctx.Err()
+		case <-c.finished:
+			c.mu.Lock()
+			err := c.failErr
+			c.mu.Unlock()
+			return c.assemble(), err
+		case now := <-ticker.C:
+			c.mu.Lock()
+			c.reapLocked(now)
+			failed := c.failErr != nil
+			c.mu.Unlock()
+			if failed {
+				// finished was closed by requeueLocked; loop to drain it.
+				continue
+			}
+		}
+	}
+}
+
+// assemble snapshots the grid-ordered results.
+func (c *Coordinator) assemble() []sim.SweepRun {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]sim.SweepRun, len(c.cells))
+	for i := range c.cells {
+		cell := &c.cells[i]
+		name := cell.spec.Workload.Name
+		if name == "" {
+			name = cell.spec.Workload.Gen.System.Cluster.Name + "-" + variantLabel(cell.spec.Workload.Variant)
+		}
+		out[i] = sim.SweepRun{Workload: name, Method: cell.spec.Method.Name, Seed: cell.spec.Seed}
+		if cell.state == cellDone {
+			out[i].Result = cell.result
+			if cell.result != nil {
+				// Trust the worker's authoritative naming.
+				out[i].Workload = cell.result.Workload
+				out[i].Method = cell.result.Method
+			}
+		} else {
+			out[i].Canceled = true
+		}
+	}
+	return out
+}
+
+func variantLabel(v string) string {
+	if v == "" {
+		return "Original"
+	}
+	return v
+}

@@ -1,0 +1,261 @@
+// Package farm is the distributed sweep service: a coordinator that
+// shards a workloads × methods × solvers × seeds grid of simulation runs
+// onto workers over HTTP/JSON, streams per-run Reports back, and retries
+// failed or preempted workers by resuming from their last uploaded
+// simulator checkpoint (internal/checkpoint).
+//
+// Every run is deterministic in its grid cell — the workload is rebuilt
+// from a generation recipe, the method from the registry, the engine from
+// the cell seed — so the coordinator can hand the same cell to any
+// worker, any number of times, and assemble results in grid order that
+// are identical to a serial sim.RunSweep over the same grid, regardless
+// of worker count, scheduling, or mid-run failures. Checkpoint resume
+// rides on the engine's bit-identical restore guarantee: a cell retried
+// from a snapshot produces the same Report as one run uninterrupted.
+package farm
+
+import (
+	"fmt"
+	"strings"
+
+	"bbsched/internal/cluster"
+	"bbsched/internal/moo"
+	"bbsched/internal/registry"
+	"bbsched/internal/sched"
+	"bbsched/internal/sim"
+	"bbsched/internal/trace"
+)
+
+// WorkloadSpec describes a workload every worker can rebuild bit-for-bit
+// from the recipe alone — the farm ships recipes, never job tables.
+type WorkloadSpec struct {
+	// Name overrides the derived "<cluster>-<variant>" workload name when
+	// non-empty.
+	Name string `json:"name,omitempty"`
+	// Gen generates the base trace (system model, job count, seed, load).
+	Gen trace.GenConfig `json:"gen"`
+	// Variant derives one of the paper's workload variants (S1–S7, or
+	// empty/"original" for the unmodified trace).
+	Variant string `json:"variant,omitempty"`
+	// VariantSeed seeds the variant's expansion draws.
+	VariantSeed uint64 `json:"variant_seed,omitempty"`
+	// StageOutGBps, when positive, applies burst-buffer stage-out phases
+	// at the given drain rate after the variant.
+	StageOutGBps float64 `json:"stage_out_gbps,omitempty"`
+	// Stream drives the run through the streaming ingestion path: the
+	// worker opens a fresh generated source (re-opened again on every
+	// retry and checkpoint resume) instead of materializing the trace,
+	// and the run uses bounded-memory streaming metrics.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// Build materializes the spec into a workload (Stream must be false).
+func (ws WorkloadSpec) Build() (trace.Workload, error) {
+	if ws.Stream {
+		return trace.Workload{}, fmt.Errorf("farm: workload %q is stream-backed; use Open", ws.Name)
+	}
+	base := trace.Generate(ws.Gen)
+	base.Name = ws.Gen.System.Cluster.Name + "-Original"
+	w, err := trace.ApplyVariant(base, ws.Variant, ws.VariantSeed)
+	if err != nil {
+		return trace.Workload{}, fmt.Errorf("farm: workload %q: %w", ws.Name, err)
+	}
+	if ws.StageOutGBps > 0 {
+		w = trace.WithStageOut(w, ws.StageOutGBps)
+	}
+	if ws.Name != "" {
+		w.Name = ws.Name
+	}
+	return w, nil
+}
+
+// Open opens a fresh streaming pipeline for a stream-backed spec: the
+// job-less workload shell and a single-use source. Sources are re-opened
+// from the top on every attempt; checkpoint restore repositions them by
+// replaying the consumed prefix, so stateful variant combinators stay in
+// sync.
+func (ws WorkloadSpec) Open() (trace.Workload, trace.JobSource, error) {
+	if !ws.Stream {
+		return trace.Workload{}, nil, fmt.Errorf("farm: workload %q is materialized; use Build", ws.Name)
+	}
+	src := trace.GenSource(ws.Gen)
+	src, sys, name, err := trace.ApplyVariantSource(src, ws.Gen.System, ws.Variant, ws.VariantSeed)
+	if err != nil {
+		return trace.Workload{}, nil, fmt.Errorf("farm: workload %q: %w", ws.Name, err)
+	}
+	if ws.StageOutGBps > 0 {
+		src = trace.StageOutSource(src, ws.StageOutGBps)
+	}
+	if ws.Name != "" {
+		name = ws.Name
+	}
+	return trace.Workload{Name: name, System: sys}, src, nil
+}
+
+// MethodSpec names a registry method build for the grid.
+type MethodSpec struct {
+	// Name is the registry method name (e.g. "BBSched", "Baseline").
+	Name string `json:"name"`
+	// GA configures the method's stochastic solver.
+	GA moo.GAConfig `json:"ga"`
+	// SSD selects the four-objective §5 build where the method has one.
+	SSD bool `json:"ssd,omitempty"`
+}
+
+// Build instantiates the method for the given machine, optionally
+// overriding its solver backend with the named registry solver.
+func (ms MethodSpec) Build(cfg cluster.Config, solverName string) (sched.Method, error) {
+	m, err := registry.NewForCluster(ms.Name, ms.GA, cfg, ms.SSD)
+	if err != nil {
+		return nil, err
+	}
+	if solverName != "" {
+		if err := registry.ApplySolver(m, solverName, ms.GA); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// RunOptions is the serializable slice of simulator options a grid
+// applies to every cell (the cell seed is supplied separately).
+type RunOptions struct {
+	// Window and StarvationBound configure the scheduling window; zero
+	// keeps the simulator defaults (w=20, bound 50).
+	Window          int `json:"window,omitempty"`
+	StarvationBound int `json:"starvation_bound,omitempty"`
+	// Measure selects the measurement interval: "" keeps the simulator's
+	// fractional trim defaults, "full" measures the whole run, "window"
+	// measures the absolute [MeasureStart, MeasureEnd] interval. Stream
+	// cells have no known horizon, so they require "full" or "window".
+	Measure      string `json:"measure,omitempty"`
+	MeasureStart int64  `json:"measure_start,omitempty"`
+	MeasureEnd   int64  `json:"measure_end,omitempty"`
+}
+
+// Options lowers the serializable options to simulator options.
+func (ro RunOptions) Options() ([]sim.Option, error) {
+	var opts []sim.Option
+	if ro.Window != 0 || ro.StarvationBound != 0 {
+		opts = append(opts, sim.WithWindow(ro.Window, ro.StarvationBound))
+	}
+	switch ro.Measure {
+	case "":
+	case "full":
+		opts = append(opts, sim.WithMeasurement(0, 0))
+	case "window":
+		opts = append(opts, sim.WithMeasureWindow(ro.MeasureStart, ro.MeasureEnd))
+	default:
+		return nil, fmt.Errorf("farm: unknown measure mode %q (want \"\", \"full\", or \"window\")", ro.Measure)
+	}
+	return opts, nil
+}
+
+// Grid is a distributed sweep: the full cross product of workloads ×
+// methods × solvers × seeds, swept cell-by-cell in deterministic
+// workload-major order (workload, then method, then solver, then seed) —
+// the same order sim.RunSweep uses, extended by the solver axis.
+type Grid struct {
+	Workloads []WorkloadSpec `json:"workloads"`
+	Methods   []MethodSpec   `json:"methods"`
+	// Solvers optionally sweeps each method under every named registry
+	// solver backend. Empty means one pass per method with its built-in
+	// backend (a single "" entry is equivalent).
+	Solvers []string   `json:"solvers,omitempty"`
+	Seeds   []uint64   `json:"seeds"`
+	Opts    RunOptions `json:"opts"`
+	// CheckpointEvents is the worker checkpoint cadence in event instants:
+	// every N instants the worker uploads a snapshot, renewing its lease
+	// and bounding lost work on failure to N instants. Zero disables
+	// mid-run checkpoints (failed cells restart from scratch).
+	CheckpointEvents int `json:"checkpoint_events,omitempty"`
+}
+
+// Cell identifies one grid cell and its resolved specs — the unit of
+// work a lease hands to a worker.
+type Cell struct {
+	Workload WorkloadSpec `json:"workload"`
+	Method   MethodSpec   `json:"method"`
+	Solver   string       `json:"solver,omitempty"`
+	Seed     uint64       `json:"seed"`
+	Opts     RunOptions   `json:"opts"`
+}
+
+// solverAxis returns the grid's solver axis, normalized to at least one
+// entry so the cross product is never empty.
+func (g Grid) solverAxis() []string {
+	if len(g.Solvers) == 0 {
+		return []string{""}
+	}
+	return g.Solvers
+}
+
+// Cells enumerates the grid in its deterministic order.
+func (g Grid) Cells() []Cell {
+	var cells []Cell
+	for _, ws := range g.Workloads {
+		for _, ms := range g.Methods {
+			for _, sv := range g.solverAxis() {
+				for _, seed := range g.Seeds {
+					cells = append(cells, Cell{Workload: ws, Method: ms, Solver: sv, Seed: seed, Opts: g.Opts})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Validate rejects malformed grids at submission time: every method and
+// solver name must resolve in the registry (instantiating each pairing
+// once also runs solver vetoes), every workload recipe must name a
+// variant that exists, and stream cells must carry a resolvable
+// measurement mode.
+func (g Grid) Validate() error {
+	if len(g.Workloads) == 0 {
+		return fmt.Errorf("farm: grid with no workloads")
+	}
+	if len(g.Methods) == 0 {
+		return fmt.Errorf("farm: grid with no methods")
+	}
+	if len(g.Seeds) == 0 {
+		return fmt.Errorf("farm: grid with no seeds")
+	}
+	if _, err := g.Opts.Options(); err != nil {
+		return err
+	}
+	for _, ws := range g.Workloads {
+		if ws.Gen.Jobs <= 0 {
+			return fmt.Errorf("farm: workload %q generates %d jobs", ws.Name, ws.Gen.Jobs)
+		}
+		if !validVariant(ws.Variant) {
+			return fmt.Errorf("farm: workload %q: unknown variant %q (have %s)",
+				ws.Name, ws.Variant, strings.Join(trace.Variants(), ", "))
+		}
+		if ws.Stream && g.Opts.Measure == "" {
+			return fmt.Errorf("farm: stream workload %q needs measure \"full\" or \"window\" (streams have no known horizon)", ws.Name)
+		}
+	}
+	for _, ms := range g.Methods {
+		for _, sv := range g.solverAxis() {
+			for _, ws := range g.Workloads {
+				if _, err := ms.Build(ws.Gen.System.Cluster, sv); err != nil {
+					return fmt.Errorf("farm: method %q / solver %q: %w", ms.Name, sv, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validVariant(v string) bool {
+	v = strings.ToUpper(strings.TrimSpace(v))
+	if v == "" || v == "ORIGINAL" {
+		return true
+	}
+	for _, have := range trace.Variants() {
+		if strings.ToUpper(have) == v {
+			return true
+		}
+	}
+	return false
+}

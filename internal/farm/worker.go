@@ -1,0 +1,213 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"bbsched/internal/sim"
+	"bbsched/internal/trace"
+)
+
+// errAbandon aborts the current cell without reporting anything to the
+// coordinator — either a simulated crash (StepHook) or a stale lease
+// (the coordinator already re-issued the cell to someone else).
+var errAbandon = errors.New("farm: abandon cell")
+
+// Worker leases grid cells from a coordinator, runs them to completion —
+// resuming from the lease's checkpoint when one is attached — and posts
+// periodic checkpoints and final results back.
+type Worker struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// ID names this worker in leases and coordinator errors.
+	ID string
+	// Client is the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+	// Poll is the idle backoff between lease attempts when every pending
+	// cell is leased elsewhere. Default 50ms.
+	Poll time.Duration
+	// StepHook, when non-nil, is called after every event instant with
+	// the cell index and the number of instants stepped this attempt.
+	// Returning an error abandons the cell silently — no failure report,
+	// no result — simulating a worker crash or hang so tests can exercise
+	// lease-expiry recovery.
+	StepHook func(cell, steps int) error
+}
+
+// Run leases and executes cells until the coordinator reports the sweep
+// drained or ctx is cancelled. Cell-level simulation failures are
+// reported to the coordinator (which owns retry policy) and do not stop
+// the worker; only transport errors to the coordinator are fatal.
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		if err := w.post(ctx, "/lease", LeaseRequest{Worker: w.ID}, &lease); err != nil {
+			return err
+		}
+		if lease.Done {
+			return nil
+		}
+		if lease.Cell < 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if err := w.runCell(ctx, lease); err != nil {
+			if errors.Is(err, errAbandon) {
+				continue
+			}
+			return err
+		}
+	}
+}
+
+// runCell executes one leased cell. Simulation errors are posted as
+// failures and return nil; only coordinator-transport errors propagate.
+func (w *Worker) runCell(ctx context.Context, lease LeaseResponse) error {
+	s, err := w.buildSimulator(lease)
+	if err != nil {
+		return w.reportFailure(ctx, lease, err)
+	}
+	steps := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		more, err := s.Step()
+		if err != nil {
+			return w.reportFailure(ctx, lease, err)
+		}
+		if !more {
+			break
+		}
+		steps++
+		if w.StepHook != nil {
+			if err := w.StepHook(lease.Cell, steps); err != nil {
+				return errAbandon
+			}
+		}
+		if lease.CheckpointEvents > 0 && steps%lease.CheckpointEvents == 0 {
+			if err := w.uploadCheckpoint(ctx, lease, s); err != nil {
+				return err
+			}
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		return w.reportFailure(ctx, lease, err)
+	}
+	var ack Ack
+	if err := w.post(ctx, "/result", ResultMsg{
+		Cell: lease.Cell, Attempt: lease.Attempt, Worker: w.ID, Result: res,
+	}, &ack); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buildSimulator rebuilds the cell's run from its recipe — and from the
+// lease's checkpoint when the cell is being resumed.
+func (w *Worker) buildSimulator(lease LeaseResponse) (*sim.Simulator, error) {
+	cell := lease.Spec
+	opts, err := cell.Opts.Options()
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, sim.WithSeed(cell.Seed))
+
+	var wl trace.Workload
+	if cell.Workload.Stream {
+		shell, src, err := cell.Workload.Open()
+		if err != nil {
+			return nil, err
+		}
+		wl = shell
+		opts = append(opts, sim.WithSource(src), sim.WithStreamingMetrics())
+	} else {
+		built, err := cell.Workload.Build()
+		if err != nil {
+			return nil, err
+		}
+		wl = built
+	}
+	m, err := cell.Method.Build(wl.System.Cluster, cell.Solver)
+	if err != nil {
+		return nil, err
+	}
+	if len(lease.Checkpoint) > 0 {
+		return sim.Restore(wl, m, bytes.NewReader(lease.Checkpoint), opts...)
+	}
+	return sim.NewSimulator(wl, m, opts...)
+}
+
+// uploadCheckpoint snapshots the run and posts it; a stale ack means the
+// lease was reaped and re-issued, so the cell is abandoned.
+func (w *Worker) uploadCheckpoint(ctx context.Context, lease LeaseResponse, s *sim.Simulator) error {
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		return w.reportFailure(ctx, lease, err)
+	}
+	var ack Ack
+	if err := w.post(ctx, "/checkpoint", CheckpointMsg{
+		Cell: lease.Cell, Attempt: lease.Attempt, Worker: w.ID, Data: buf.Bytes(),
+	}, &ack); err != nil {
+		return err
+	}
+	if ack.Stale {
+		return errAbandon
+	}
+	return nil
+}
+
+// reportFailure posts a cell failure and folds the cell into the normal
+// lease loop (returns nil, or the transport error).
+func (w *Worker) reportFailure(ctx context.Context, lease LeaseResponse, cause error) error {
+	var ack Ack
+	return w.post(ctx, "/fail", FailMsg{
+		Cell: lease.Cell, Attempt: lease.Attempt, Worker: w.ID, Error: cause.Error(),
+	}, &ack)
+}
+
+// post sends one JSON request to the coordinator and decodes the reply.
+func (w *Worker) post(ctx context.Context, path string, msg, reply any) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("farm: encoding %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("farm: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("farm: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("farm: %s: coordinator returned %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
+		return fmt.Errorf("farm: decoding %s reply: %w", path, err)
+	}
+	return nil
+}

@@ -279,3 +279,44 @@ func TestWeightedLPEndToEnd(t *testing.T) {
 		t.Fatalf("implausible result: %+v", res)
 	}
 }
+
+// TestSolveRelaxationWarm pins the warm-start contract: resuming from a
+// converged iterate reproduces the solution in (far) fewer iterations,
+// and a dimensionally stale iterate is ignored, not truncated.
+func TestSolveRelaxationWarm(t *testing.T) {
+	f := form([]float64{3, 2, 1}, [][]float64{{1, 1, 0}, {0, 1, 1}}, []float64{1.5, 1.0})
+	cfg := lp.Config{MaxIters: 4000, Tol: 1e-6}
+
+	xCold, stCold, it := lp.SolveRelaxationWarm(f, cfg, nil)
+	if !stCold.Converged {
+		t.Fatalf("cold solve did not converge: %+v", stCold)
+	}
+	if len(it.X) != 3 || len(it.Y) != 2 {
+		t.Fatalf("iterate has shape (%d, %d), want (3, 2)", len(it.X), len(it.Y))
+	}
+
+	xWarm, stWarm, _ := lp.SolveRelaxationWarm(f, cfg, &it)
+	if !stWarm.Converged {
+		t.Fatalf("warm solve did not converge: %+v", stWarm)
+	}
+	if stWarm.Iters > stCold.Iters {
+		t.Errorf("warm start took %d iters, cold took %d", stWarm.Iters, stCold.Iters)
+	}
+	for i := range xCold {
+		if d := xWarm[i] - xCold[i]; d > 1e-3 || d < -1e-3 {
+			t.Errorf("x[%d]: warm %v vs cold %v", i, xWarm[i], xCold[i])
+		}
+	}
+
+	// Stale shape: must match the cold solve exactly (ignored, not used).
+	stale := &lp.Iterate{X: []float64{9, 9}, Y: []float64{9}}
+	xStale, stStale, _ := lp.SolveRelaxationWarm(f, cfg, stale)
+	if stStale.Iters != stCold.Iters {
+		t.Errorf("stale warm iterate changed the solve: %d iters vs cold %d", stStale.Iters, stCold.Iters)
+	}
+	for i := range xCold {
+		if xStale[i] != xCold[i] {
+			t.Errorf("x[%d]: stale-warm %v != cold %v", i, xStale[i], xCold[i])
+		}
+	}
+}

@@ -225,12 +225,37 @@ func (w *relaxation) residuals() (infeas, gap, primal, dual float64) {
 // every RestartPeriod iterations (fixed-frequency restarts). Stopping is
 // on relative duality gap plus primal feasibility.
 func (w *relaxation) solveRelaxation(cfg Config) Stats {
+	return w.solveFrom(cfg, nil)
+}
+
+// solveFrom runs the restarted Halpern PDHG iteration from the given
+// iterate, or from the origin when warm is nil (the historical cold
+// start). A warm iterate whose dimensions do not match the instance is
+// ignored rather than truncated — a stale checkpoint must never silently
+// bias the solve.
+func (w *relaxation) solveFrom(cfg Config, warm *Iterate) Stats {
 	var st Stats
 	for i := range w.x {
 		w.x[i] = 0
 	}
 	for r := range w.y {
 		w.y[r] = 0
+	}
+	if warm != nil && len(warm.X) == len(w.x) && len(warm.Y) == len(w.y) {
+		for i, v := range warm.X {
+			if v < 0 {
+				v = 0
+			} else if ub := w.u[i]; v > ub {
+				v = ub
+			}
+			w.x[i] = v
+		}
+		for r, v := range warm.Y {
+			if v < 0 {
+				v = 0
+			}
+			w.y[r] = v
+		}
 	}
 
 	if w.m == 0 {
@@ -321,4 +346,33 @@ func SolveRelaxation(form solver.LinearForm, cfg Config) ([]float64, Stats) {
 	w.load(form)
 	st := w.solveRelaxation(cfg)
 	return append([]float64(nil), w.x...), st
+}
+
+// Iterate is a serializable primal/dual iterate of the LP relaxation —
+// the hand-off state for warm-started solves. A distributed sweep worker
+// uploads it alongside a simulator checkpoint so a retry (or a window
+// re-solve over a near-identical instance) resumes the PDHG iteration
+// instead of restarting from the origin. Plain JSON-able floats: no
+// solver internals leak into the wire format.
+type Iterate struct {
+	// X is the primal iterate, one entry per decision variable in [0, u].
+	X []float64 `json:"x"`
+	// Y is the dual iterate, one entry per coupling row, non-negative.
+	Y []float64 `json:"y"`
+}
+
+// SolveRelaxationWarm is SolveRelaxation with an optional warm-start
+// iterate. It returns the fractional solution, solve statistics, and the
+// final iterate for the caller to carry forward. A nil or dimensionally
+// mismatched warm iterate falls back to the cold start, so callers can
+// pass whatever their last checkpoint held without pre-validating it.
+func SolveRelaxationWarm(form solver.LinearForm, cfg Config, warm *Iterate) ([]float64, Stats, Iterate) {
+	cfg = cfg.withDefaults()
+	w := &relaxation{}
+	w.load(form)
+	st := w.solveFrom(cfg, warm)
+	return append([]float64(nil), w.x...), st, Iterate{
+		X: append([]float64(nil), w.x...),
+		Y: append([]float64(nil), w.y...),
+	}
 }

@@ -266,6 +266,15 @@ func (q *Queue) Remove(id int) error {
 	return nil
 }
 
+// Waiting appends every waiting job to dst in unspecified order and
+// returns the extended slice. Checkpointing uses it to enumerate the
+// waiting set; a restored queue is rebuilt by re-Adding the jobs, whose
+// behavior depends only on the queue's total order, never on internal
+// array order.
+func (q *Queue) Waiting(dst []*job.Job) []*job.Job {
+	return append(dst, q.order...)
+}
+
 // Contains reports whether job id is waiting.
 func (q *Queue) Contains(id int) bool {
 	_, ok := q.waiting[id]

@@ -20,6 +20,7 @@ import (
 // one stream per goroutine instead.
 type Stream struct {
 	seed uint64
+	src  *xoshiro // the Source behind r, retained for State/SetState
 	r    *rand.Rand
 }
 
@@ -81,7 +82,36 @@ func (x *xoshiro) Seed(seed int64) { x.reseed(uint64(seed)) }
 
 // New returns a Stream seeded with seed.
 func New(seed uint64) *Stream {
-	return &Stream{seed: seed, r: rand.New(newXoshiro(seed))}
+	src := newXoshiro(seed)
+	return &Stream{seed: seed, src: src, r: rand.New(src)}
+}
+
+// State is the complete serializable state of a Stream: the identifying
+// seed plus the four xoshiro256** state words. Capturing and restoring it
+// resumes the stream mid-sequence — the draw after SetState(State()) is
+// the draw the original stream would have produced next. (math/rand.Rand
+// keeps no hidden state on any code path Stream exposes: every
+// distribution consumes the Source directly.)
+type State struct {
+	// Seed is the stream's identifying seed (what Seed() reports).
+	Seed uint64
+	// Src is the xoshiro256** state vector.
+	Src [4]uint64
+}
+
+// State returns the stream's current state.
+func (s *Stream) State() State { return State{Seed: s.seed, Src: s.src.s} }
+
+// SetState restores a state captured by State, resuming the stream at the
+// exact position it was captured. The all-zero source vector (a xoshiro
+// fixed point that cannot arise from a real stream) is rejected the same
+// way reseeding rejects it.
+func (s *Stream) SetState(st State) {
+	s.seed = st.Seed
+	s.src.s = st.Src
+	if s.src.s[0]|s.src.s[1]|s.src.s[2]|s.src.s[3] == 0 {
+		s.src.s[0] = 0x9e3779b97f4a7c15
+	}
 }
 
 // Split derives an independent child stream identified by label.

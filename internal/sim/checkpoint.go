@@ -1,0 +1,634 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"bbsched/internal/backfill"
+	"bbsched/internal/checkpoint"
+	"bbsched/internal/cluster"
+	"bbsched/internal/job"
+	"bbsched/internal/metrics"
+	"bbsched/internal/rng"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// Checkpoint serializes the simulator's complete state to w in the
+// versioned internal/checkpoint format. Call it only at an event
+// boundary — after NewSimulator, between Step calls, or after the run
+// drains; never from inside an Observer callback, where an instant is
+// half-processed. Restore rebuilds an equivalent simulator that
+// continues with a byte-identical event stream and an identical Result.
+//
+// The snapshot covers the engine: clock, event heap, queue membership,
+// running set with live allocations, usage/collector integrals,
+// streaming sketches, RNG streams, and streaming-source position. It
+// does not cover custom stateful components supplied by the caller —
+// Observers, a stateful method (e.g. core.Adaptive), or a method whose
+// solver carries cross-invocation state — which must be reconstructed
+// (or accepted as reset) by the caller on Restore.
+func (s *Simulator) Checkpoint(w io.Writer) error {
+	return checkpoint.Encode(w, s.snapshot())
+}
+
+// snapshot captures the simulator state as a checkpoint.Snapshot.
+func (s *Simulator) snapshot() *checkpoint.Snapshot {
+	snap := &checkpoint.Snapshot{
+		Workload:      s.workload.Name,
+		Method:        s.plugin.Method().Name(),
+		Seed:          s.opt.seed,
+		Streaming:     s.source != nil,
+		StreamStats:   s.stats != nil,
+		NumClasses:    int64(s.cl.Snapshot().NumClasses()),
+		NumExtra:      int64(s.cl.NumExtra()),
+		Now:           s.now,
+		Invocations:   int64(s.invocations),
+		DecideTotalNS: int64(s.decideTotal),
+		DecideMaxNS:   int64(s.decideMax),
+		WarmEnd:       s.warmEnd,
+		CoolStart:     s.coolStart,
+	}
+
+	// Job table: every job still referenced by the engine, sorted by ID.
+	byID := make(map[int]*job.Job)
+	for _, j := range s.q.Waiting(nil) {
+		byID[j.ID] = j
+	}
+	for _, r := range s.running {
+		byID[r.j.ID] = r.j
+	}
+	for _, ev := range s.events {
+		byID[ev.j.ID] = ev.j
+	}
+	for _, j := range s.pending[s.pendHead:] {
+		byID[j.ID] = j
+	}
+	for _, j := range s.finished {
+		byID[j.ID] = j
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	snap.Jobs = make([]checkpoint.JobRecord, 0, len(ids))
+	for _, id := range ids {
+		snap.Jobs = append(snap.Jobs, jobRecord(byID[id]))
+	}
+
+	// Event heap, serialized in total (time, kind, job ID) order. A
+	// sorted array satisfies the heap property, so restore reloads it
+	// without re-sifting and pops in the identical order.
+	snap.Events = make([]checkpoint.EventRecord, 0, len(s.events))
+	for _, ev := range s.events {
+		snap.Events = append(snap.Events, checkpoint.EventRecord{
+			T: ev.t, Kind: int64(ev.kind), JobID: int64(ev.j.ID),
+		})
+	}
+	sort.Slice(snap.Events, func(a, b int) bool {
+		return eventRecordLess(snap.Events[a], snap.Events[b])
+	})
+
+	waiting := s.q.Waiting(nil)
+	snap.QueueIDs = make([]int64, 0, len(waiting))
+	for _, j := range waiting {
+		snap.QueueIDs = append(snap.QueueIDs, int64(j.ID))
+	}
+	sort.Slice(snap.QueueIDs, func(a, b int) bool { return snap.QueueIDs[a] < snap.QueueIDs[b] })
+
+	runIDs := make([]int, 0, len(s.running))
+	for id := range s.running {
+		runIDs = append(runIDs, id)
+	}
+	sort.Ints(runIDs)
+	snap.Running = make([]checkpoint.RunningRecord, 0, len(runIDs))
+	for _, id := range runIDs {
+		r := s.running[id]
+		snap.Running = append(snap.Running, checkpoint.RunningRecord{
+			JobID:     int64(id),
+			Release:   r.release,
+			Staging:   r.staging,
+			BBRelease: r.bbRelease,
+			Alloc: checkpoint.AllocRecord{
+				NodesByClass: intsToI64(r.alloc.NodesByClass),
+				BB:           r.alloc.BB,
+				WastedSSD:    r.alloc.WastedSSD,
+				Extra:        append([]int64(nil), r.alloc.Extra...),
+			},
+		})
+	}
+
+	// Completion order — metric sums accumulate in this order, so it is
+	// part of the state, not an implementation detail.
+	snap.FinishedIDs = make([]int64, 0, len(s.finished))
+	for _, j := range s.finished {
+		snap.FinishedIDs = append(snap.FinishedIDs, int64(j.ID))
+	}
+	if s.done != nil {
+		snap.DoneIDs = make([]int64, 0, len(s.done))
+		for id, ok := range s.done {
+			if ok {
+				snap.DoneIDs = append(snap.DoneIDs, int64(id))
+			}
+		}
+		sort.Slice(snap.DoneIDs, func(a, b int) bool { return snap.DoneIDs[a] < snap.DoneIDs[b] })
+	}
+
+	snap.Usage = usageRecord(s.usage)
+	snap.Collector = collectorRecord(s.collector.State())
+	if s.stats != nil {
+		snap.HaveStats = true
+		snap.Stats = statsRecord(s.stats.State())
+	}
+
+	snap.Rand = rngRecord(s.rand.State())
+	if s.invStream != nil {
+		snap.HaveInvStream = true
+		snap.InvStream = rngRecord(s.invStream.State())
+	}
+
+	snap.Pulled = int64(s.pulled)
+	snap.LastSubmit = s.lastSubmit
+	snap.SrcDone = s.srcDone
+	snap.PendingIDs = make([]int64, 0, len(s.pending)-s.pendHead)
+	for _, j := range s.pending[s.pendHead:] {
+		snap.PendingIDs = append(snap.PendingIDs, int64(j.ID))
+	}
+	snap.DoneLow = int64(s.doneLow)
+	snap.DoneSparse = make([]int64, 0, len(s.doneSparse))
+	for id := range s.doneSparse {
+		snap.DoneSparse = append(snap.DoneSparse, int64(id))
+	}
+	sort.Slice(snap.DoneSparse, func(a, b int) bool { return snap.DoneSparse[a] < snap.DoneSparse[b] })
+	return snap
+}
+
+// Restore builds a simulator over the same workload, method, and options
+// as the checkpointed run and resumes it from the snapshot read from r.
+// The resumed simulator continues with a byte-identical event stream and
+// produces the exact Result of an uninterrupted run.
+//
+// The caller must pass the same workload, method, and options the
+// original run was built with — Restore validates the snapshot's
+// identity (workload and method names, seed, streaming mode, machine
+// shape, measurement window) against them and refuses mismatches. For
+// source-driven runs, pass a freshly opened source via WithSource;
+// Restore repositions it at the consumed-jobs mark by replaying (and
+// discarding) the consumed prefix through the full combinator pipeline,
+// so stateful per-job transforms (ExpandBBSource's RNG draws) advance
+// exactly as the original run advanced them.
+func Restore(w trace.Workload, method sched.Method, r io.Reader, opts ...Option) (*Simulator, error) {
+	snap, err := checkpoint.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSimulator(w, method, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restore(snap); err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	return s, nil
+}
+
+// restore overwrites a freshly constructed simulator with the snapshot.
+func (s *Simulator) restore(snap *checkpoint.Snapshot) error {
+	// Identity: the snapshot must describe this exact run configuration.
+	if snap.Workload != s.workload.Name {
+		return fmt.Errorf("snapshot is of workload %q, restoring into %q", snap.Workload, s.workload.Name)
+	}
+	if m := s.plugin.Method().Name(); snap.Method != m {
+		return fmt.Errorf("snapshot is of method %q, restoring into %q", snap.Method, m)
+	}
+	if snap.Seed != s.opt.seed {
+		return fmt.Errorf("snapshot has seed %d, run has %d", snap.Seed, s.opt.seed)
+	}
+	if snap.Streaming != (s.source != nil) {
+		return fmt.Errorf("snapshot streaming=%v, run streaming=%v (pass WithSource on restore iff the original run used it)", snap.Streaming, s.source != nil)
+	}
+	if snap.StreamStats != (s.stats != nil) {
+		return fmt.Errorf("snapshot streaming-metrics=%v, run=%v", snap.StreamStats, s.stats != nil)
+	}
+	if snap.HaveStats != snap.StreamStats {
+		return fmt.Errorf("snapshot carries stats=%v but declares streaming-metrics=%v", snap.HaveStats, snap.StreamStats)
+	}
+	if nc := s.cl.Snapshot().NumClasses(); int(snap.NumClasses) != nc {
+		return fmt.Errorf("snapshot has %d node classes, machine has %d", snap.NumClasses, nc)
+	}
+	if ne := s.cl.NumExtra(); int(snap.NumExtra) != ne {
+		return fmt.Errorf("snapshot has %d extra dimensions, machine has %d", snap.NumExtra, ne)
+	}
+	if snap.WarmEnd != s.warmEnd || snap.CoolStart != s.coolStart {
+		return fmt.Errorf("snapshot measurement window [%d, %d] differs from run's [%d, %d]",
+			snap.WarmEnd, snap.CoolStart, s.warmEnd, s.coolStart)
+	}
+
+	// Job table. Materialized runs map records onto the fresh workload
+	// clone's jobs (verifying the static fields still match the trace);
+	// streaming runs reconstruct jobs from the records.
+	byID := make(map[int]*job.Job, len(snap.Jobs))
+	if s.source == nil {
+		if s.stats == nil && len(snap.Jobs) != len(s.workload.Jobs) {
+			return fmt.Errorf("snapshot covers %d jobs, workload has %d", len(snap.Jobs), len(s.workload.Jobs))
+		}
+		base := make(map[int]*job.Job, len(s.workload.Jobs))
+		for _, j := range s.workload.Jobs {
+			base[j.ID] = j
+		}
+		for i := range snap.Jobs {
+			rec := &snap.Jobs[i]
+			j, ok := base[int(rec.ID)]
+			if !ok {
+				return fmt.Errorf("snapshot job %d is not in the workload", rec.ID)
+			}
+			if _, dup := byID[j.ID]; dup {
+				return fmt.Errorf("snapshot repeats job %d", j.ID)
+			}
+			if j.SubmitTime != rec.SubmitTime || j.Runtime != rec.Runtime || j.WalltimeEst != rec.WalltimeEst {
+				return fmt.Errorf("snapshot job %d static fields differ from the workload's", j.ID)
+			}
+			if err := applyMutable(j, rec); err != nil {
+				return err
+			}
+			byID[j.ID] = j
+		}
+	} else {
+		for i := range snap.Jobs {
+			rec := &snap.Jobs[i]
+			j, err := jobFromRecord(rec)
+			if err != nil {
+				return err
+			}
+			if _, dup := byID[j.ID]; dup {
+				return fmt.Errorf("snapshot repeats job %d", j.ID)
+			}
+			byID[j.ID] = j
+		}
+	}
+
+	// Event heap: records are stored in total order; verify and load
+	// directly (a sorted array is a valid min-heap).
+	s.events = s.events[:0]
+	for i, ev := range snap.Events {
+		if ev.Kind < evEnd || ev.Kind > evArrive {
+			return fmt.Errorf("snapshot event %d has unknown kind %d", i, ev.Kind)
+		}
+		if i > 0 && !eventRecordLess(snap.Events[i-1], ev) {
+			return fmt.Errorf("snapshot events out of order at index %d", i)
+		}
+		j := byID[int(ev.JobID)]
+		if j == nil {
+			return fmt.Errorf("snapshot event references unknown job %d", ev.JobID)
+		}
+		s.events = append(s.events, event{t: ev.T, kind: int(ev.Kind), j: j})
+	}
+
+	// Queue: re-Add in ascending ID order. Window extraction depends only
+	// on the queue's priority total order, so the rebuilt queue yields
+	// byte-identical windows regardless of the original insertion order.
+	for _, id := range snap.QueueIDs {
+		j := byID[int(id)]
+		if j == nil {
+			return fmt.Errorf("snapshot queue references unknown job %d", id)
+		}
+		if err := s.q.Add(j); err != nil {
+			return err
+		}
+	}
+
+	// Running set: reinstall allocations through the cluster's validated
+	// restore path and rebuild the release timeline exactly as start and
+	// finish would have left it.
+	for _, rr := range snap.Running {
+		j := byID[int(rr.JobID)]
+		if j == nil {
+			return fmt.Errorf("snapshot running set references unknown job %d", rr.JobID)
+		}
+		stored, err := s.cl.RestoreAllocation(cluster.Allocation{
+			JobID:        int(rr.JobID),
+			NodesByClass: i64ToInts(rr.Alloc.NodesByClass),
+			BB:           rr.Alloc.BB,
+			WastedSSD:    rr.Alloc.WastedSSD,
+			Extra:        append([]int64(nil), rr.Alloc.Extra...),
+		})
+		if err != nil {
+			return err
+		}
+		r := &runningJob{j: j, alloc: stored, release: rr.Release, staging: rr.Staging, bbRelease: rr.BBRelease}
+		s.running[j.ID] = r
+		switch {
+		case r.staging:
+			// Nodes already released; only the draining burst buffer remains.
+			s.timeline.Insert(backfill.Running{ReleaseTime: r.bbRelease, JobID: j.ID, BB: j.Demand.BB()})
+		case j.StageOutSec > 0 && j.Demand.BB() > 0:
+			s.timeline.Insert(backfill.Running{ReleaseTime: r.release, JobID: j.ID, NodesByClass: stored.NodesByClass, Extra: stored.Extra})
+			s.timeline.Insert(backfill.Running{ReleaseTime: r.release + j.StageOutSec, JobID: j.ID, BB: j.Demand.BB()})
+		default:
+			s.timeline.Insert(backfill.Running{
+				ReleaseTime:  r.release,
+				JobID:        j.ID,
+				NodesByClass: stored.NodesByClass,
+				BB:           j.Demand.BB(),
+				Extra:        stored.Extra,
+			})
+		}
+	}
+
+	// Finished list in completion order (empty under streaming metrics,
+	// which fold jobs into sums instead of retaining them).
+	if s.stats == nil {
+		s.finished = s.finished[:0]
+		for _, id := range snap.FinishedIDs {
+			j := byID[int(id)]
+			if j == nil {
+				return fmt.Errorf("snapshot finished list references unknown job %d", id)
+			}
+			if j.State != job.Finished {
+				return fmt.Errorf("snapshot finished job %d is in state %s", id, j.State)
+			}
+			s.finished = append(s.finished, j)
+		}
+	}
+
+	// Finished-ID membership for dependency checks. Materialized runs
+	// use the done map (DoneIDs may reference jobs no longer in the job
+	// table under streaming metrics — membership is all that remains of
+	// them); streaming runs use the watermark + sparse overflow.
+	if s.done != nil {
+		for _, id := range snap.DoneIDs {
+			s.done[int(id)] = true
+		}
+	}
+	s.doneLow = int(snap.DoneLow)
+	if s.doneSparse != nil {
+		for _, id := range snap.DoneSparse {
+			s.doneSparse[int(id)] = struct{}{}
+		}
+	}
+
+	// Metric state.
+	if err := s.restoreUsage(snap.Usage); err != nil {
+		return err
+	}
+	s.collector.SetState(collectorState(snap.Collector))
+	if s.stats != nil {
+		if err := s.stats.SetState(jobStatsState(snap.Stats)); err != nil {
+			return err
+		}
+	}
+
+	// RNG streams: the simulator stream resumes mid-sequence; the pooled
+	// invocation stream is reconstructed when the snapshot carried one
+	// (it is reseeded at the top of every scheduling pass, but restoring
+	// it keeps the pre- and post-checkpoint state machines identical).
+	s.rand.SetState(rng.State{Seed: snap.Rand.Seed, Src: snap.Rand.Src})
+	if snap.HaveInvStream {
+		s.invStream = rng.New(snap.InvStream.Seed)
+		s.invStream.SetState(rng.State{Seed: snap.InvStream.Seed, Src: snap.InvStream.Src})
+	} else {
+		s.invStream = nil
+	}
+
+	s.now = snap.Now
+	s.invocations = int(snap.Invocations)
+	s.decideTotal = time.Duration(snap.DecideTotalNS)
+	s.decideMax = time.Duration(snap.DecideMaxNS)
+
+	// Streaming-source position: rebuild the look-ahead buffer from the
+	// job table and skip the fresh source past the consumed prefix.
+	if s.source != nil {
+		s.pending = s.pending[:0]
+		s.pendHead = 0
+		for _, id := range snap.PendingIDs {
+			j := byID[int(id)]
+			if j == nil {
+				return fmt.Errorf("snapshot look-ahead buffer references unknown job %d", id)
+			}
+			s.pending = append(s.pending, j)
+		}
+		s.pulled = int(snap.Pulled)
+		s.lastSubmit = snap.LastSubmit
+		s.srcDone = snap.SrcDone
+		if !s.srcDone {
+			if err := trace.Skip(s.source, s.pulled); err != nil {
+				return fmt.Errorf("repositioning source at job %d: %w", s.pulled, err)
+			}
+		}
+	}
+
+	// Cross-checks: the restored state must satisfy the same invariants
+	// the live engine maintains.
+	if err := s.cl.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := s.timeline.CheckInvariant(); err != nil {
+		return err
+	}
+	if s.usage.Nodes != s.cl.UsedNodes() || s.usage.BBGB != s.cl.UsedBB() {
+		return fmt.Errorf("snapshot usage (%d nodes, %d GB BB) disagrees with allocations (%d nodes, %d GB BB)",
+			s.usage.Nodes, s.usage.BBGB, s.cl.UsedNodes(), s.cl.UsedBB())
+	}
+	return nil
+}
+
+func (s *Simulator) restoreUsage(u checkpoint.UsageRecord) error {
+	if len(u.Extra) != len(s.usage.Extra) {
+		return fmt.Errorf("snapshot usage has %d extra dimensions, machine has %d", len(u.Extra), len(s.usage.Extra))
+	}
+	s.usage.Nodes = int(u.Nodes)
+	s.usage.BBGB = u.BBGB
+	s.usage.SSDAssignedGB = u.SSDAssignedGB
+	s.usage.SSDRequestedGB = u.SSDRequestedGB
+	copy(s.usage.Extra, u.Extra)
+	return nil
+}
+
+func jobRecord(j *job.Job) checkpoint.JobRecord {
+	return checkpoint.JobRecord{
+		ID:          int64(j.ID),
+		User:        j.User,
+		SubmitTime:  j.SubmitTime,
+		Runtime:     j.Runtime,
+		WalltimeEst: j.WalltimeEst,
+		Res:         append([]int64(nil), j.Demand.Res...),
+		StageOutSec: j.StageOutSec,
+		Deps:        intsToI64(j.Deps),
+		State:       int64(j.State),
+		StartTime:   j.StartTime,
+		EndTime:     j.EndTime,
+		WindowAge:   int64(j.WindowAge),
+	}
+}
+
+// applyMutable writes a record's simulator-owned fields onto a workload
+// clone's job.
+func applyMutable(j *job.Job, rec *checkpoint.JobRecord) error {
+	if rec.State < int64(job.Queued) || rec.State > int64(job.Finished) {
+		return fmt.Errorf("snapshot job %d has unknown state %d", rec.ID, rec.State)
+	}
+	j.State = job.State(rec.State)
+	j.StartTime = rec.StartTime
+	j.EndTime = rec.EndTime
+	j.WindowAge = int(rec.WindowAge)
+	return nil
+}
+
+// jobFromRecord reconstructs a job a streaming run pulled from its
+// source; the record carries the full static description.
+func jobFromRecord(rec *checkpoint.JobRecord) (*job.Job, error) {
+	j := &job.Job{
+		ID:          int(rec.ID),
+		User:        rec.User,
+		SubmitTime:  rec.SubmitTime,
+		Runtime:     rec.Runtime,
+		WalltimeEst: rec.WalltimeEst,
+		Demand:      job.Demand{Res: append([]int64(nil), rec.Res...)},
+		StageOutSec: rec.StageOutSec,
+		Deps:        i64ToInts(rec.Deps),
+		StartTime:   rec.StartTime,
+		EndTime:     rec.EndTime,
+		WindowAge:   int(rec.WindowAge),
+	}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("snapshot job %d: %w", rec.ID, err)
+	}
+	if rec.State < int64(job.Queued) || rec.State > int64(job.Finished) {
+		return nil, fmt.Errorf("snapshot job %d has unknown state %d", rec.ID, rec.State)
+	}
+	j.State = job.State(rec.State)
+	return j, nil
+}
+
+func eventRecordLess(a, b checkpoint.EventRecord) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.JobID < b.JobID
+}
+
+func usageRecord(u metrics.Usage) checkpoint.UsageRecord {
+	return checkpoint.UsageRecord{
+		Nodes:          int64(u.Nodes),
+		BBGB:           u.BBGB,
+		SSDAssignedGB:  u.SSDAssignedGB,
+		SSDRequestedGB: u.SSDRequestedGB,
+		Extra:          append([]int64(nil), u.Extra...),
+	}
+}
+
+func collectorRecord(st metrics.CollectorState) checkpoint.CollectorRecord {
+	return checkpoint.CollectorRecord{
+		LastT:           st.LastT,
+		Started:         st.Started,
+		Cur:             usageRecord(st.Cur),
+		NodeSec:         st.NodeSec,
+		BBSec:           st.BBSec,
+		SSDAssignedSec:  st.SSDAssignedSec,
+		SSDRequestedSec: st.SSDRequestedSec,
+		ExtraSec:        append([]float64(nil), st.ExtraSec...),
+		FirstT:          st.FirstT,
+		LastTs:          st.LastTs,
+		Windowed:        st.Windowed,
+		WinStart:        st.WinStart,
+		WinEnd:          st.WinEnd,
+	}
+}
+
+func collectorState(rec checkpoint.CollectorRecord) metrics.CollectorState {
+	return metrics.CollectorState{
+		LastT:   rec.LastT,
+		Started: rec.Started,
+		Cur: metrics.Usage{
+			Nodes:          int(rec.Cur.Nodes),
+			BBGB:           rec.Cur.BBGB,
+			SSDAssignedGB:  rec.Cur.SSDAssignedGB,
+			SSDRequestedGB: rec.Cur.SSDRequestedGB,
+			Extra:          append([]int64(nil), rec.Cur.Extra...),
+		},
+		NodeSec:         rec.NodeSec,
+		BBSec:           rec.BBSec,
+		SSDAssignedSec:  rec.SSDAssignedSec,
+		SSDRequestedSec: rec.SSDRequestedSec,
+		ExtraSec:        append([]float64(nil), rec.ExtraSec...),
+		FirstT:          rec.FirstT,
+		LastTs:          rec.LastTs,
+		Windowed:        rec.Windowed,
+		WinStart:        rec.WinStart,
+		WinEnd:          rec.WinEnd,
+	}
+}
+
+func quantileRecord(st metrics.QuantileState) checkpoint.QuantileRecord {
+	return checkpoint.QuantileRecord{P: st.P, Count: int64(st.Count), Q: st.Q, N: st.N, NP: st.NP, DN: st.DN}
+}
+
+func quantileState(rec checkpoint.QuantileRecord) metrics.QuantileState {
+	return metrics.QuantileState{P: rec.P, Count: int(rec.Count), Q: rec.Q, N: rec.N, NP: rec.NP, DN: rec.DN}
+}
+
+func statsRecord(st metrics.JobStatsState) checkpoint.JobStatsRecord {
+	return checkpoint.JobStatsRecord{
+		N:          int64(st.N),
+		WaitSum:    st.WaitSum,
+		SdSum:      st.SdSum,
+		SizeSums:   append([]float64(nil), st.SizeSums...),
+		SizeCounts: intsToI64(st.SizeCounts),
+		BBSums:     append([]float64(nil), st.BBSums...),
+		BBCounts:   intsToI64(st.BBCounts),
+		RTSums:     append([]float64(nil), st.RTSums...),
+		RTCounts:   intsToI64(st.RTCounts),
+		P50:        quantileRecord(st.P50),
+		P90:        quantileRecord(st.P90),
+		P99:        quantileRecord(st.P99),
+	}
+}
+
+func jobStatsState(rec checkpoint.JobStatsRecord) metrics.JobStatsState {
+	return metrics.JobStatsState{
+		N:          int(rec.N),
+		WaitSum:    rec.WaitSum,
+		SdSum:      rec.SdSum,
+		SizeSums:   append([]float64(nil), rec.SizeSums...),
+		SizeCounts: i64ToInts(rec.SizeCounts),
+		BBSums:     append([]float64(nil), rec.BBSums...),
+		BBCounts:   i64ToInts(rec.BBCounts),
+		RTSums:     append([]float64(nil), rec.RTSums...),
+		RTCounts:   i64ToInts(rec.RTCounts),
+		P50:        quantileState(rec.P50),
+		P90:        quantileState(rec.P90),
+		P99:        quantileState(rec.P99),
+	}
+}
+
+func rngRecord(st rng.State) checkpoint.RNGRecord {
+	return checkpoint.RNGRecord{Seed: st.Seed, Src: st.Src}
+}
+
+func intsToI64(xs []int) []int64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = int64(x)
+	}
+	return out
+}
+
+func i64ToInts(xs []int64) []int {
+	if xs == nil {
+		return nil
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"bbsched/internal/checkpoint"
+	"bbsched/internal/registry"
+	"bbsched/internal/sched"
+	"bbsched/internal/trace"
+)
+
+// The checkpoint equivalence suite pins the tentpole claim: a simulator
+// checkpointed at ANY event boundary and restored into a fresh process
+// continues with a byte-identical event stream and produces the exact
+// Result of an uninterrupted run. The golden variant below chains a
+// checkpoint+restore cycle at EVERY event instant of all 23 golden
+// (scenario, method) pairs and still must match the pinned captures.
+
+// runChained drives a golden run that round-trips through Checkpoint and
+// Restore at every event boundary: before each Step the state is
+// serialized and a brand-new simulator is rebuilt from the snapshot, with
+// the event log continuing into the same hash.
+func runChained(t *testing.T, w trace.Workload, m sched.Method) (goldenResult, string, int) {
+	t.Helper()
+	h := sha256.New()
+	ch := &countingHash{h: h}
+	s, err := NewSimulator(w, m, goldenOpts(1, WithEventLog(ch))...)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", w.Name, m.Name(), err)
+	}
+	var buf bytes.Buffer
+	for {
+		buf.Reset()
+		if err := s.Checkpoint(&buf); err != nil {
+			t.Fatalf("%s/%s: checkpoint at t=%d: %v", w.Name, m.Name(), s.Now(), err)
+		}
+		s, err = Restore(w, m, bytes.NewReader(buf.Bytes()), goldenOpts(1, WithEventLog(ch))...)
+		if err != nil {
+			t.Fatalf("%s/%s: restore at t=%d: %v", w.Name, m.Name(), s.Now(), err)
+		}
+		more, err := s.Step()
+		if err != nil {
+			t.Fatalf("%s/%s: step after restore: %v", w.Name, m.Name(), err)
+		}
+		if !more {
+			break
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatalf("%s/%s: result after chained restore: %v", w.Name, m.Name(), err)
+	}
+	return summarize(res), hex.EncodeToString(h.Sum(nil)), ch.lines
+}
+
+// TestGoldenCheckpointEquivalence replays every golden (scenario, method)
+// pair with a checkpoint+restore cycle at every event instant and
+// requires the event-stream hash, line count, and every pinned Result
+// float to equal the uninterrupted serial run's. Short mode keeps one
+// cheap and one solver-backed method per scenario; the full run covers
+// all 23 pairs.
+func TestGoldenCheckpointEquivalence(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		w := sc.build()
+		for _, name := range sc.methods {
+			if testing.Short() && name != "Baseline" && name != "BBSched" {
+				continue
+			}
+			m, err := registry.New(name, goldenGA(), sc.ssd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(sc.name+"/"+name, func(t *testing.T) {
+				wantRes, wantEvents, wantLines := runGoldenSerial(t, w, m)
+				gotRes, gotEvents, gotLines := runChained(t, w, m)
+				if gotEvents != wantEvents || gotLines != wantLines {
+					t.Errorf("event stream diverged under chained restore: %d lines hash %s, want %d lines hash %s",
+						gotLines, gotEvents, wantLines, wantEvents)
+				}
+				if gotRes != wantRes {
+					t.Errorf("result diverged under chained restore:\n  got:  %+v\n  want: %+v", gotRes, wantRes)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRoundTripMaterialized takes a single mid-run checkpoint,
+// restores it, runs both halves to completion, and requires the spliced
+// event stream and Result to match an uninterrupted run bit-for-bit —
+// the cheap fast-feedback version of the chained golden test, over the
+// WFP + stage-out regime.
+func TestCheckpointRoundTripMaterialized(t *testing.T) {
+	jobs := 1200
+	if testing.Short() {
+		jobs = 400
+	}
+	w := throughputWorkload(jobs, true)
+	w.System.Policy = trace.WFP
+	m := sched.BinPacking{}
+
+	var wantLog bytes.Buffer
+	ref, err := NewSimulator(w, m, WithSeed(7), WithEventLog(&wantLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gotLog bytes.Buffer
+	s, err := NewSimulator(w, m, WithSeed(7), WithEventLog(&gotLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < jobs/2; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := s.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.RunningJobs() == 0 && s.QueueDepth() == 0 {
+		t.Fatal("mid-run checkpoint captured an idle machine; pick a busier instant")
+	}
+	restored, err := Restore(w, m, bytes.NewReader(snap.Bytes()), WithSeed(7), WithEventLog(&gotLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotLog.Bytes(), wantLog.Bytes()) {
+		t.Fatalf("spliced event stream diverges from uninterrupted run (%d vs %d bytes)", gotLog.Len(), wantLog.Len())
+	}
+	compareResults(t, got, want)
+}
+
+// streamPipeline builds the streaming-source pipeline used by the
+// streaming round-trip test: a generated near-capacity Theta stream
+// through ExpandBBSource, whose per-job RNG draws make it the hardest
+// source to reposition (restore must replay, not fast-forward).
+func streamPipeline(sys trace.SystemModel, jobs int) trace.JobSource {
+	src := trace.GenSource(trace.GenConfig{System: sys, Jobs: jobs, Seed: 42, TargetLoad: 0.95})
+	return trace.ExpandBBSource(src, sys, 0.75, 64, 46)
+}
+
+// TestCheckpointRoundTripStreaming checkpoints a streaming run (pull
+// source + bounded-memory metrics) at two boundaries, restoring each time
+// with a freshly opened source pipeline, and requires the event stream
+// and Result to match an uninterrupted streaming run exactly.
+func TestCheckpointRoundTripStreaming(t *testing.T) {
+	jobs := 4000
+	if testing.Short() {
+		jobs = 1000
+	}
+	sys := trace.Scale(trace.Theta(), 32)
+	shell := trace.Workload{Name: "Theta-stream", System: sys}
+	opts := func(src trace.JobSource, log *bytes.Buffer) []Option {
+		return []Option{
+			WithSource(src), WithStreamingMetrics(), WithMeasurement(0, 0),
+			WithSeed(1), WithEventLog(log),
+		}
+	}
+
+	var wantLog bytes.Buffer
+	ref, err := NewSimulator(shell, sched.Baseline{}, opts(streamPipeline(sys, jobs), &wantLog)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gotLog bytes.Buffer
+	s, err := NewSimulator(shell, sched.Baseline{}, opts(streamPipeline(sys, jobs), &gotLog)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	for _, steps := range []int{jobs / 4, jobs / 4} {
+		for i := 0; i < steps; i++ {
+			if _, err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap.Reset()
+		if err := s.Checkpoint(&snap); err != nil {
+			t.Fatal(err)
+		}
+		// Restore always reopens the source from the top; Skip replays the
+		// consumed prefix through the RNG-bearing combinators.
+		s, err = Restore(shell, sched.Baseline{}, bytes.NewReader(snap.Bytes()), opts(streamPipeline(sys, jobs), &gotLog)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotLog.Bytes(), wantLog.Bytes()) {
+		t.Fatalf("streaming event stream diverges after restore (%d vs %d bytes)", gotLog.Len(), wantLog.Len())
+	}
+	compareResults(t, got, want)
+}
+
+// TestRestoreRejectsMismatchedRun pins the identity checks: a snapshot
+// must refuse to restore into a run with a different workload, method,
+// seed, or streaming mode — silently continuing a different experiment
+// would be far worse than failing.
+func TestRestoreRejectsMismatchedRun(t *testing.T) {
+	w := throughputWorkload(300, false)
+	s, err := NewSimulator(w, sched.Baseline{}, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := s.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	other := w
+	other.Name = "other-workload"
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"workload", func() error {
+			_, err := Restore(other, sched.Baseline{}, bytes.NewReader(snap.Bytes()), WithSeed(7))
+			return err
+		}, "workload"},
+		{"method", func() error {
+			_, err := Restore(w, sched.BinPacking{}, bytes.NewReader(snap.Bytes()), WithSeed(7))
+			return err
+		}, "method"},
+		{"seed", func() error {
+			_, err := Restore(w, sched.Baseline{}, bytes.NewReader(snap.Bytes()), WithSeed(8))
+			return err
+		}, "seed"},
+		{"streaming", func() error {
+			shell := trace.Workload{Name: w.Name, System: w.System}
+			src := trace.NewSliceSource(nil)
+			_, err := Restore(shell, sched.Baseline{}, bytes.NewReader(snap.Bytes()),
+				WithSeed(7), WithSource(src), WithStreamingMetrics(), WithMeasurement(0, 0))
+			return err
+		}, "streaming"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatalf("restore with mismatched %s succeeded", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsTruncatedSnapshot truncates a valid snapshot at many
+// offsets: every cut must produce a clean decode or restore error, never
+// a panic and never a simulator that silently starts from partial state.
+func TestRestoreRejectsTruncatedSnapshot(t *testing.T) {
+	w := throughputWorkload(200, true)
+	s, err := NewSimulator(w, sched.Baseline{}, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := s.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	full := snap.Bytes()
+	for cut := 0; cut < len(full); cut += 97 {
+		if _, err := Restore(w, sched.Baseline{}, bytes.NewReader(full[:cut]), WithSeed(7)); err == nil {
+			t.Fatalf("restore of %d/%d-byte truncation succeeded", cut, len(full))
+		}
+	}
+	// The untruncated snapshot still restores.
+	if _, err := Restore(w, sched.Baseline{}, bytes.NewReader(full), WithSeed(7)); err != nil {
+		t.Fatalf("full snapshot failed to restore: %v", err)
+	}
+}
+
+// BenchmarkCheckpoint measures snapshot encode and decode over a mid-run
+// state of the 20k-job Theta-S4 throughput trace (every job is live in
+// the snapshot: queued, running, finished, or a pending arrival), and
+// reports the snapshot size. Tracked in BENCH_sim.json via `make
+// bench-json`.
+func BenchmarkCheckpoint(b *testing.B) {
+	jobs := 20000
+	if testing.Short() {
+		jobs = 2000
+	}
+	w := throughputWorkload(jobs, true)
+	s, err := NewSimulator(w, sched.Baseline{}, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < jobs/2; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := s.Checkpoint(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(data)), "snapshot-B")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := checkpoint.Decode(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(data)), "snapshot-B")
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Restore(w, sched.Baseline{}, bytes.NewReader(data), WithSeed(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(data)), "snapshot-B")
+	})
+}

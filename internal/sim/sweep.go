@@ -56,13 +56,20 @@ type StreamWorkload struct {
 	Open func() (trace.JobSource, error)
 }
 
-// SweepRun is one completed run of a sweep.
+// SweepRun is one cell of a sweep grid: a completed run's metrics, or a
+// cancellation marker for a cell the sweep never finished.
 type SweepRun struct {
-	// Workload, Method, and Seed identify the run.
+	// Workload, Method, and Seed identify the run. They are populated on
+	// every returned cell, completed or not.
 	Workload, Method string
 	Seed             uint64
-	// Result is the run's metrics.
+	// Result is the run's metrics; nil when the cell did not complete.
 	Result *Result
+	// Canceled marks a cell that was skipped or aborted because the sweep
+	// was cancelled (by the caller's ctx or by another cell's failure)
+	// before it could finish. Completed cells are never marked: a partial
+	// sweep keeps every finished Result.
+	Canceled bool
 }
 
 // RunSweep executes every run of the sweep on a worker pool and returns
@@ -70,8 +77,14 @@ type SweepRun struct {
 // method, then seed) — the same runs, in the same order, with the same
 // per-run Reports, for any worker count. A failure cancels the remaining
 // runs and the lowest-indexed genuine failure (cancellation fallout is
-// filtered out) is returned; the returned slice still holds every run
-// that completed. Cancelling ctx aborts in-flight runs.
+// filtered out) is returned.
+//
+// Cancellation drains rather than discards: when ctx is cancelled (or a
+// cell's failure cancels the rest), the returned slice still spans the
+// full grid in grid order — every cell that completed keeps its Result,
+// and every unfinished cell carries its identity with Canceled set — so
+// a caller can harvest hours of completed work from an interrupted
+// sweep and resubmit only the marked cells.
 func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 	if len(sw.Workloads) == 0 && len(sw.Streams) == 0 {
 		return nil, fmt.Errorf("sim: sweep with no workloads")
@@ -132,6 +145,7 @@ func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 			for i := range idx {
 				tk := tasks[i]
 				if err := ctx.Err(); err != nil {
+					results[i] = SweepRun{Workload: tk.w.Name, Method: tk.m.Name(), Seed: tk.seed, Canceled: true}
 					errs[i] = err
 					continue
 				}
@@ -163,6 +177,11 @@ func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 				}
 				errs[i] = fmt.Errorf("sim: sweep %s/%s/seed %d: %w",
 					tk.w.Name, tk.m.Name(), tk.seed, err)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// Aborted mid-run by cancellation, not a genuine failure:
+					// mark the cell so the caller can resubmit it.
+					results[i] = SweepRun{Workload: tk.w.Name, Method: tk.m.Name(), Seed: tk.seed, Canceled: true}
+				}
 				cancel()
 			}
 		}()

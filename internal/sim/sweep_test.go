@@ -131,7 +131,7 @@ func TestRunSweepFailureSurfacesRunIdentity(t *testing.T) {
 func TestRunSweepCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := RunSweep(ctx, Sweep{
+	runs, err := RunSweep(ctx, Sweep{
 		Workloads: sweepWorkloads(t),
 		Methods:   []sched.Method{sched.Baseline{}},
 		Seeds:     []uint64{1},
@@ -139,5 +139,79 @@ func TestRunSweepCancellation(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled sweep returned %v", err)
+	}
+	// Even a sweep cancelled before any cell ran returns the full grid in
+	// grid order, every cell identified and marked Canceled.
+	if len(runs) != 2 {
+		t.Fatalf("cancelled sweep returned %d cells, want the full 2-cell grid", len(runs))
+	}
+	for i, r := range runs {
+		if !r.Canceled || r.Result != nil {
+			t.Errorf("cell %d: Canceled=%v Result=%v, want a bare cancellation marker", i, r.Canceled, r.Result)
+		}
+		if r.Workload == "" || r.Method == "" {
+			t.Errorf("cell %d: cancellation marker lost the run identity: %+v", i, r)
+		}
+	}
+}
+
+// TestRunSweepCancellationDrainsPartialResults pins the drain contract:
+// cancelling mid-sweep keeps every completed cell's Result (identical to
+// an uninterrupted sweep's) and marks the rest Canceled, in grid order.
+func TestRunSweepCancellationDrainsPartialResults(t *testing.T) {
+	sw := Sweep{
+		Workloads: sweepWorkloads(t),
+		Methods:   []sched.Method{sched.Baseline{}, sched.BinPacking{}},
+		Seeds:     []uint64{1, 2},
+		Options:   engineOpts(),
+		Workers:   1,
+	}
+	full, err := RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel after the third completed cell: with one worker the first
+	// three grid cells finish, the rest must drain as markers.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	sw.PerRun = func(w trace.Workload, m sched.Method, seed uint64) []Option {
+		done++
+		if done > 3 {
+			cancel()
+		}
+		return nil
+	}
+	runs, err := RunSweep(ctx, sw)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v", err)
+	}
+	if len(runs) != len(full) {
+		t.Fatalf("cancelled sweep returned %d cells, want the full %d-cell grid", len(runs), len(full))
+	}
+	completed, canceled := 0, 0
+	for i, r := range runs {
+		if r.Workload != full[i].Workload || r.Method != full[i].Method || r.Seed != full[i].Seed {
+			t.Fatalf("cell %d identity diverges: %s/%s/%d vs %s/%s/%d",
+				i, r.Workload, r.Method, r.Seed, full[i].Workload, full[i].Method, full[i].Seed)
+		}
+		switch {
+		case r.Canceled:
+			canceled++
+			if r.Result != nil {
+				t.Errorf("cell %d is marked Canceled but carries a Result", i)
+			}
+		case r.Result != nil:
+			completed++
+			if !reflect.DeepEqual(r.Result.Report, full[i].Result.Report) {
+				t.Errorf("cell %d: partial-sweep Result differs from uninterrupted sweep", i)
+			}
+		default:
+			t.Errorf("cell %d is neither completed nor marked Canceled: %+v", i, r)
+		}
+	}
+	if completed == 0 || canceled == 0 {
+		t.Fatalf("want a mix of completed and canceled cells, got %d completed / %d canceled", completed, canceled)
 	}
 }

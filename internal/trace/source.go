@@ -92,6 +92,56 @@ func (s *SliceSource) Horizon() (int64, bool) {
 // Remaining returns the number of jobs not yet pulled.
 func (s *SliceSource) Remaining() int { return len(s.jobs) - s.i }
 
+// Skipper is an optional JobSource refinement for sources that can
+// discard a prefix without materializing it. Only sources whose position
+// is their sole state may implement it: a combinator whose per-job
+// transform draws from an RNG (ExpandBBSource, AddSSDSource) must NOT —
+// fast-forwarding past its draws would desynchronize the stream — so the
+// generic Skip below pulls and discards through the full pipeline.
+type Skipper interface {
+	// Skip discards the next n jobs, or errors (io.EOF if the stream ends
+	// first).
+	Skip(n int) error
+}
+
+// Skip discards the next n jobs from src: via the Skipper fast path when
+// src offers one, otherwise by pulling and discarding so every stateful
+// combinator in the pipeline advances exactly as a real replay would.
+// Restoring a checkpointed run uses it to reposition a freshly opened
+// source at the consumed-jobs mark.
+func Skip(src JobSource, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if sk, ok := src.(Skipper); ok {
+		return sk.Skip(n)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := src.Next(); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("trace: skip %d: stream ended after %d jobs: %w", n, i, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Skip implements Skipper: a slice source's position is its only state,
+// so skipping is an index bump.
+func (s *SliceSource) Skip(n int) error {
+	if n < 0 {
+		n = 0
+	}
+	if s.i+n > len(s.jobs) {
+		skipped := len(s.jobs) - s.i
+		s.i = len(s.jobs)
+		return fmt.Errorf("trace: skip %d: stream ended after %d jobs: %w", n, skipped, io.EOF)
+	}
+	s.i += n
+	return nil
+}
+
 // Collect drains src into a slice — the inverse of NewSliceSource, for
 // tests and for callers that want a materialized workload after all.
 func Collect(src JobSource) ([]*job.Job, error) {
