@@ -35,21 +35,24 @@ bench-solver:
 # Performance trajectory: the sim benches (materialized 20k-job engine,
 # the 1M-job streaming-ingestion bench with its peak-live-heap ceiling,
 # and the frozen pre-rework reference) plus the window-solver benches
-# (MOGA BenchmarkSolveGA, LP BenchmarkSolveLP vs BenchmarkSolveGAWindow
-# on 64/128-job windows); write/refresh the committed BENCH_sim.json
+# (MOGA BenchmarkSolveGA; LP BenchmarkSolveLP cold and warm-started vs
+# BenchmarkSolveGAWindow on 64/128-job windows; the racing
+# BenchmarkSolvePortfolio, capped at 20 iterations since each solve waits
+# out its slowest member); write/refresh the committed BENCH_sim.json
 # baseline from their combined output. The stream-1M bench runs once
 # (-benchtime=1x): one iteration already replays a million jobs.
 # -require fails the parse if any bench silently dropped out (e.g. its
 # package failed to build inside the { ...; } pipeline, whose exit
 # status is the last command's).
-BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveGAWindow/,BenchmarkCheckpoint/
+BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveLP/warm/,BenchmarkSolveGAWindow/,BenchmarkSolvePortfolio/,BenchmarkCheckpoint/
 
 bench-json:
 	{ $(GO) test -bench '^BenchmarkSimThroughput(Reference)?$$/^materialized-20k$$' -benchtime=3x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSimThroughput$$/^stream-1M$$' -benchtime=1x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkCheckpoint$$' -benchtime=10x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
-	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
+	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; \
+	  $(GO) test -bench '^BenchmarkSolvePortfolio$$' -benchtime=20x -run '^$$' ./internal/lp ; } | \
 		$(GO) run ./cmd/benchjson -out BENCH_sim.json -require '$(BENCH_REQUIRE)'
 
 # Regression gate: re-run the benches and fail if a rate metric
@@ -62,7 +65,8 @@ bench-check:
 	  $(GO) test -bench '^BenchmarkSimThroughput$$/^stream-1M$$' -benchtime=1x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkCheckpoint$$' -benchtime=10x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
-	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; } | \
+	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; \
+	  $(GO) test -bench '^BenchmarkSolvePortfolio$$' -benchtime=20x -run '^$$' ./internal/lp ; } | \
 		$(GO) run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.20 -require '$(BENCH_REQUIRE)'
 
 # Guard the parallel RunSweep driver against races and nondeterminism:
@@ -86,15 +90,16 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseCSV$$' -fuzztime 30s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseSWF$$' -fuzztime 30s
 
-# Coverage gate: internal/cluster + internal/sched + internal/lp
-# statement coverage must not drop below the floor (cluster/sched floor
-# captured with the N-dimension harness; lp joined with the solver
-# refactor at 95%+ package coverage).
+# Coverage gate: internal/cluster + internal/sched + internal/lp +
+# internal/solver statement coverage must not drop below the floor
+# (cluster/sched floor captured with the N-dimension harness; lp joined
+# with the solver refactor at 95%+ package coverage; solver joined with
+# the zoo — greedy, portfolio, memory).
 COVER_FLOOR = 75.0
 cover-gate:
-	$(GO) test -short -coverprofile=cover.out ./internal/cluster ./internal/sched ./internal/lp
+	$(GO) test -short -coverprofile=cover.out ./internal/cluster ./internal/sched ./internal/lp ./internal/solver
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
-	echo "cluster+sched+lp coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	echo "cluster+sched+lp+solver coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
 	  { echo "FAIL: coverage fell below the $(COVER_FLOOR)% floor"; exit 1; }
 

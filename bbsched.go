@@ -163,6 +163,19 @@ type (
 	// SolveLPRelaxationWarm across related instances (checkpoint resume,
 	// successive scheduling passes).
 	LPIterate = lp.Iterate
+	// GreedySolver is the density-ratio baseline backend: fill by
+	// objective value per capacity-normalized demand.
+	GreedySolver = solver.Greedy
+	// PortfolioSolver races member backends per decision and keeps the
+	// best feasible solution.
+	PortfolioSolver = solver.Portfolio
+	// ExactSolver is the branch-and-bound backend with LP-relaxation
+	// bounds — exact optima on windows up to DefaultMaxExactDim jobs.
+	ExactSolver = lp.Exact
+	// SolverMemory is the per-run cross-invocation store backends use to
+	// carry state between scheduling passes (the LP backend keeps its
+	// previous PDHG iterate there for warm starts).
+	SolverMemory = solver.Memory
 	// SolverSpec describes one registered backend.
 	SolverSpec = registry.SolverSpec
 	// SolverConfigurable is implemented by methods whose backend is
@@ -189,9 +202,22 @@ var (
 	// SolveLPRelaxation solves just the fractional relaxation of a linear
 	// selection instance (diagnostics and custom rounding schemes);
 	// SolveLPRelaxationWarm additionally seeds PDHG from a prior iterate
-	// and returns the final one (a dimension-mismatched seed is ignored).
+	// and returns the final one (a dimension-mismatched seed cold-starts
+	// the solve and sets LPStats.WarmRejected).
 	SolveLPRelaxation     = lp.SolveRelaxation
 	SolveLPRelaxationWarm = lp.SolveRelaxationWarm
+	// NewGreedySolver returns the density-ratio baseline backend.
+	NewGreedySolver = solver.NewGreedy
+	// NewPortfolioSolver returns a racing portfolio over the given members
+	// with a per-decision deadline (0 waits for every member).
+	NewPortfolioSolver = solver.NewPortfolio
+	// NewExactSolver returns the branch-and-bound backend.
+	NewExactSolver = lp.NewExact
+	// NewSolverMemory returns an empty cross-invocation solver store.
+	NewSolverMemory = solver.NewMemory
+	// ErrIncompatibleSolver marks a method×solver pair that can never work
+	// (match with errors.Is to skip instead of fail).
+	ErrIncompatibleSolver = registry.ErrIncompatibleSolver
 	// LinearizeProblem extracts a problem's LP structure (unwrapping a
 	// memoizing Evaluator).
 	LinearizeProblem = solver.Linearize
@@ -207,6 +233,10 @@ var (
 	// heuristics).
 	SolverNameOf = sched.SolverNameOf
 )
+
+// DefaultMaxExactDim is the largest window the exact branch-and-bound
+// backend accepts by default (2^w leaves bound the practical range).
+const DefaultMaxExactDim = lp.DefaultMaxExactDim
 
 // Scheduling methods and the window-selection problem.
 type (

@@ -29,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -121,7 +122,7 @@ func main() {
 		variant    = flag.String("variant", "original", "original, S1..S7")
 		seed       = flag.Uint64("seed", 42, "seed")
 		methodName = flag.String("method", "BBSched", "scheduling method (see -methods)")
-		solverName = flag.String("solver", "", "optimization backend override: ga or lp (default: the method's own; see -methods)")
+		solverName = flag.String("solver", "", "optimization backend override: ga, lp, greedy, exact, or portfolio (default: the method's own; see -methods)")
 		window     = flag.Int("window", 20, "window size")
 		starve     = flag.Int("starvation", 50, "starvation bound (0 = off)")
 		gens       = flag.Int("generations", 500, "GA generations")
@@ -417,12 +418,17 @@ func runSweep(w trace.Workload, open func() (trace.JobSource, error), methodCSV,
 	}
 	// A solver override applies to the methods that can take it; the rest
 	// of the roster (fixed heuristics, capability mismatches like
-	// BBSched+lp) is skipped with a note rather than aborting the sweep —
-	// `-sweep all -solver lp` compares every LP-capable method.
+	// BBSched+portfolio) is skipped with a note rather than aborting the
+	// sweep — `-sweep all -solver lp` compares every LP-capable method.
+	// Anything other than an incompatible pairing (an unknown solver name,
+	// a bad config) is a real error and aborts.
 	if solverName != "" {
 		kept := methods[:0]
 		for _, m := range methods {
 			if err := registry.ApplySolver(m, solverName, ga); err != nil {
+				if !errors.Is(err, registry.ErrIncompatibleSolver) {
+					return err
+				}
 				fmt.Fprintf(os.Stderr, "bbsim: skipping %s: %v\n", m.Name(), err)
 				continue
 			}

@@ -130,7 +130,7 @@ func (b *BBSched) ParetoFront(ctx *sched.Context) ([]moo.Solution, error) {
 	p := sched.NewSelectionProblem(ctx.Window, ctx.Snap, b.Objectives)
 	ev, _ := b.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := b.backend.Resolve(b.GA).Solve(ev, solver.Options{Rand: ctx.Rand})
+	front, err := b.backend.Resolve(b.GA).Solve(ev, solver.Options{Rand: ctx.Rand, Memory: ctx.Memory})
 	b.evals.Put(ev)
 	return front, err
 }
@@ -290,7 +290,14 @@ func NewPlugin(cfg PluginConfig, method sched.Method) (*Plugin, error) {
 	if method == nil {
 		return nil, errors.New("core: nil method")
 	}
-	return &Plugin{cfg: cfg, method: method}, nil
+	p := &Plugin{cfg: cfg, method: method}
+	// One solver memory per plugin — i.e. per run, since every run owns
+	// its plugin while method and backend instances may be shared across
+	// concurrent runs. Backends use it to warm-start from earlier passes
+	// (see solver.Memory); it never crosses runs, so parallel sweeps stay
+	// deterministic run for run.
+	p.mctx.Memory = solver.NewMemory()
+	return p, nil
 }
 
 // Method returns the wrapped selection method.

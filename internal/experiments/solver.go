@@ -262,11 +262,12 @@ func Overhead(o Options) (string, error) {
 		table([]string{"method", "avg_decision_time"}, rows), nil
 }
 
-// SolverComparison pits the MOGA-backed scalarized methods against their
-// LP-relaxation (restarted Halpern PDHG + rounding) variants on the
-// representative Theta-S4 workload: identical window semantics and seed,
-// with a solver column distinguishing the backends and the per-decision
-// latency showing the first-order solver's speed advantage.
+// SolverComparison pits the MOGA-backed scalarized methods against the
+// rest of the solver zoo on the representative Theta-S4 workload: the
+// LP-relaxation (restarted Halpern PDHG + rounding) variants, the greedy
+// density-ratio baseline, and the racing portfolio, all under identical
+// window semantics and seed, with a solver column distinguishing the
+// backends and the per-decision latency showing each backend's cost.
 func SolverComparison(o Options) (string, error) {
 	cori, theta := o.systems()
 	var s4 trace.Workload
@@ -283,6 +284,18 @@ func SolverComparison(o Options) (string, error) {
 	for _, name := range []string{"Weighted", "Weighted_LP", "Constrained_CPU", "Constrained_LP", "BBSched"} {
 		m, err := registry.New(name, o.GA, false)
 		if err != nil {
+			return "", fmt.Errorf("experiments: %w", err)
+		}
+		methods = append(methods, m)
+	}
+	// Zoo-backed variants: the same Weighted scalarization under the
+	// greedy density-ratio baseline and the ga/lp/greedy racing portfolio.
+	for _, v := range []struct{ name, solver string }{
+		{"Weighted_Greedy", "greedy"},
+		{"Weighted_Portfolio", "portfolio"},
+	} {
+		m := sched.NewWeighted(v.name, 0.5, 0.5, o.GA)
+		if err := registry.ApplySolver(m, v.solver, o.GA); err != nil {
 			return "", fmt.Errorf("experiments: %w", err)
 		}
 		methods = append(methods, m)

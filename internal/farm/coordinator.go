@@ -3,11 +3,13 @@ package farm
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"bbsched/internal/registry"
 	"bbsched/internal/sim"
 )
 
@@ -17,6 +19,10 @@ const (
 	cellLeased
 	cellDone
 	cellFailed
+	// cellSkipped marks a cell that can never run — an incompatible
+	// method×solver pair — decided at coordinator construction. Skipped
+	// cells are never leased and assemble with SweepRun.Skipped set.
+	cellSkipped
 )
 
 // Wire messages. Checkpoints travel as JSON []byte (base64).
@@ -145,10 +151,37 @@ func NewCoordinator(g Grid, opts ...CoordinatorOption) (*Coordinator, error) {
 	if c.maxAttempts < 1 {
 		return nil, fmt.Errorf("farm: max attempts %d < 1", c.maxAttempts)
 	}
-	for _, cell := range g.Cells() {
-		c.cells = append(c.cells, cellRun{spec: cell})
+	// Probe each method×solver×machine pairing once and mark every cell of
+	// an incompatible pairing skipped up front: it is excluded from the
+	// open count, never leased, and assembles with Skipped set — the grid
+	// analogue of `bbsim -sweep all -solver` noting and skipping the pair.
+	type pairing struct {
+		method, solver, clusterName string
 	}
-	c.open = len(c.cells)
+	incompat := map[pairing]error{}
+	for _, cell := range g.Cells() {
+		cr := cellRun{spec: cell}
+		key := pairing{cell.Method.Name, cell.Solver, cell.Workload.Gen.System.Cluster.Name}
+		skip, probed := incompat[key]
+		if !probed {
+			if _, err := cell.Method.Build(cell.Workload.Gen.System.Cluster, cell.Solver); errors.Is(err, registry.ErrIncompatibleSolver) {
+				skip = err
+			}
+			incompat[key] = skip
+		}
+		if skip != nil {
+			cr.state = cellSkipped
+			cr.lastErr = skip
+		}
+		c.cells = append(c.cells, cr)
+		if cr.state == cellPending {
+			c.open++
+		}
+	}
+	if c.open == 0 {
+		// Every cell skipped: the sweep is trivially drained.
+		c.once.Do(func() { close(c.finished) })
+	}
 	return c, nil
 }
 
@@ -337,7 +370,8 @@ func (c *Coordinator) Stats() Stats {
 // Wait blocks until the sweep drains, a cell exhausts its attempts, or
 // ctx is cancelled, reaping expired leases in the background throughout.
 // Like sim.RunSweep, it always returns the full grid in grid order:
-// completed cells carry their Result, unfinished cells their identity
+// completed cells carry their Result, incompatible method×solver cells
+// their identity with Skipped set, and unfinished cells their identity
 // with Canceled set, so an interrupted sweep keeps its completed work.
 func (c *Coordinator) Wait(ctx context.Context) ([]sim.SweepRun, error) {
 	tick := c.leaseTTL / 4
@@ -380,14 +414,17 @@ func (c *Coordinator) assemble() []sim.SweepRun {
 			name = cell.spec.Workload.Gen.System.Cluster.Name + "-" + variantLabel(cell.spec.Workload.Variant)
 		}
 		out[i] = sim.SweepRun{Workload: name, Method: cell.spec.Method.Name, Seed: cell.spec.Seed}
-		if cell.state == cellDone {
+		switch cell.state {
+		case cellDone:
 			out[i].Result = cell.result
 			if cell.result != nil {
 				// Trust the worker's authoritative naming.
 				out[i].Workload = cell.result.Workload
 				out[i].Method = cell.result.Method
 			}
-		} else {
+		case cellSkipped:
+			out[i].Skipped = true
+		default:
 			out[i].Canceled = true
 		}
 	}

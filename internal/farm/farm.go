@@ -15,6 +15,7 @@
 package farm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -239,6 +240,14 @@ func (g Grid) Validate() error {
 		for _, sv := range g.solverAxis() {
 			for _, ws := range g.Workloads {
 				if _, err := ms.Build(ws.Gen.System.Cluster, sv); err != nil {
+					// An incompatible method×solver pair is a legal grid
+					// cell: the coordinator marks it skipped instead of
+					// sweeping it, exactly like `bbsim -sweep all -solver`
+					// notes-and-skips the pair. Only genuinely malformed
+					// cells (unknown names, bad configs) fail the grid.
+					if errors.Is(err, registry.ErrIncompatibleSolver) {
+						continue
+					}
 					return fmt.Errorf("farm: method %q / solver %q: %w", ms.Name, sv, err)
 				}
 			}

@@ -358,6 +358,107 @@ func TestFarmExhaustedAttemptsFailSweep(t *testing.T) {
 	}
 }
 
+// TestFarmSkippedCells: an incompatible method×solver pairing is a legal
+// grid — Validate accepts it, the coordinator marks its cells skipped up
+// front, workers sweep only the compatible cells, and the assembled grid
+// carries the skip markers in grid order.
+func TestFarmSkippedCells(t *testing.T) {
+	sys := trace.Scale(trace.Cori(), 128)
+	g := Grid{
+		Workloads: []WorkloadSpec{
+			{Name: "skip-mat", Gen: trace.GenConfig{System: sys, Jobs: 40, Seed: 5}},
+		},
+		// Baseline is a fixed heuristic: Baseline×lp can never run. The
+		// solver-configurable Constrained_CPU sweeps under lp normally.
+		Methods: []MethodSpec{
+			{Name: "Baseline", GA: testGA()},
+			{Name: "Constrained_CPU", GA: testGA()},
+		},
+		Solvers: []string{"lp"},
+		Seeds:   []uint64{3, 4},
+		Opts:    RunOptions{Window: 5, StarvationBound: 50, Measure: "full"},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("grid with an incompatible pairing rejected: %v", err)
+	}
+
+	coord, err := NewCoordinator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		w := &Worker{Coordinator: srv.URL, ID: "solo"}
+		done <- w.Run(context.Background())
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	runs, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatal(werr)
+	}
+
+	if len(runs) != 4 {
+		t.Fatalf("assembled %d cells, want 4", len(runs))
+	}
+	// Grid order: Baseline×lp (both seeds), then Constrained_CPU×lp.
+	for i, r := range runs[:2] {
+		if !r.Skipped || r.Canceled || r.Result != nil {
+			t.Errorf("cell %d (%s/%s): Skipped=%v Canceled=%v Result=%v, want a bare skip marker",
+				i, r.Workload, r.Method, r.Skipped, r.Canceled, r.Result)
+		}
+		if r.Workload != "skip-mat" || r.Method != "Baseline" {
+			t.Errorf("cell %d lost its identity: %+v", i, r)
+		}
+	}
+	for i, r := range runs[2:] {
+		if r.Skipped || r.Canceled || r.Result == nil {
+			t.Errorf("cell %d (%s/%s): Skipped=%v Canceled=%v Result=%v, want a completed run",
+				i+2, r.Workload, r.Method, r.Skipped, r.Canceled, r.Result)
+		}
+	}
+}
+
+// TestFarmAllCellsSkipped: a grid whose every pairing is incompatible
+// drains at construction — Wait returns the skip markers immediately,
+// without any worker.
+func TestFarmAllCellsSkipped(t *testing.T) {
+	sys := trace.Scale(trace.Cori(), 128)
+	g := Grid{
+		Workloads: []WorkloadSpec{
+			{Name: "skip-all", Gen: trace.GenConfig{System: sys, Jobs: 10, Seed: 1}},
+		},
+		Methods: []MethodSpec{{Name: "Baseline", GA: testGA()}},
+		Solvers: []string{"greedy"},
+		Seeds:   []uint64{1},
+		Opts:    RunOptions{Measure: "full"},
+	}
+	coord, err := NewCoordinator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	runs, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("all-skipped sweep returned %v, want immediate drain", err)
+	}
+	if len(runs) != 1 || !runs[0].Skipped {
+		t.Fatalf("runs = %+v, want one skipped cell", runs)
+	}
+	// A late worker sees the sweep as done.
+	lease := coord.lease("late")
+	if !lease.Done {
+		t.Fatalf("lease on a drained sweep = %+v, want Done", lease)
+	}
+}
+
 // TestFarmGridValidation rejects malformed grids at submission.
 func TestFarmGridValidation(t *testing.T) {
 	base := testGrid()

@@ -83,6 +83,10 @@ func (w *Worker) runCell(ctx context.Context, lease LeaseResponse) error {
 	if err != nil {
 		return w.reportFailure(ctx, lease, err)
 	}
+	// Every exit — result, failure report, abandonment — releases the
+	// cell's streaming source exactly once (Close is idempotent and a
+	// no-op for materialized cells).
+	defer s.Close()
 	steps := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -131,12 +135,14 @@ func (w *Worker) buildSimulator(lease LeaseResponse) (*sim.Simulator, error) {
 	opts = append(opts, sim.WithSeed(cell.Seed))
 
 	var wl trace.Workload
+	var src trace.JobSource
 	if cell.Workload.Stream {
-		shell, src, err := cell.Workload.Open()
+		shell, opened, err := cell.Workload.Open()
 		if err != nil {
 			return nil, err
 		}
 		wl = shell
+		src = opened
 		opts = append(opts, sim.WithSource(src), sim.WithStreamingMetrics())
 	} else {
 		built, err := cell.Workload.Build()
@@ -145,14 +151,29 @@ func (w *Worker) buildSimulator(lease LeaseResponse) (*sim.Simulator, error) {
 		}
 		wl = built
 	}
+	// Until the simulator takes ownership of the opened source, any
+	// construction failure closes it here (re-opened fresh next attempt).
+	closeSrc := func() {
+		if c, ok := src.(trace.Closer); ok {
+			c.Close()
+		}
+	}
 	m, err := cell.Method.Build(wl.System.Cluster, cell.Solver)
 	if err != nil {
+		closeSrc()
 		return nil, err
 	}
+	var s *sim.Simulator
 	if len(lease.Checkpoint) > 0 {
-		return sim.Restore(wl, m, bytes.NewReader(lease.Checkpoint), opts...)
+		s, err = sim.Restore(wl, m, bytes.NewReader(lease.Checkpoint), opts...)
+	} else {
+		s, err = sim.NewSimulator(wl, m, opts...)
 	}
-	return sim.NewSimulator(wl, m, opts...)
+	if err != nil {
+		closeSrc()
+		return nil, err
+	}
+	return s, nil
 }
 
 // uploadCheckpoint snapshots the run and posts it; a stale ack means the

@@ -3,12 +3,14 @@ package lp_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"bbsched/internal/cluster"
 	"bbsched/internal/lp"
 	"bbsched/internal/moo"
 	"bbsched/internal/rng"
 	"bbsched/internal/sched"
+	"bbsched/internal/solver"
 	"bbsched/internal/trace"
 )
 
@@ -46,13 +48,51 @@ func benchContext(b *testing.B, w int) (*sched.Context, func() *sched.Context) {
 }
 
 // BenchmarkSolveLP times one full Weighted_LP-style scheduling decision —
-// problem build, PDHG relaxation, rounding, repair — per window size.
-// Recorded in BENCH_sim.json and gated in CI on solves/sec and allocs/op.
+// problem build, PDHG relaxation, rounding, repair — per window size,
+// cold (each solve from scratch) and warm (a solver.Memory on the
+// context, as every simulator run has: each PDHG solve re-seeds from the
+// previous iterate and inherits its adapted tolerance). Recorded in
+// BENCH_sim.json and gated in CI on solves/sec and allocs/op; the
+// warm/cold solves/sec ratio is the cross-pass warm-start win.
 func BenchmarkSolveLP(b *testing.B) {
+	for _, warm := range []bool{false, true} {
+		for _, w := range benchWindows {
+			name := fmt.Sprintf("w=%d", w)
+			if warm {
+				name = "warm/" + name
+			}
+			b.Run(name, func(b *testing.B) {
+				m := sched.NewWeighted("Weighted_LP", 0.5, 0.5, moo.DefaultGAConfig())
+				m.SetSolver(lp.New(lp.DefaultConfig()))
+				ctx, reset := benchContext(b, w)
+				if warm {
+					// Persists across iterations — the warm-start path.
+					ctx.Memory = solver.NewMemory()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Select(reset()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkSolvePortfolio times the racing portfolio (ga, lp, greedy in
+// parallel, best feasible objective wins) on the identical decision. Its
+// wall clock tracks the slowest member at these window sizes — the
+// deadline is a liveness backstop — so the metric of interest is how
+// little the race costs over running the members' max alone.
+func BenchmarkSolvePortfolio(b *testing.B) {
 	for _, w := range benchWindows {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
-			m := sched.NewWeighted("Weighted_LP", 0.5, 0.5, moo.DefaultGAConfig())
-			m.SetSolver(lp.New(lp.DefaultConfig()))
+			m := sched.NewWeighted("Weighted_Portfolio", 0.5, 0.5, moo.DefaultGAConfig())
+			m.SetSolver(solver.NewPortfolio(2*time.Second,
+				solver.NewGA(moo.DefaultGAConfig()), lp.New(lp.DefaultConfig()), solver.NewGreedy()))
 			_, reset := benchContext(b, w)
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -81,6 +81,18 @@ type workspace struct {
 	g     moo.Genome
 }
 
+// memo is the cross-window state the backend keeps in solver.Memory,
+// keyed by its own instance: the previous window's final PDHG iterate
+// (successive windows overlap heavily — the unscheduled tail carries
+// over — so the old saddle point is a near-solution of the new instance)
+// and the adaptively tuned duality-gap tolerance. A memo is immutable
+// once stored; every solve stores a fresh one, so a racing portfolio
+// member never observes a half-written iterate.
+type memo struct {
+	it  Iterate
+	tol float64
+}
+
 // New returns an LP backend with the given configuration.
 func New(cfg Config) *Solver { return &Solver{cfg: cfg.withDefaults()} }
 
@@ -114,13 +126,31 @@ func (s *Solver) Solve(p moo.Problem, opts solver.Options) ([]moo.Solution, erro
 	ev := moo.NewEvaluator(p) // no-op when p already is one
 	rep, _ := ev.Problem().(moo.Repairer)
 
+	// Warm start: reload the previous window's iterate and tuned tolerance
+	// from the run's solver memory. A nil Memory (stateless callers, the
+	// historical default) cold-starts with the configured tolerance.
+	cfg := s.cfg
+	var warm *Iterate
+	if opts.Memory != nil {
+		if v, ok := opts.Memory.Load(s); ok {
+			prev := v.(*memo)
+			warm = &prev.it
+			if prev.tol > 0 {
+				cfg.Tol = prev.tol
+			}
+		}
+	}
+
 	ws, _ := s.scratch.Get().(*workspace)
 	if ws == nil {
 		ws = &workspace{}
 	}
 	defer s.scratch.Put(ws)
 	ws.rel.load(form)
-	ws.rel.solveRelaxation(s.cfg)
+	st := ws.rel.solveFrom(cfg, warm)
+	if st.WarmRejected {
+		logWarmRejected(warm, ws.rel.n, ws.rel.m)
+	}
 	x := ws.rel.x
 
 	if ws.g.Len() != n {
@@ -201,6 +231,37 @@ func (s *Solver) Solve(p moo.Problem, opts solver.Options) ([]moo.Solution, erro
 
 	if bestObjs == nil {
 		return nil, fmt.Errorf("lp: no feasible rounded solution for %d-job window", n)
+	}
+
+	// Carry the final iterate forward for the next window and adapt the
+	// tolerance to observed rounding quality: when the rounded selection
+	// already recovers ≥99.5% of the relaxation bound the gap tail buys
+	// nothing, so loosen; when it recovers <90% the fractional point was
+	// too sloppy to round well, so tighten. Clamped to [Tol/8, Tol·8]
+	// around the configured value.
+	if opts.Memory != nil {
+		tol := cfg.Tol
+		if st.Primal > 0 && bestObjs[0] > 0 {
+			switch q := bestObjs[0] / st.Primal; {
+			case q >= 0.995:
+				tol *= 2
+			case q < 0.9:
+				tol /= 2
+			}
+		}
+		if min := s.cfg.Tol / 8; tol < min {
+			tol = min
+		}
+		if max := s.cfg.Tol * 8; tol > max {
+			tol = max
+		}
+		opts.Memory.Store(s, &memo{
+			it: Iterate{
+				X: append([]float64(nil), ws.rel.x...),
+				Y: append([]float64(nil), ws.rel.y...),
+			},
+			tol: tol,
+		})
 	}
 	return []moo.Solution{{
 		Genome:     bestGenome,

@@ -136,26 +136,43 @@ func windowProblem(tb testing.TB, w int, seed uint64) *sched.SelectionProblem {
 	return sched.NewSelectionProblem(jobs, cl.Snapshot(), []sched.Objective{sched.NodeUtil})
 }
 
-// TestOracleSmallWindows is the brute-force oracle: on windows of ≤ 16
-// jobs, enumerate all 2^w selections for the exact optimum, then check
-// that (a) the MOGA's solutions are feasible, (b) the LP-rounded
-// selection is feasible, and (c) the LP selection's achieved objective is
-// within ratio 0.9 of the exact optimum (it is usually exact: rounding
-// re-optimizes greedily along the fractional order).
+// TestOracleSmallWindows is the oracle suite: the exact branch-and-bound
+// backend supplies the provable optimum on windows up to 24 jobs (2^w
+// enumeration stopped being practical at 16), then (a) the MOGA's
+// solutions are feasible, (b) the LP-rounded selection is feasible, and
+// (c) the LP selection's achieved objective is within ratio 0.9 of the
+// exact optimum (it is usually exact: rounding re-optimizes greedily
+// along the fractional order). Up to w=16 the B&B optimum is itself
+// cross-checked against full 2^w enumeration (TestExactMatchesExhaustive
+// covers that contract in isolation too).
 func TestOracleSmallWindows(t *testing.T) {
 	const ratio = 0.9
 	lps := lp.New(lp.Config{})
-	for _, w := range []int{6, 10, 13, 16} {
+	bnb := lp.NewExact(lp.Config{})
+	for _, w := range []int{6, 10, 13, 16, 20, 24} {
 		for _, seed := range []uint64{1, 2, 3} {
 			p := windowProblem(t, w, seed*1000+uint64(w))
-			exact, err := moo.SolveExhaustive(p)
+			exactFront, err := bnb.Solve(moo.NewEvaluator(p), solver.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			best := exact[0].Objectives[0]
-			for _, s := range exact {
-				if s.Objectives[0] > best {
-					best = s.Objectives[0]
+			best := exactFront[0].Objectives[0]
+			if _, feasible := p.Evaluate(exactFront[0].Genome); !feasible {
+				t.Fatalf("w=%d seed=%d: exact backend returned infeasible selection", w, seed)
+			}
+			if w <= 16 {
+				enum, err := moo.SolveExhaustive(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				enumBest := enum[0].Objectives[0]
+				for _, s := range enum {
+					if s.Objectives[0] > enumBest {
+						enumBest = s.Objectives[0]
+					}
+				}
+				if math.Abs(best-enumBest) > 1e-9*(1+math.Abs(enumBest)) {
+					t.Fatalf("w=%d seed=%d: exact backend found %v, exhaustive enumeration found %v", w, seed, best, enumBest)
 				}
 			}
 
@@ -308,9 +325,22 @@ func TestSolveRelaxationWarm(t *testing.T) {
 		}
 	}
 
-	// Stale shape: must match the cold solve exactly (ignored, not used).
+	// The accepted seeds must not be flagged as rejections.
+	if stCold.WarmRejected {
+		t.Error("cold solve (nil warm iterate) reported WarmRejected")
+	}
+	if stWarm.WarmRejected {
+		t.Error("matching warm iterate reported WarmRejected")
+	}
+
+	// Stale shape: must match the cold solve exactly (ignored, not used) —
+	// and, the regression this test pins, the rejection must be surfaced
+	// in Stats instead of silently cold-starting.
 	stale := &lp.Iterate{X: []float64{9, 9}, Y: []float64{9}}
 	xStale, stStale, _ := lp.SolveRelaxationWarm(f, cfg, stale)
+	if !stStale.WarmRejected {
+		t.Error("dimension-mismatched warm iterate was not reported via Stats.WarmRejected")
+	}
 	if stStale.Iters != stCold.Iters {
 		t.Errorf("stale warm iterate changed the solve: %d iters vs cold %d", stStale.Iters, stCold.Iters)
 	}
@@ -318,5 +348,100 @@ func TestSolveRelaxationWarm(t *testing.T) {
 		if xStale[i] != xCold[i] {
 			t.Errorf("x[%d]: stale-warm %v != cold %v", i, xStale[i], xCold[i])
 		}
+	}
+}
+
+// TestExactMatchesExhaustive pins the exact backend's optimality contract
+// against full 2^w enumeration on windows where both are cheap, and its
+// size guard above MaxDim.
+func TestExactMatchesExhaustive(t *testing.T) {
+	bnb := lp.NewExact(lp.Config{})
+	for _, w := range []int{4, 8, 12, 14} {
+		for _, seed := range []uint64{11, 12} {
+			p := windowProblem(t, w, seed*100+uint64(w))
+			front, err := bnb.Solve(moo.NewEvaluator(p), solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enum, err := moo.SolveExhaustive(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best := enum[0].Objectives[0]
+			for _, s := range enum {
+				if s.Objectives[0] > best {
+					best = s.Objectives[0]
+				}
+			}
+			if got := front[0].Objectives[0]; math.Abs(got-best) > 1e-9*(1+math.Abs(best)) {
+				t.Errorf("w=%d seed=%d: exact found %v, exhaustive found %v", w, seed, got, best)
+			}
+		}
+	}
+
+	big := windowProblem(t, lp.DefaultMaxExactDim+1, 3)
+	if _, err := bnb.Solve(moo.NewEvaluator(big), solver.Options{}); err == nil {
+		t.Fatalf("exact accepted a %d-job window above its %d-job limit", lp.DefaultMaxExactDim+1, lp.DefaultMaxExactDim)
+	}
+	caps := bnb.Capabilities()
+	if caps.ParetoFront || !caps.NeedsLinear {
+		t.Errorf("exact capabilities = %+v, want NeedsLinear without ParetoFront", caps)
+	}
+}
+
+// TestSolveWarmMemory pins the warm-start wiring through solver.Memory:
+// a Memory-carrying solve stores the backend's iterate for the next
+// window, re-solving with that memory stays feasible and deterministic,
+// and a nil Memory keeps the stateless path bit-for-bit.
+func TestSolveWarmMemory(t *testing.T) {
+	lps := lp.New(lp.DefaultConfig())
+	p := windowProblem(t, 48, 9)
+
+	cold, err := lps.Solve(moo.NewEvaluator(p), solver.Options{Rand: rng.New(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem := solver.NewMemory()
+	first, err := lps.Solve(moo.NewEvaluator(p), solver.Options{Rand: rng.New(42), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first Memory-carrying solve has nothing to warm from, so it must
+	// match the stateless solve exactly.
+	if !first[0].Genome.Equal(cold[0].Genome) || first[0].Objectives[0] != cold[0].Objectives[0] {
+		t.Fatal("first solve with empty memory diverged from the stateless solve")
+	}
+	if _, ok := mem.Load(lps); !ok {
+		t.Fatal("solve did not store its iterate in the run's solver memory")
+	}
+
+	// Re-solving the same window warm-started must still return a feasible
+	// selection at least as good (the warm iterate is the converged saddle
+	// point, so rounding sees an equal-or-better fractional solution).
+	warm, err := lps.Solve(moo.NewEvaluator(p), solver.Options{Rand: rng.New(42), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, feasible := p.Evaluate(warm[0].Genome); !feasible {
+		t.Fatal("warm-started solve returned an infeasible selection")
+	}
+	if warm[0].Objectives[0] < cold[0].Objectives[0]-1e-9 {
+		t.Errorf("warm-started objective %v below stateless %v", warm[0].Objectives[0], cold[0].Objectives[0])
+	}
+
+	// Determinism with memory: replaying the same sequence from a fresh
+	// memory reproduces the same selections.
+	mem2 := solver.NewMemory()
+	r1, err := lps.Solve(moo.NewEvaluator(p), solver.Options{Rand: rng.New(42), Memory: mem2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := lps.Solve(moo.NewEvaluator(p), solver.Options{Rand: rng.New(42), Memory: mem2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1[0].Genome.Equal(first[0].Genome) || !r2[0].Genome.Equal(warm[0].Genome) {
+		t.Fatal("memory-carrying solve sequence is not reproducible")
 	}
 }

@@ -1,7 +1,9 @@
 package lp
 
 import (
+	"log"
 	"math"
+	"sync"
 
 	"bbsched/internal/solver"
 )
@@ -24,6 +26,12 @@ type Stats struct {
 	// Converged reports that Gap and Infeas reached Config.Tol before the
 	// iteration budget ran out.
 	Converged bool
+	// WarmRejected reports that a warm-start iterate was supplied but
+	// discarded because its dimensions did not match the instance — the
+	// solve cold-started from the origin. Callers carrying iterates across
+	// windows should watch this: a shape that never matches means every
+	// "warm" solve silently pays the cold-start price.
+	WarmRejected bool
 }
 
 // relaxation is the pooled workspace of one PDHG solve. All slices are
@@ -241,20 +249,24 @@ func (w *relaxation) solveFrom(cfg Config, warm *Iterate) Stats {
 	for r := range w.y {
 		w.y[r] = 0
 	}
-	if warm != nil && len(warm.X) == len(w.x) && len(warm.Y) == len(w.y) {
-		for i, v := range warm.X {
-			if v < 0 {
-				v = 0
-			} else if ub := w.u[i]; v > ub {
-				v = ub
+	if warm != nil {
+		if len(warm.X) != len(w.x) || len(warm.Y) != len(w.y) {
+			st.WarmRejected = true
+		} else {
+			for i, v := range warm.X {
+				if v < 0 {
+					v = 0
+				} else if ub := w.u[i]; v > ub {
+					v = ub
+				}
+				w.x[i] = v
 			}
-			w.x[i] = v
-		}
-		for r, v := range warm.Y {
-			if v < 0 {
-				v = 0
+			for r, v := range warm.Y {
+				if v < 0 {
+					v = 0
+				}
+				w.y[r] = v
 			}
-			w.y[r] = v
 		}
 	}
 
@@ -361,16 +373,35 @@ type Iterate struct {
 	Y []float64 `json:"y"`
 }
 
+// warmRejectOnce rate-limits the warm-start rejection warning to one line
+// per process: a rejected seed is legitimate after a window-size change,
+// but a caller whose shape never matches cold-starts every solve, and that
+// deserves one loud hint rather than per-solve noise (Stats.WarmRejected
+// carries the per-solve signal).
+var warmRejectOnce sync.Once
+
+func logWarmRejected(warm *Iterate, nx, ny int) {
+	warmRejectOnce.Do(func() {
+		log.Printf("lp: warm-start iterate rejected: seed is %dx%d, instance is %dx%d; cold-starting (further rejections reported only via Stats.WarmRejected)",
+			len(warm.X), len(warm.Y), nx, ny)
+	})
+}
+
 // SolveRelaxationWarm is SolveRelaxation with an optional warm-start
 // iterate. It returns the fractional solution, solve statistics, and the
 // final iterate for the caller to carry forward. A nil or dimensionally
 // mismatched warm iterate falls back to the cold start, so callers can
-// pass whatever their last checkpoint held without pre-validating it.
+// pass whatever their last checkpoint held without pre-validating it; a
+// rejected seed is surfaced via Stats.WarmRejected and logged once per
+// process.
 func SolveRelaxationWarm(form solver.LinearForm, cfg Config, warm *Iterate) ([]float64, Stats, Iterate) {
 	cfg = cfg.withDefaults()
 	w := &relaxation{}
 	w.load(form)
 	st := w.solveFrom(cfg, warm)
+	if st.WarmRejected {
+		logWarmRejected(warm, w.n, w.m)
+	}
 	return append([]float64(nil), w.x...), st, Iterate{
 		X: append([]float64(nil), w.x...),
 		Y: append([]float64(nil), w.y...),

@@ -9,8 +9,10 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"bbsched/internal/cluster"
 	"bbsched/internal/core"
@@ -375,15 +377,24 @@ func NewSolver(name string, ga moo.GAConfig) (solver.Solver, error) {
 	return spec.New(ga), nil
 }
 
+// ErrIncompatibleSolver marks a method×solver pair that can never work:
+// the method has no solver to swap (fixed heuristics) or vetoes the
+// backend's capabilities (BBSched needs Pareto fronts). Grid drivers —
+// cmd/bbsim's sweep-all and the farm coordinator — match it with
+// errors.Is to skip the cell with a marker instead of failing the run;
+// an unknown solver name stays a hard error.
+var ErrIncompatibleSolver = errors.New("incompatible method×solver pair")
+
 // ApplySolver instantiates the named backend and attaches it to m, which
 // must be solver-configurable (Weighted, Constrained, BBSched). Fixed
 // heuristics reject the override, and methods with capability
 // requirements (BBSched needs Pareto fronts) veto incompatible backends
-// here, at configuration time, instead of failing mid-run.
+// here, at configuration time, instead of failing mid-run; both
+// rejections wrap ErrIncompatibleSolver.
 func ApplySolver(m sched.Method, name string, ga moo.GAConfig) error {
 	sc, ok := m.(sched.SolverConfigurable)
 	if !ok {
-		return fmt.Errorf("registry: method %s has a fixed selection heuristic, no solver to swap", m.Name())
+		return fmt.Errorf("registry: method %s has a fixed selection heuristic, no solver to swap: %w", m.Name(), ErrIncompatibleSolver)
 	}
 	sv, err := NewSolver(name, ga)
 	if err != nil {
@@ -391,7 +402,7 @@ func ApplySolver(m sched.Method, name string, ga moo.GAConfig) error {
 	}
 	if v, ok := m.(sched.SolverVetoer); ok {
 		if err := v.VetoSolver(sv); err != nil {
-			return err
+			return fmt.Errorf("%w: %w", ErrIncompatibleSolver, err)
 		}
 	}
 	sc.SetSolver(sv)
@@ -408,6 +419,27 @@ func init() {
 		Name: "lp",
 		Desc: "matrix-free LP relaxation via restarted Halpern PDHG + randomized rounding (scalarized problems)",
 		New:  func(moo.GAConfig) solver.Solver { return lp.New(lp.DefaultConfig()) },
+	})
+	MustRegisterSolver(SolverSpec{
+		Name: "greedy",
+		Desc: "density-ratio baseline: fill by objective value per capacity-normalized demand (scalarized problems; near-free at huge windows)",
+		New:  func(moo.GAConfig) solver.Solver { return solver.NewGreedy() },
+	})
+	MustRegisterSolver(SolverSpec{
+		Name: "exact",
+		Desc: fmt.Sprintf("exact branch-and-bound with LP-relaxation bounds (scalarized problems, windows ≤ %d jobs)", lp.DefaultMaxExactDim),
+		New:  func(moo.GAConfig) solver.Solver { return lp.NewExact(lp.DefaultConfig()) },
+	})
+	MustRegisterSolver(SolverSpec{
+		Name: "portfolio",
+		Desc: "race ga, lp and greedy per decision, keep the best feasible roster (scalarized problems)",
+		New: func(ga moo.GAConfig) solver.Solver {
+			// The 2s deadline is a liveness backstop, not a pacing device:
+			// window solves finish in micro-to-milliseconds, so fixed-seed
+			// runs wait for every member and stay deterministic.
+			return solver.NewPortfolio(2*time.Second,
+				solver.NewGA(ga), lp.New(lp.DefaultConfig()), solver.NewGreedy())
+		},
 	})
 
 	// LP-backed method variants: the scalarized formulations re-solved by

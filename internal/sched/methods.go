@@ -30,6 +30,11 @@ type Context struct {
 	Totals Totals
 	// Rand is a per-invocation deterministic stream for stochastic solvers.
 	Rand *rng.Stream
+	// Memory is the run's cross-invocation solver memory, handed through
+	// to backends that warm-start from earlier passes (see solver.Memory).
+	// Nil means stateless solves — the historical behaviour. Callers that
+	// reuse a Context across runs must give each run a fresh Memory.
+	Memory *solver.Memory
 
 	// pooled scratch for the in-package heuristic methods (lazily grown;
 	// meaningful reuse requires the caller to reuse the Context itself)
@@ -247,7 +252,7 @@ func (w *Weighted) Select(ctx *Context) ([]int, error) {
 	p := &scalarized{inner: inner, weights: w.Weights, denom: ctx.Totals.Denominators(w.Objectives)}
 	ev, _ := w.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := w.backend.Resolve(w.GA).Solve(ev, solver.Options{Rand: ctx.Rand})
+	front, err := w.backend.Resolve(w.GA).Solve(ev, solver.Options{Rand: ctx.Rand, Memory: ctx.Memory})
 	w.evals.Put(ev)
 	if err != nil {
 		return nil, fmt.Errorf("sched: %s: %w", w.MethodName, err)
@@ -298,7 +303,7 @@ func (c *Constrained) Select(ctx *Context) ([]int, error) {
 	p := NewSelectionProblem(ctx.Window, ctx.Snap, []Objective{c.Target})
 	ev, _ := c.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := c.backend.Resolve(c.GA).Solve(ev, solver.Options{Rand: ctx.Rand})
+	front, err := c.backend.Resolve(c.GA).Solve(ev, solver.Options{Rand: ctx.Rand, Memory: ctx.Memory})
 	c.evals.Put(ev)
 	if err != nil {
 		return nil, fmt.Errorf("sched: %s: %w", c.MethodName, err)

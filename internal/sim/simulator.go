@@ -227,6 +227,7 @@ type Simulator struct {
 	// doneSparse holding the (small) set of finished IDs above it — the
 	// bounded-memory replacement for the done map.
 	source     trace.JobSource
+	srcClosed  bool
 	admitCl    *cluster.Cluster // pristine machine for per-pull validation
 	pending    []*job.Job
 	pendHead   int
@@ -418,6 +419,26 @@ func NewSimulator(w trace.Workload, method sched.Method, opts ...Option) (*Simul
 	}
 	s.collector.Observe(0, metrics.Usage{})
 	return s, nil
+}
+
+// Close releases the simulator's streaming source, if it holds one that
+// can be released (trace.Closer). The simulator owns the source it was
+// given (see WithSource), so a caller abandoning a run early —
+// cancellation, a failed step — closes it through here rather than
+// keeping its own handle. Close is idempotent: the simulator forwards at
+// most one Close to the source, so sweep drivers can close on every exit
+// path without double-closing, and a source that already closed itself on
+// drain (the JobSource contract) sees at most one extra, harmless Close.
+// A Simulator without a source (materialized runs) closes trivially.
+func (s *Simulator) Close() error {
+	if s.source == nil || s.srcClosed {
+		return nil
+	}
+	s.srcClosed = true
+	if c, ok := s.source.(trace.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // isDone reports whether the job with the given ID has finished, reading

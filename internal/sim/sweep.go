@@ -70,6 +70,12 @@ type SweepRun struct {
 	// before it could finish. Completed cells are never marked: a partial
 	// sweep keeps every finished Result.
 	Canceled bool
+	// Skipped marks a cell that can never run — a method×solver pair the
+	// method rejects (registry.ErrIncompatibleSolver) — as opposed to one
+	// that merely did not run this time (Canceled). Skipped cells are not
+	// failures and not worth resubmitting; grid drivers (the farm
+	// coordinator) emit them so assembled grids stay rectangular.
+	Skipped bool
 }
 
 // RunSweep executes every run of the sweep on a worker pool and returns
@@ -151,9 +157,10 @@ func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 				}
 				opts := append([]Option(nil), sw.Options...)
 				opts = append(opts, WithSeed(tk.seed))
+				var src trace.JobSource
 				if tk.open != nil {
-					src, err := tk.open()
-					if err != nil {
+					var err error
+					if src, err = tk.open(); err != nil {
 						errs[i] = fmt.Errorf("sim: sweep %s/%s/seed %d: opening source: %w",
 							tk.w.Name, tk.m.Name(), tk.seed, err)
 						cancel()
@@ -166,14 +173,24 @@ func RunSweep(ctx context.Context, sw Sweep) ([]SweepRun, error) {
 				}
 				s, err := NewSimulator(tk.w, tk.m, opts...)
 				if err == nil {
+					// The simulator owns the source from here; Close on every
+					// exit path releases a stream a cancelled or failed run
+					// abandoned mid-pull (idempotent, so a drained source is
+					// not closed twice).
 					var res *Result
 					if res, err = s.Run(ctx); err == nil {
 						results[i] = SweepRun{
 							Workload: tk.w.Name, Method: tk.m.Name(), Seed: tk.seed,
 							Result: res,
 						}
+						s.Close()
 						continue
 					}
+					s.Close()
+				} else if c, ok := src.(trace.Closer); ok {
+					// Construction failed after the open: the simulator never
+					// took ownership, so the source is closed here.
+					c.Close()
 				}
 				errs[i] = fmt.Errorf("sim: sweep %s/%s/seed %d: %w",
 					tk.w.Name, tk.m.Name(), tk.seed, err)

@@ -15,6 +15,8 @@
 package solver
 
 import (
+	"sync"
+
 	"bbsched/internal/moo"
 	"bbsched/internal/rng"
 )
@@ -25,6 +27,45 @@ type Options struct {
 	// all randomness from it (and only it), so a fixed simulation seed
 	// reproduces every selection exactly.
 	Rand *rng.Stream
+	// Memory, when non-nil, is the run's cross-invocation solver memory:
+	// backends that can exploit state from earlier scheduling passes (the
+	// LP backend warm-starts PDHG from the previous window's iterate and
+	// adapts its tolerance to observed rounding quality) load and store it
+	// here, keyed by their own instance. A nil Memory means the solve is
+	// stateless — exactly the historical behaviour.
+	Memory *Memory
+}
+
+// Memory is per-run cross-invocation solver state. One Memory belongs to
+// one simulation run (core.Plugin owns one per engine), while backend
+// instances are shared across concurrent sweep runs — so backends key
+// their entries by instance and every run keeps its own map, which keeps
+// parallel sweeps deterministic run-for-run. The map is mutex-guarded:
+// a portfolio races backends concurrently within one invocation.
+type Memory struct {
+	mu sync.Mutex
+	m  map[any]any
+}
+
+// NewMemory returns an empty solver memory.
+func NewMemory() *Memory { return &Memory{} }
+
+// Load returns the state stored under key, if any.
+func (mem *Memory) Load(key any) (any, bool) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	v, ok := mem.m[key]
+	return v, ok
+}
+
+// Store saves state under key, replacing any previous entry.
+func (mem *Memory) Store(key, value any) {
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	if mem.m == nil {
+		mem.m = make(map[any]any)
+	}
+	mem.m[key] = value
 }
 
 // Capabilities describes what a backend can solve, so methods can reject
