@@ -44,7 +44,7 @@ bench-solver:
 # -require fails the parse if any bench silently dropped out (e.g. its
 # package failed to build inside the { ...; } pipeline, whose exit
 # status is the last command's).
-BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveLP/warm/,BenchmarkSolveGAWindow/,BenchmarkSolvePortfolio/,BenchmarkCheckpoint/
+BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveLP/warm/,BenchmarkSolveLP/w=1024/,BenchmarkSolveLP/w=2048/,BenchmarkSolveLP/w=4096/,BenchmarkSolveLP/w=8192/,BenchmarkSolveLP/warm/w=1024/,BenchmarkSolveLP/warm/w=8192/,BenchmarkSolveGAWindow/,BenchmarkSolvePortfolio/,BenchmarkCheckpoint/
 
 bench-json:
 	{ $(GO) test -bench '^BenchmarkSimThroughput(Reference)?$$/^materialized-20k$$' -benchtime=3x -run '^$$' ./internal/sim ; \

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,6 +58,13 @@ type File struct {
 	// comparing across machines.
 	Pkg  string `json:"pkg,omitempty"`
 	Host string `json:"host,omitempty"`
+	// GoMaxProcs records the worker parallelism of the run (the -<n>
+	// suffix the bench harness appends to names; on single-core runs,
+	// where the harness omits the suffix, -out falls back to its own
+	// GOMAXPROCS), so throughput numbers carry the core count they were
+	// measured at — essential provenance now that the parallel solver
+	// benches scale with available cores.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 	// Benchmarks lists the parsed results, sorted by name.
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
@@ -87,6 +95,12 @@ func main() {
 
 	if *out != "" {
 		cur.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		if cur.GoMaxProcs == 0 {
+			// The harness omits the -<n> name suffix when GOMAXPROCS is 1.
+			// -out parses benches piped from this same machine, so our own
+			// value is the run's.
+			cur.GoMaxProcs = runtime.GOMAXPROCS(0)
+		}
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
 			fail(err)
@@ -169,11 +183,14 @@ func Parse(r io.Reader) (*File, error) {
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
-		b, err := parseLine(line)
+		b, procs, err := parseLine(line)
 		if err != nil {
 			return nil, err
 		}
 		b.Pkg = pkg
+		if procs > 0 {
+			f.GoMaxProcs = procs
+		}
 		f.Benchmarks = append(f.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
@@ -199,39 +216,43 @@ func Parse(r io.Reader) (*File, error) {
 }
 
 // parseLine parses one benchmark line: name, iteration count, then
-// (value, unit) pairs.
-func parseLine(line string) (Benchmark, error) {
+// (value, unit) pairs. The second return is the GOMAXPROCS suffix the
+// harness appended to the name (0 when absent).
+func parseLine(line string) (Benchmark, int, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+		return Benchmark{}, 0, fmt.Errorf("malformed benchmark line: %q", line)
 	}
-	b := Benchmark{Name: stripCPUSuffix(fields[0]), Metrics: map[string]float64{}}
+	name, procs := stripCPUSuffix(fields[0])
+	b := Benchmark{Name: name, Metrics: map[string]float64{}}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, fmt.Errorf("iteration count in %q: %w", line, err)
+		return Benchmark{}, 0, fmt.Errorf("iteration count in %q: %w", line, err)
 	}
 	b.Iters = iters
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, fmt.Errorf("value %q in %q: %w", fields[i], line, err)
+			return Benchmark{}, 0, fmt.Errorf("value %q in %q: %w", fields[i], line, err)
 		}
 		b.Metrics[fields[i+1]] = v
 	}
-	return b, nil
+	return b, procs, nil
 }
 
 // stripCPUSuffix removes the trailing -<gomaxprocs> the bench harness
-// appends to names (Benchmark names themselves never end in -<digits>).
-func stripCPUSuffix(name string) string {
+// appends to names (Benchmark names themselves never end in -<digits>)
+// and returns its value, 0 when no suffix is present.
+func stripCPUSuffix(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], procs
 }
 
 // higherIsBetter classifies a metric unit: rates (anything per second)

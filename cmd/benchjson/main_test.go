@@ -51,6 +51,9 @@ func TestParse(t *testing.T) {
 	if f.Host == "" || !strings.Contains(f.Host, "Xeon") {
 		t.Errorf("host not captured: %q", f.Host)
 	}
+	if f.GoMaxProcs != 8 {
+		t.Errorf("gomaxprocs = %d, want 8 (from the -8 name suffix)", f.GoMaxProcs)
+	}
 }
 
 func TestParseRejectsMalformed(t *testing.T) {

@@ -132,6 +132,10 @@ type RunOptions struct {
 	Measure      string `json:"measure,omitempty"`
 	MeasureStart int64  `json:"measure_start,omitempty"`
 	MeasureEnd   int64  `json:"measure_end,omitempty"`
+	// SolverWorkers bounds the per-solve worker pool of parallel solver
+	// backends (zero keeps the backend default, 1 forces serial). Purely a
+	// wall-clock knob: cell results are bit-identical at every setting.
+	SolverWorkers int `json:"solver_workers,omitempty"`
 }
 
 // Options lowers the serializable options to simulator options.
@@ -148,6 +152,9 @@ func (ro RunOptions) Options() ([]sim.Option, error) {
 		opts = append(opts, sim.WithMeasureWindow(ro.MeasureStart, ro.MeasureEnd))
 	default:
 		return nil, fmt.Errorf("farm: unknown measure mode %q (want \"\", \"full\", or \"window\")", ro.Measure)
+	}
+	if ro.SolverWorkers != 0 {
+		opts = append(opts, sim.WithSolverWorkers(ro.SolverWorkers))
 	}
 	return opts, nil
 }

@@ -19,6 +19,13 @@ import (
 // throughput at w ≥ 64.
 var benchWindows = []int{64, 128}
 
+// giantWindows are the §5-scale windows where the SoA-batched parallel
+// PDHG products earn their keep; each size runs serial (Workers=1) and
+// parallel (Workers=0 → GOMAXPROCS) on the identical decision, so the
+// parallel speedup is read directly off the pair. Results are
+// bit-identical between the two by the determinism contract.
+var giantWindows = []int{1024, 2048, 4096, 8192}
+
 // benchContext builds one realistic scheduling invocation: w
 // generator-shaped Theta jobs against a half-loaded machine, so both the
 // node and burst-buffer rows bind.
@@ -78,6 +85,35 @@ func BenchmarkSolveLP(b *testing.B) {
 				}
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/sec")
 			})
+		}
+		for _, w := range giantWindows {
+			for _, workers := range []int{1, 0} {
+				mode := "parallel"
+				if workers == 1 {
+					mode = "serial"
+				}
+				name := fmt.Sprintf("w=%d/%s", w, mode)
+				if warm {
+					name = "warm/" + name
+				}
+				b.Run(name, func(b *testing.B) {
+					m := sched.NewWeighted("Weighted_LP", 0.5, 0.5, moo.DefaultGAConfig())
+					m.SetSolver(lp.New(lp.DefaultConfig()))
+					ctx, reset := benchContext(b, w)
+					ctx.Workers = workers
+					if warm {
+						ctx.Memory = solver.NewMemory()
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := m.Select(reset()); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/sec")
+				})
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ package lp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"bbsched/internal/moo"
@@ -41,6 +42,14 @@ type Config struct {
 	// 0/1 selections from the fractional optimum (default 8). The greedy
 	// and threshold candidates are always tried in addition.
 	RoundTrials int
+	// PolishMaxDim bounds the windows that get the deterministic 1-bit
+	// hill-climb after rounding (default 256; negative disables). The
+	// polish scores flips through the problem's true Evaluate, so it
+	// recovers accuracy the linear columns only approximate (the §5
+	// SSD-waste term's joint-placement error) — worth O(n) evaluations
+	// per sweep on oracle-grade windows, not on giant ones where the
+	// backend is a throughput device.
+	PolishMaxDim int
 }
 
 // DefaultConfig returns the default backend parameters.
@@ -59,12 +68,20 @@ func (c Config) withDefaults() Config {
 	if c.RoundTrials <= 0 {
 		c.RoundTrials = 8
 	}
+	if c.PolishMaxDim == 0 {
+		c.PolishMaxDim = 256
+	}
 	return c
 }
 
 // checkEvery is the residual-evaluation stride: residuals cost two
 // mat-vecs, so they are sampled rather than computed per iteration.
 func (c Config) checkEvery() int { return 25 }
+
+// swapPolishMaxDim bounds the windows whose polish pass also tries
+// drop-one/add-one swap moves (up to n² evaluations per sweep) — the
+// oracle-suite sizes, where ratio-of-exact accuracy is the contract.
+const swapPolishMaxDim = 64
 
 // Solver is the restarted Halpern PDHG backend. It is safe for concurrent
 // Solve calls: per-solve workspaces are pooled, never shared.
@@ -147,6 +164,24 @@ func (s *Solver) Solve(p moo.Problem, opts solver.Options) ([]moo.Solution, erro
 	}
 	defer s.scratch.Put(ws)
 	ws.rel.load(form)
+
+	// Giant windows parallelize the chunked PDHG kernels across a bounded
+	// per-solve pool (Options.Workers; 0 means GOMAXPROCS). Chunk grain
+	// and reduction order are worker-count-independent, so the result is
+	// bit-identical to the serial path — see parallel.go. Small windows
+	// skip the pool: dispatch overhead beats the win below parallelMinDim.
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && ws.rel.n >= parallelMinDim {
+		pool := newWorkerPool(workers)
+		ws.rel.pool = pool
+		defer func() {
+			ws.rel.pool = nil
+			pool.close()
+		}()
+	}
 	st := ws.rel.solveFrom(cfg, warm)
 	if st.WarmRejected {
 		logWarmRejected(warm, ws.rel.n, ws.rel.m)
@@ -231,6 +266,54 @@ func (s *Solver) Solve(p moo.Problem, opts solver.Options) ([]moo.Solution, erro
 
 	if bestObjs == nil {
 		return nil, fmt.Errorf("lp: no feasible rounded solution for %d-job window", n)
+	}
+
+	// Local polish: a deterministic hill-climb on the incumbent, scored
+	// through the true (placement-aware) Evaluate. The fractional order
+	// that shaped the candidates came from the linear columns, which only
+	// approximate placement effects (the §5 waste term); cumulative
+	// single-bit flips — plus drop-one/add-one swaps on oracle-grade
+	// windows, where a full machine leaves no room for a bare add — close
+	// most of that gap. Small windows only: a flip sweep costs n
+	// evaluations, a swap sweep up to n².
+	if n <= s.cfg.PolishMaxDim {
+		g.CopyFrom(bestGenome)
+		swaps := n <= swapPolishMaxDim
+		for improved, sweeps := true, 0; improved && sweeps < 8; sweeps++ {
+			improved = false
+			for i := 0; i < n; i++ {
+				g.FlipBit(i)
+				if objs, feasible := ev.Evaluate(g); feasible && objs[0] > bestObjs[0] {
+					bestObjs = objs
+					improved = true
+				} else {
+					g.FlipBit(i)
+				}
+			}
+			if !swaps {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if !g.Bit(i) {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if g.Bit(j) {
+						continue
+					}
+					g.FlipBit(i)
+					g.FlipBit(j)
+					if objs, feasible := ev.Evaluate(g); feasible && objs[0] > bestObjs[0] {
+						bestObjs = objs
+						improved = true
+						break // i left the selection; move to the next i
+					}
+					g.FlipBit(i)
+					g.FlipBit(j)
+				}
+			}
+		}
+		bestGenome = g.Clone()
 	}
 
 	// Carry the final iterate forward for the next window and adapt the

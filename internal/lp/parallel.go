@@ -1,0 +1,98 @@
+package lp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lpChunkSize is the fixed work-partition grain for the chunked PDHG
+// kernels. It is a constant — never a function of the worker count — so
+// every chunk computes the identical floating-point partial and the
+// serial fixed-order combination of those partials yields bit-identical
+// results for any Options.Workers setting, including fully serial. 512
+// variables × a handful of constraint rows keeps a chunk's working set
+// inside L1/L2 while amortizing dispatch overhead.
+const lpChunkSize = 512
+
+// parallelMinDim is the window size below which Solve stays serial even
+// when workers are available: under ~a thousand variables the pool
+// dispatch and barrier costs outweigh the product parallelism.
+const parallelMinDim = 1024
+
+// workerPool executes chunk loops across a bounded set of goroutines.
+// It is created per Solve (no goroutines outlive a solve) and closed by
+// the owner. Work is shared through an atomic next-chunk counter, so
+// scheduling is dynamic, but chunk results land in per-chunk slots that
+// the caller combines serially in ascending chunk order — determinism
+// never depends on which worker ran which chunk.
+type workerPool struct {
+	workers int
+	runs    chan poolRun
+}
+
+// poolRun is one chunk loop in flight: helpers drain the shared counter
+// until it passes limit.
+type poolRun struct {
+	fn    func(chunk int)
+	next  *atomic.Int64
+	limit int64
+	wg    *sync.WaitGroup
+}
+
+func (r poolRun) drain() {
+	for {
+		c := r.next.Add(1) - 1
+		if c >= r.limit {
+			return
+		}
+		r.fn(int(c))
+	}
+}
+
+// newWorkerPool starts workers−1 helper goroutines; the goroutine
+// calling run participates as the final worker, so a pool of 1 spawns
+// nothing and runs serially.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers, runs: make(chan poolRun, workers)}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for r := range p.runs {
+				r.drain()
+				r.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(0..chunks-1), blocking until every chunk completed.
+// A nil pool (or a single-worker pool, or a single chunk) runs the loop
+// inline — the serial reference path.
+func (p *workerPool) run(chunks int, fn func(chunk int)) {
+	if p == nil || p.workers <= 1 || chunks <= 1 {
+		for c := 0; c < chunks; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	helpers := p.workers - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	r := poolRun{fn: fn, next: &next, limit: int64(chunks), wg: &wg}
+	wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		p.runs <- r
+	}
+	r.drain() // the calling goroutine is a worker too
+	wg.Wait()
+}
+
+// close releases the helper goroutines. Safe on a nil pool.
+func (p *workerPool) close() {
+	if p != nil {
+		close(p.runs)
+	}
+}

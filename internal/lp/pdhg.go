@@ -36,19 +36,58 @@ type Stats struct {
 
 // relaxation is the pooled workspace of one PDHG solve. All slices are
 // grown on demand and reused across solves.
+//
+// The demand data is struct-of-arrays: each constraint dimension is one
+// contiguous capacity-normalized []float64 column over the window's jobs,
+// and all dimensions share a single backing slab (rowStore), so the
+// matrix-free Ax/Aᵀy products stream m sequential lanes per chunk instead
+// of chasing per-row allocations. Every kernel walks the variable range
+// in fixed-size chunks (lpChunkSize) and reduces per-chunk partials in
+// ascending chunk order — the same arithmetic whether chunks run on one
+// goroutine or many, which is what keeps parallel solves bit-identical
+// to serial.
 type relaxation struct {
 	n, m int // variables (window jobs), kept constraint rows
 
-	rows [][]float64 // capacity-normalized demand rows, pinned columns zeroed
-	c    []float64   // objective, scaled to max |c| = 1
-	u    []float64   // per-variable upper bound: 1, or 0 when pinned out
+	rowStore []float64   // m×n slab backing the rows
+	rows     [][]float64 // capacity-normalized demand rows, pinned columns zeroed
+	c        []float64   // objective, scaled to max |c| = 1
+	u        []float64   // per-variable upper bound: 1, or 0 when pinned out
 
 	x, xn, x0 []float64 // primal iterate, PDHG step, Halpern anchor
 	y, yn, y0 []float64 // dual iterate, PDHG step, Halpern anchor
 	aty       []float64 // Aᵀy scratch (n)
 	ax        []float64 // A·(·) scratch (m)
 
+	parts  []float64 // per-chunk per-row product partials (chunks×m)
+	pparts []float64 // per-chunk scalar partials, primal-side (chunks)
+	dparts []float64 // per-chunk scalar partials, dual-side (chunks)
+
 	cmax float64 // objective scale factor (original = normalized × cmax)
+
+	// pool executes chunk loops; nil means serial (the package-level
+	// SolveRelaxation entry points and every sub-parallelMinDim solve).
+	pool *workerPool
+}
+
+// chunks is the number of fixed-size variable chunks of the instance.
+func (w *relaxation) chunks() int {
+	return (w.n + lpChunkSize - 1) / lpChunkSize
+}
+
+// span returns chunk c's variable range [lo, hi).
+func (w *relaxation) span(c int) (lo, hi int) {
+	lo = c * lpChunkSize
+	hi = lo + lpChunkSize
+	if hi > w.n {
+		hi = w.n
+	}
+	return lo, hi
+}
+
+// run executes fn over every chunk, inline when no pool is attached.
+func (w *relaxation) run(fn func(chunk int)) {
+	w.pool.run(w.chunks(), fn)
 }
 
 func (w *relaxation) grow(n, m int) {
@@ -68,13 +107,20 @@ func (w *relaxation) grow(n, m int) {
 	growF(&w.yn, m)
 	growF(&w.y0, m)
 	growF(&w.ax, m)
+	// One contiguous slab for all constraint rows; rows are full-capacity
+	// views into it, so dimension r's coefficients stay adjacent in memory.
+	growF(&w.rowStore, n*m)
 	if cap(w.rows) < m {
-		w.rows = append(w.rows[:cap(w.rows)], make([][]float64, m-cap(w.rows))...)
+		w.rows = make([][]float64, m)
 	}
 	w.rows = w.rows[:m]
 	for r := range w.rows {
-		growF(&w.rows[r], n)
+		w.rows[r] = w.rowStore[r*n : (r+1)*n : (r+1)*n]
 	}
+	chunks := (n + lpChunkSize - 1) / lpChunkSize
+	growF(&w.parts, chunks*m)
+	growF(&w.pparts, chunks)
+	growF(&w.dparts, chunks)
 	w.n, w.m = n, m
 }
 
@@ -144,7 +190,8 @@ func (w *relaxation) load(form solver.LinearForm) {
 }
 
 // operatorNorm estimates ‖A‖₂ of the normalized constraint matrix by
-// power iteration on AᵀA, matrix-free and deterministic.
+// power iteration on AᵀA, matrix-free and deterministic (the chunked
+// products reduce in fixed order regardless of worker count).
 func (w *relaxation) operatorNorm() float64 {
 	if w.m == 0 || w.n == 0 {
 		return 0
@@ -157,46 +204,117 @@ func (w *relaxation) operatorNorm() float64 {
 	for it := 0; it < 32; it++ {
 		w.matVec(v, w.ax)
 		w.matVecT(w.ax, v)
+		w.run(func(c int) {
+			lo, hi := w.span(c)
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += v[i] * v[i]
+			}
+			w.dparts[c] = s
+		})
 		s := 0.0
-		for _, vi := range v {
-			s += vi * vi
+		for c := 0; c < w.chunks(); c++ {
+			s += w.dparts[c]
 		}
 		s = math.Sqrt(s)
 		if s == 0 {
 			return 0
 		}
-		for i := range v {
-			v[i] /= s
-		}
+		w.run(func(c int) {
+			lo, hi := w.span(c)
+			for i := lo; i < hi; i++ {
+				v[i] /= s
+			}
+		})
 		norm = math.Sqrt(s) // v was unit before the step, so ‖AᵀAv‖ ≈ λmax
 	}
 	return norm
 }
 
-// matVec writes A·v into out (one entry per kept row).
+// matVec writes A·v into out (one entry per kept row): per-chunk per-row
+// partials, combined serially in chunk order.
 func (w *relaxation) matVec(v []float64, out []float64) {
-	for r, row := range w.rows {
+	w.run(func(c int) {
+		lo, hi := w.span(c)
+		part := w.parts[c*w.m : c*w.m+w.m]
+		for r := 0; r < w.m; r++ {
+			row := w.rows[r]
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += row[i] * v[i]
+			}
+			part[r] = s
+		}
+	})
+	chunks := w.chunks()
+	for r := 0; r < w.m; r++ {
 		s := 0.0
-		for i, a := range row {
-			s += a * v[i]
+		for c := 0; c < chunks; c++ {
+			s += w.parts[c*w.m+r]
 		}
 		out[r] = s
 	}
 }
 
-// matVecT writes Aᵀ·v into out (one entry per variable).
+// matVecT writes Aᵀ·v into out (one entry per variable). Entries are
+// independent, so chunks need no reduction step.
 func (w *relaxation) matVecT(v []float64, out []float64) {
-	for i := range out {
-		out[i] = 0
+	w.run(func(c int) {
+		lo, hi := w.span(c)
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for r := 0; r < w.m; r++ {
+				s += w.rows[r][i] * v[r]
+			}
+			out[i] = s
+		}
+	})
+}
+
+// stepChunk is the fused per-chunk PDHG step: Aᵀy, the projected primal
+// step, and the extrapolated-primal product partials in one pass over the
+// chunk's lanes — each row element is touched twice while hot.
+func (w *relaxation) stepChunk(c int, eta float64) {
+	lo, hi := w.span(c)
+	part := w.parts[c*w.m : c*w.m+w.m]
+	for r := range part {
+		part[r] = 0
 	}
-	for r, row := range w.rows {
-		vr := v[r]
-		if vr == 0 {
-			continue
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for r := 0; r < w.m; r++ {
+			s += w.rows[r][i] * w.y[r]
 		}
-		for i, a := range row {
-			out[i] += a * vr
+		// Primal step: x̂ = Π_[0,u](x + η(c − Aᵀy)).
+		v := w.x[i] + eta*(w.c[i]-s)
+		if v < 0 {
+			v = 0
+		} else if ub := w.u[i]; v > ub {
+			v = ub
 		}
+		w.xn[i] = v
+		// Extrapolation 2x̂−x feeds the dual product without a buffer.
+		e := 2*v - w.x[i]
+		for r := 0; r < w.m; r++ {
+			part[r] += w.rows[r][i] * e
+		}
+	}
+}
+
+// halpernChunk averages the chunk's primal step toward the anchor and,
+// on restart iterations, resets the anchor in the same pass.
+func (w *relaxation) halpernChunk(c int, lam float64, restart bool) {
+	lo, hi := w.span(c)
+	if restart {
+		for i := lo; i < hi; i++ {
+			v := lam*w.xn[i] + (1-lam)*w.x0[i]
+			w.x[i] = v
+			w.x0[i] = v
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		w.x[i] = lam*w.xn[i] + (1-lam)*w.x0[i]
 	}
 }
 
@@ -210,17 +328,30 @@ func (w *relaxation) residuals() (infeas, gap, primal, dual float64) {
 			infeas = v
 		}
 	}
-	for i, ci := range w.c {
-		primal += ci * w.x[i]
-	}
-	w.matVecT(w.y, w.aty)
+	w.run(func(c int) {
+		lo, hi := w.span(c)
+		p, d := 0.0, 0.0
+		for i := lo; i < hi; i++ {
+			p += w.c[i] * w.x[i]
+			if w.u[i] > 0 {
+				s := 0.0
+				for r := 0; r < w.m; r++ {
+					s += w.rows[r][i] * w.y[r]
+				}
+				if rc := w.c[i] - s; rc > 0 {
+					d += rc // box upper bound u=1 absorbs the positive reduced cost
+				}
+			}
+		}
+		w.pparts[c], w.dparts[c] = p, d
+	})
 	for _, yr := range w.y {
 		dual += yr // normalized capacities are 1
 	}
-	for i, ci := range w.c {
-		if rc := ci - w.aty[i]; rc > 0 && w.u[i] > 0 {
-			dual += rc // box upper bound u=1 absorbs the positive reduced cost
-		}
+	chunks := w.chunks()
+	for c := 0; c < chunks; c++ {
+		primal += w.pparts[c]
+		dual += w.dparts[c]
 	}
 	gap = math.Abs(dual-primal) / (1 + math.Abs(primal) + math.Abs(dual))
 	return infeas, gap, primal, dual
@@ -294,26 +425,19 @@ func (w *relaxation) solveFrom(cfg Config, warm *Iterate) Stats {
 
 	copy(w.x0, w.x)
 	copy(w.y0, w.y)
+	chunks := w.chunks()
 	k := 0
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
-		// Primal step: x̂ = Π_[0,u](x + η(c − Aᵀy)).
-		w.matVecT(w.y, w.aty)
-		for i := range w.xn {
-			v := w.x[i] + eta*(w.c[i]-w.aty[i])
-			if v < 0 {
-				v = 0
-			} else if ub := w.u[i]; v > ub {
-				v = ub
+		// Fused primal step + extrapolated dual product, chunk-parallel.
+		w.run(func(c int) { w.stepChunk(c, eta) })
+		// Combine the product partials in chunk order and take the dual
+		// step: ŷ = Π_{≥0}(y + η(A(2x̂−x) − 1)). m is small; serial.
+		for r := 0; r < w.m; r++ {
+			s := 0.0
+			for c := 0; c < chunks; c++ {
+				s += w.parts[c*w.m+r]
 			}
-			w.xn[i] = v
-		}
-		// Dual step against the extrapolated primal: ŷ = Π_{≥0}(y + η(A(2x̂−x) − 1)).
-		for i := range w.xn {
-			w.aty[i] = 2*w.xn[i] - w.x[i] // reuse aty as the extrapolation buffer
-		}
-		w.matVec(w.aty, w.ax)
-		for r := range w.yn {
-			v := w.y[r] + eta*(w.ax[r]-1)
+			v := w.y[r] + eta*(s-1)
 			if v < 0 {
 				v = 0
 			}
@@ -321,15 +445,13 @@ func (w *relaxation) solveFrom(cfg Config, warm *Iterate) Stats {
 		}
 		// Halpern anchoring: z ← (k+1)/(k+2)·ẑ + 1/(k+2)·z⁰.
 		lam := float64(k+1) / float64(k+2)
-		for i := range w.x {
-			w.x[i] = lam*w.xn[i] + (1-lam)*w.x0[i]
-		}
+		k++
+		restart := k >= cfg.RestartPeriod
+		w.run(func(c int) { w.halpernChunk(c, lam, restart) })
 		for r := range w.y {
 			w.y[r] = lam*w.yn[r] + (1-lam)*w.y0[r]
 		}
-		k++
-		if k >= cfg.RestartPeriod {
-			copy(w.x0, w.x)
+		if restart {
 			copy(w.y0, w.y)
 			k = 0
 			st.Restarts++
@@ -351,7 +473,8 @@ func (w *relaxation) solveFrom(cfg Config, warm *Iterate) Stats {
 // SolveRelaxation solves the LP relaxation of a linear selection instance
 // and returns the fractional primal solution x ∈ [0,1]ⁿ with solve
 // statistics. It is the low-level entry point behind Solver.Solve, exposed
-// for diagnostics, examples, and convergence tests.
+// for diagnostics, examples, and convergence tests. It always runs
+// serially; parallel solves go through Solver.Solve with Options.Workers.
 func SolveRelaxation(form solver.LinearForm, cfg Config) ([]float64, Stats) {
 	cfg = cfg.withDefaults()
 	w := &relaxation{}

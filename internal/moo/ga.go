@@ -18,7 +18,11 @@ type GAConfig struct {
 	// children. Paper default 0.0005 (0.05%).
 	MutationProb float64
 	// Parallelism > 1 evaluates each generation's children concurrently,
-	// the acceleration §3.2.2 notes. Zero or one evaluates serially.
+	// the acceleration §3.2.2 notes: uncached child genomes are batch
+	// evaluated across that many workers, with memo writes merged in
+	// canonical (child index) order, so fronts and Evaluator statistics
+	// are bit-identical to the serial path at any width. Zero or one
+	// evaluates serially.
 	Parallelism int
 	// Archive, when true, additionally accumulates every feasible
 	// evaluated solution into the returned front instead of reporting only
@@ -97,6 +101,11 @@ type gaSolver struct {
 	feasible []bool
 	skipEval []bool
 	childOut []Solution
+
+	// Batch-evaluation scratch (Parallelism > 1): per-child cache
+	// entries and the lookup/repair mask.
+	ents []*evalEntry
+	redo []bool
 
 	// Per-worker repair stream scratch (serial path); parallel workers
 	// keep their own. wsIntn caches the ws.Intn method value: the stream
@@ -266,58 +275,35 @@ func (g *gaSolver) breed(pop []Solution) []Solution {
 		}
 	}
 
-	// …then evaluate/repair, optionally in parallel. Each child that
-	// needs repair draws from its own split stream so results do not
-	// depend on scheduling order; the split reseeds a per-worker scratch
-	// stream in place, constructed lazily on each worker's first repair.
-	eval := func(i int, ws **rng.Stream, intn *func(int) int) {
-		if g.skipEval[i] {
-			return
-		}
-		ent := g.ev.lookup(g.raw[i])
-		if !ent.feasible && g.rep != nil {
-			if *ws == nil {
-				*ws = s.SplitIndexInto(nil, uint64(i))
-				*intn = (*ws).Intn
-			} else {
-				s.SplitIndexInto(*ws, uint64(i))
-			}
-			g.rep.Repair(g.raw[i], *intn)
-			ent = g.ev.lookup(g.raw[i])
-		}
-		if ent.feasible {
-			g.children[i] = Solution{Genome: ent.genome, Objectives: ent.objs, key: ent.key}
-			g.feasible[i] = true
-		} else {
-			g.feasible[i] = false
-		}
-	}
+	// …then evaluate/repair: batch-parallel when configured, else the
+	// serial reference path. Each child that needs repair draws from its
+	// own split stream so results do not depend on scheduling order; the
+	// split reseeds a per-worker scratch stream in place, constructed
+	// lazily on each worker's first repair.
 	if cfg.Parallelism > 1 {
-		var wg sync.WaitGroup
-		var next atomic.Int64
-		workers := cfg.Parallelism
-		if workers > count {
-			workers = count
-		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var ws *rng.Stream
-				var intn func(int) int
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= count {
-						return
-					}
-					eval(i, &ws, &intn)
-				}
-			}()
-		}
-		wg.Wait()
+		g.evalBatch(count, cfg.Parallelism)
 	} else {
 		for i := 0; i < count; i++ {
-			eval(i, &g.ws, &g.wsIntn)
+			if g.skipEval[i] {
+				continue
+			}
+			ent := g.ev.lookup(g.raw[i])
+			if !ent.feasible && g.rep != nil {
+				if g.ws == nil {
+					g.ws = s.SplitIndexInto(nil, uint64(i))
+					g.wsIntn = g.ws.Intn
+				} else {
+					s.SplitIndexInto(g.ws, uint64(i))
+				}
+				g.rep.Repair(g.raw[i], g.wsIntn)
+				ent = g.ev.lookup(g.raw[i])
+			}
+			if ent.feasible {
+				g.children[i] = Solution{Genome: ent.genome, Objectives: ent.objs, key: ent.key}
+				g.feasible[i] = true
+			} else {
+				g.feasible[i] = false
+			}
 		}
 	}
 
@@ -329,6 +315,99 @@ func (g *gaSolver) breed(pop []Solution) []Solution {
 	}
 	g.childOut = out
 	return out
+}
+
+// evalBatch is the generation's batch-parallel evaluation. One locked
+// pass resolves cache entries for every bred child in ascending index
+// order (the canonical memo merge order — worker count never changes
+// what the cache holds or the order it was built), the entries evaluate
+// across workers behind their once gates, and children whose raw genome
+// proved infeasible are repaired against their per-child split streams
+// — the identical streams the serial path uses — then re-resolved and
+// re-evaluated the same way. The multiset of cache lookups matches the
+// serial path exactly, so fronts, populations, and Evaluator hit/miss
+// totals are bit-identical to Parallelism ≤ 1.
+func (g *gaSolver) evalBatch(count, workers int) {
+	if cap(g.ents) < count {
+		g.ents = make([]*evalEntry, count)
+		g.redo = make([]bool, count)
+	}
+	ents := g.ents[:count]
+	redo := g.redo[:count]
+
+	// Phase 1: resolve and evaluate every non-skipped raw child.
+	for i := 0; i < count; i++ {
+		ents[i] = nil
+		redo[i] = !g.skipEval[i]
+	}
+	g.ev.lookupEntries(g.raw[:count], redo, ents)
+	g.ev.evaluateEntries(ents, workers)
+
+	// Phase 2: repair raw-infeasible children and re-resolve them.
+	anyRedo := false
+	for i := 0; i < count; i++ {
+		redo[i] = redo[i] && !ents[i].feasible && g.rep != nil
+		anyRedo = anyRedo || redo[i]
+	}
+	if anyRedo {
+		if workers > 1 {
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var ws *rng.Stream
+					var intn func(int) int
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= count {
+							return
+						}
+						if !redo[i] {
+							continue
+						}
+						if ws == nil {
+							ws = g.s.SplitIndexInto(nil, uint64(i))
+							intn = ws.Intn
+						} else {
+							g.s.SplitIndexInto(ws, uint64(i))
+						}
+						g.rep.Repair(g.raw[i], intn)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < count; i++ {
+				if !redo[i] {
+					continue
+				}
+				if g.ws == nil {
+					g.ws = g.s.SplitIndexInto(nil, uint64(i))
+					g.wsIntn = g.ws.Intn
+				} else {
+					g.s.SplitIndexInto(g.ws, uint64(i))
+				}
+				g.rep.Repair(g.raw[i], g.wsIntn)
+			}
+		}
+		g.ev.lookupEntries(g.raw[:count], redo, ents)
+		g.ev.evaluateEntries(ents, workers)
+	}
+
+	// Assemble: skipped children were filled in by breed already.
+	for i := 0; i < count; i++ {
+		if g.skipEval[i] {
+			continue
+		}
+		if ent := ents[i]; ent.feasible {
+			g.children[i] = Solution{Genome: ent.genome, Objectives: ent.objs, key: ent.key}
+			g.feasible[i] = true
+		} else {
+			g.feasible[i] = false
+		}
+	}
 }
 
 // selectNext implements the paper's age-based selection: the pool's Pareto

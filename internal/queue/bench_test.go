@@ -1,0 +1,50 @@
+package queue
+
+import (
+	"fmt"
+	"testing"
+
+	"bbsched/internal/job"
+	"bbsched/internal/rng"
+)
+
+// benchQueue builds a WFP (time-varying, partial-selection path) queue of
+// depth jobs with colliding submit times and varied sizes.
+func benchQueue(depth int) *Queue {
+	r := rng.New(1013)
+	q := New(WFP{})
+	for i := 0; i < depth; i++ {
+		q.Add(&job.Job{
+			ID:          i + 1,
+			SubmitTime:  int64(r.Intn(200)) * 10,
+			WalltimeEst: []int64{600, 1800, 3600}[r.Intn(3)],
+			Runtime:     600,
+			Demand:      job.NewDemand(1+r.Intn(32), int64(r.Intn(2000)), 0),
+		})
+	}
+	return q
+}
+
+// BenchmarkWindowInto is the giant-window regression gate for the
+// time-varying extraction: w near queue depth must ride the full-sort
+// crossover instead of degenerating into n-ish cache-hostile heap pops,
+// and small w must keep the O(n + w log n) partial selection.
+func BenchmarkWindowInto(b *testing.B) {
+	ready := func(int) bool { return true }
+	for _, depth := range []int{1024, 8192} {
+		for _, w := range []int{20, depth / 2, depth} {
+			b.Run(fmt.Sprintf("n=%d/w=%d", depth, w), func(b *testing.B) {
+				q := benchQueue(depth)
+				buf := make([]*job.Job, 0, depth)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf = q.WindowInto(buf[:0], int64(i%1000)*60, w, ready)
+				}
+				if len(buf) != w {
+					b.Fatalf("window len %d, want %d", len(buf), w)
+				}
+			})
+		}
+	}
+}

@@ -18,7 +18,10 @@
 //   - Time-varying policies (WFP, Multifactor) keep the waiting set
 //     unordered and extract windows with a pooled partial heap selection:
 //     O(n) heapify plus O(w log n) pops, with no per-call map or slice
-//     allocations.
+//     allocations. Past the w ≥ n/2 crossover — giant windows covering
+//     most of the queue — the selection falls back to one full pooled
+//     sort, which costs the same asymptotically with far better
+//     constants than n-ish heap pops.
 //
 // Sorted remains the straightforward reference implementation (full
 // re-sort with fresh allocations); the property suite pins the index
@@ -341,7 +344,8 @@ func (q *Queue) WindowInto(dst []*job.Job, now int64, size int, depsDone func(id
 	}
 	// Time-varying: pooled partial selection. Gather the dep-ready jobs
 	// with their priorities, heapify (O(n)), then pop the best size jobs
-	// (O(size log n)) — never a full sort, never a fresh map.
+	// (O(size log n)) — never a fresh map, and a full sort only past the
+	// crossover where the partial selection would cost as much anyway.
 	q.heapJobs = q.heapJobs[:0]
 	q.heapPrio = q.heapPrio[:0]
 	for _, j := range q.order {
@@ -352,6 +356,17 @@ func (q *Queue) WindowInto(dst []*job.Job, now int64, size int, depsDone func(id
 		q.heapPrio = append(q.heapPrio, q.orderedPriority(j, now))
 	}
 	n := len(q.heapJobs)
+	if 2*size >= n {
+		// Giant windows: once w reaches half the dep-ready depth, the
+		// heap's w log n pops match a full sort's cost but with
+		// cache-hostile sift access; sort once instead. `before` is a
+		// total order, so the output is identical element-for-element.
+		sort.Sort((*windowSorter)(q))
+		if size > n {
+			size = n
+		}
+		return append(dst, q.heapJobs[:size]...)
+	}
 	for i := n/2 - 1; i >= 0; i-- {
 		q.siftDown(i, n)
 	}
@@ -362,6 +377,23 @@ func (q *Queue) WindowInto(dst []*job.Job, now int64, size int, depsDone func(id
 		q.siftDown(0, n)
 	}
 	return dst
+}
+
+// windowSorter views a Queue's pooled selection arrays as a
+// sort.Interface over the total order `before` — a defined-type
+// conversion, not a wrapper struct, so the crossover sort stays
+// allocation-free.
+type windowSorter Queue
+
+func (s *windowSorter) Len() int { return len(s.heapJobs) }
+
+func (s *windowSorter) Less(a, b int) bool {
+	return before(s.heapPrio[a], s.heapJobs[a], s.heapPrio[b], s.heapJobs[b])
+}
+
+func (s *windowSorter) Swap(a, b int) {
+	s.heapJobs[a], s.heapJobs[b] = s.heapJobs[b], s.heapJobs[a]
+	s.heapPrio[a], s.heapPrio[b] = s.heapPrio[b], s.heapPrio[a]
 }
 
 // siftDown restores the max-heap property (root = first in queue order)

@@ -417,7 +417,7 @@ func init() {
 	})
 	MustRegisterSolver(SolverSpec{
 		Name: "lp",
-		Desc: "matrix-free LP relaxation via restarted Halpern PDHG + randomized rounding (scalarized problems)",
+		Desc: "matrix-free LP relaxation via restarted Halpern PDHG + randomized rounding (scalarized problems; parallel SoA products on giant windows, bit-identical at any worker count)",
 		New:  func(moo.GAConfig) solver.Solver { return lp.New(lp.DefaultConfig()) },
 	})
 	MustRegisterSolver(SolverSpec{
@@ -453,8 +453,11 @@ func init() {
 			return withLP(sched.NewWeighted("Weighted_LP", 0.5, 0.5, ga))
 		},
 		NewDim: func(ga moo.GAConfig, objs []sched.Objective) sched.Method {
-			// Drop objectives with no linear column (the §5 SSD-waste
-			// term) so the LP-backed build stays solvable on any machine.
+			// Every canonical objective now has a linear column — the §5
+			// SSD-waste term linearizes at build time via the allocator's
+			// smallest-eligible-class-first rule — so on SSD machines this
+			// is the full four-objective scalarization. The filter stays as
+			// a guard for future placement-only objectives.
 			return withLP(sched.NewWeightedFor("Weighted_LP", sched.LinearObjectives(objs), ga))
 		},
 		Dimensions: []string{cluster.ResourceNodes, cluster.ResourceBB},

@@ -106,17 +106,18 @@ func TestApplySolver(t *testing.T) {
 		t.Errorf("BBSched rejected the ga backend: %v", err)
 	}
 	// The §5 four-objective Weighted build scalarizes SSD waste, which
-	// has no linear column: the lp backend must be vetoed at setup, not
-	// fail at the first scheduling pass.
+	// now linearizes at problem build (smallest-eligible-class-first
+	// waste columns): the lp backend is accepted instead of vetoed.
 	wSSD, err := New("Weighted", ga(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ApplySolver(wSSD, "lp", ga()); err == nil {
-		t.Error("SSD-waste Weighted build accepted the lp backend (veto bypassed)")
+	if err := ApplySolver(wSSD, "lp", ga()); err != nil {
+		t.Errorf("SSD-waste Weighted build rejected the lp backend: %v", err)
 	}
-	// Weighted_LP's dimension-generated build drops the waste term
-	// instead, so it stays LP-solvable on SSD machines.
+	// Weighted_LP's dimension-generated build keeps every canonical
+	// objective (the filter guards only future placement-only terms), so
+	// it stays LP-solvable on SSD machines.
 	spec, _ := Lookup("Weighted_LP")
 	mDim := spec.NewDim(ga(), sched.ObjectivesFor(cluster.Config{
 		Nodes: 64, BurstBufferGB: 1000,

@@ -35,6 +35,11 @@ type Context struct {
 	// Nil means stateless solves — the historical behaviour. Callers that
 	// reuse a Context across runs must give each run a fresh Memory.
 	Memory *solver.Memory
+	// Workers bounds parallel backends' per-solve worker pools, handed
+	// through as solver.Options.Workers: 0 takes each backend's default,
+	// 1 forces serial, n > 1 caps the pool. Fixed-seed selections are
+	// bit-identical across every setting.
+	Workers int
 
 	// pooled scratch for the in-package heuristic methods (lazily grown;
 	// meaningful reuse requires the caller to reuse the Context itself)
@@ -229,8 +234,10 @@ func (w *Weighted) Name() string { return w.MethodName }
 func (w *Weighted) SetSolver(s solver.Solver) { w.backend.Set(s) }
 
 // VetoSolver implements SolverVetoer: a linear-only backend cannot
-// optimize a scalarization over non-linear objectives (the §5 SSD-waste
-// term), and the objective list is known here.
+// optimize a scalarization over objectives with no linear column, and
+// the objective list is known here. (Every canonical objective —
+// including the §5 SSD-waste term, via its build-time linearization —
+// now passes.)
 func (w *Weighted) VetoSolver(s solver.Solver) error {
 	return vetoNonLinear(w.MethodName, s, w.Objectives)
 }
@@ -252,7 +259,7 @@ func (w *Weighted) Select(ctx *Context) ([]int, error) {
 	p := &scalarized{inner: inner, weights: w.Weights, denom: ctx.Totals.Denominators(w.Objectives)}
 	ev, _ := w.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := w.backend.Resolve(w.GA).Solve(ev, solver.Options{Rand: ctx.Rand, Memory: ctx.Memory})
+	front, err := w.backend.Resolve(w.GA).Solve(ev, solver.Options{Rand: ctx.Rand, Memory: ctx.Memory, Workers: ctx.Workers})
 	w.evals.Put(ev)
 	if err != nil {
 		return nil, fmt.Errorf("sched: %s: %w", w.MethodName, err)
@@ -303,7 +310,7 @@ func (c *Constrained) Select(ctx *Context) ([]int, error) {
 	p := NewSelectionProblem(ctx.Window, ctx.Snap, []Objective{c.Target})
 	ev, _ := c.evals.Get().(*moo.Evaluator)
 	ev = moo.ReuseEvaluator(ev, p)
-	front, err := c.backend.Resolve(c.GA).Solve(ev, solver.Options{Rand: ctx.Rand, Memory: ctx.Memory})
+	front, err := c.backend.Resolve(c.GA).Solve(ev, solver.Options{Rand: ctx.Rand, Memory: ctx.Memory, Workers: ctx.Workers})
 	c.evals.Put(ev)
 	if err != nil {
 		return nil, fmt.Errorf("sched: %s: %w", c.MethodName, err)

@@ -60,22 +60,29 @@ func (o Objective) ExtraIndex() int {
 }
 
 // Linearizable reports whether the objective has a per-job linear
-// column — its value is a fixed amount per selected job, independent of
-// placement. Every utilization objective is; SSD waste (assigned minus
-// requested, a placement outcome) is not. LP backends can only optimize
-// linearizable objectives, and solver vetting uses this predicate at
-// configuration time.
+// column LP backends can optimize. Utilization objectives are exactly
+// linear: their value is a fixed amount per selected job, independent
+// of placement. SSD waste is a placement outcome, but the allocator's
+// deterministic smallest-eligible-class-first placement admits a
+// build-time linearization against the window's snapshot (each job
+// costed as if placed alone — see SelectionProblem.linearWaste), so §5
+// four-objective scalarizations get the LP fast path too; exact
+// feasibility and scoring of rounded candidates still come from
+// Evaluate. Solver vetting uses this predicate at configuration time.
 func (o Objective) Linearizable() bool {
 	switch {
-	case o == NodeUtil, o == BBUtil, o == SSDUtil, o.IsExtra():
+	case o == NodeUtil, o == BBUtil, o == SSDUtil, o == SSDWasteNeg, o.IsExtra():
 		return true
 	}
 	return false
 }
 
 // LinearObjectives returns the subset of objs with per-job linear
-// columns (dropping SSD waste) — the objective list LP-backed method
-// variants can optimize. The input is not modified.
+// columns — the objective list LP-backed method variants can optimize.
+// Since the §5 SSD-waste term gained a build-time linearization, every
+// canonical objective passes; the filter remains for forward
+// compatibility with future placement-only objectives. The input is not
+// modified.
 func LinearObjectives(objs []Objective) []Objective {
 	out := make([]Objective, 0, len(objs))
 	for _, o := range objs {
@@ -389,8 +396,7 @@ func (p *SelectionProblem) Repair(g moo.Genome, drop func(n int) int) {
 
 // objectiveColumn returns the per-job linear coefficient column of one
 // objective: the amount job i contributes to o when selected. It reports
-// false exactly when !o.Linearizable() (SSD waste depends on placement,
-// not selection alone).
+// false exactly when !o.Linearizable().
 func (p *SelectionProblem) objectiveColumn(o Objective) ([]float64, bool) {
 	col := make([]float64, len(p.jobs))
 	switch {
@@ -406,6 +412,20 @@ func (p *SelectionProblem) objectiveColumn(o Objective) ([]float64, bool) {
 		for i, j := range p.jobs {
 			col[i] = float64(j.Demand.TotalSSD())
 		}
+	case o == SSDWasteNeg:
+		// Build-time linearization of the §5 waste term: each job is
+		// costed as if placed alone on the free snapshot. Joint placement
+		// can push later jobs onto bigger-SSD classes, so C·x can
+		// understate a selection's true waste — an approximation the LP
+		// rounding phase corrects by scoring every candidate through
+		// Evaluate. On the fast path (single class, no SSD demands)
+		// Evaluate scores waste 0 for every selection, so the zero column
+		// is exact there.
+		if !p.fastPath {
+			for i, j := range p.jobs {
+				col[i] = -float64(p.linearWaste(j.Demand))
+			}
+		}
 	case o.IsExtra() && o.ExtraIndex() < len(p.extras):
 		for i, v := range p.extras[o.ExtraIndex()] {
 			col[i] = float64(v)
@@ -414,9 +434,35 @@ func (p *SelectionProblem) objectiveColumn(o Objective) ([]float64, bool) {
 		// Objective over a dimension this machine lacks: Evaluate scores
 		// it 0 for every selection, so the zero column is exact.
 	default:
-		return nil, false // SSDWasteNeg or unknown
+		return nil, false // unknown objective
 	}
 	return col, true
+}
+
+// linearWaste is the SSD volume job d wastes when placed alone on the
+// problem's snapshot, mirroring the allocator's rule exactly: fill the
+// smallest eligible SSD classes first, wasting (class capacity − per-node
+// demand) GB per assigned node — including jobs with no SSD demand at
+// all, which waste each assigned node's full capacity. Unplaceable
+// demands cost whatever eligible nodes exist; the constraint rows pin
+// such jobs out of the LP separately.
+func (p *SelectionProblem) linearWaste(d job.Demand) int64 {
+	per := d.SSDPerNode()
+	need := d.NodeCount()
+	var waste int64
+	for c := 0; c < p.snap.NumClasses() && need > 0; c++ {
+		capc := p.snap.ClassCapacity(c)
+		if capc < per {
+			continue
+		}
+		take := p.snap.FreeByClass[c]
+		if take > need {
+			take = need
+		}
+		waste += int64(take) * (capc - per)
+		need -= take
+	}
+	return waste
 }
 
 // linearConstraints returns the knapsack rows of the instance: one demand
@@ -517,9 +563,13 @@ func (s *scalarized) Evaluate(g moo.Genome) ([]float64, bool) {
 func (s *scalarized) Repair(g moo.Genome, drop func(n int) int) { s.inner.Repair(g, drop) }
 
 // LinearForm implements solver.Linearizable: the weighted sum of linear
-// utilization objectives is itself linear, with coefficients
-// Σₖ wₖ·colₖ[i]/denomₖ (matching Evaluate's normalization). It reports
-// false when any combined objective has no linear column (SSD waste).
+// objective columns is itself linear, with coefficients
+// Σₖ wₖ·colₖ[i]/denomₖ (matching Evaluate's normalization). With the §5
+// waste term's build-time linearization every canonical objective
+// contributes a column — including SSDWasteNeg, whose negative
+// coefficients the LP and branch-and-bound backends handle — so
+// four-objective scalarizations get the fast path; it reports false only
+// when some combined objective has no linear column at all.
 func (s *scalarized) LinearForm() (solver.LinearForm, bool) {
 	n := s.inner.Dim()
 	c := make([]float64, n)

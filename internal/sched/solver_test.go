@@ -98,45 +98,45 @@ func TestScalarizedLinearForm(t *testing.T) {
 	}
 }
 
-// TestLinearFormRefusals pins the non-linearizable cases: multi-objective
-// instances and the placement-dependent SSD-waste objective.
+// TestLinearFormRefusals pins the remaining non-linearizable case —
+// multi-objective instances have no scalar linear form — and that the
+// §5 SSD-waste objective now linearizes (build-time waste columns), both
+// alone and inside a scalarization.
 func TestLinearFormRefusals(t *testing.T) {
 	jobs, cl := linearWindow(6, 5)
 	if _, ok := NewSelectionProblem(jobs, cl.Snapshot(), TwoObjectives()).LinearForm(); ok {
 		t.Error("multi-objective problem reported a linear form")
 	}
-	if _, ok := NewSelectionProblem(jobs, cl.Snapshot(), []Objective{SSDWasteNeg}).LinearForm(); ok {
-		t.Error("SSD-waste objective reported a linear form")
+	if _, ok := NewSelectionProblem(jobs, cl.Snapshot(), []Objective{SSDWasteNeg}).LinearForm(); !ok {
+		t.Error("SSD-waste objective reported no linear form")
 	}
 	sc := &scalarized{
 		inner:   NewSelectionProblem(jobs, cl.Snapshot(), []Objective{NodeUtil, SSDWasteNeg}),
 		weights: []float64{0.5, 0.5},
 		denom:   []float64{1, 1},
 	}
-	if _, ok := sc.LinearForm(); ok {
-		t.Error("scalarization over SSD waste reported a linear form")
+	if _, ok := sc.LinearForm(); !ok {
+		t.Error("scalarization over SSD waste reported no linear form")
 	}
 }
 
 // TestLinearObjectives pins the linearizability predicate and filter the
-// solver vetting and the Weighted_LP dimension build rely on.
+// solver vetting and the Weighted_LP dimension build rely on: every
+// canonical objective linearizes, including the §5 waste term.
 func TestLinearObjectives(t *testing.T) {
-	for _, o := range []Objective{NodeUtil, BBUtil, SSDUtil, ExtraUtil(0), ExtraUtil(3)} {
+	for _, o := range []Objective{NodeUtil, BBUtil, SSDUtil, SSDWasteNeg, ExtraUtil(0), ExtraUtil(3)} {
 		if !o.Linearizable() {
 			t.Errorf("%s not linearizable", o)
 		}
 	}
-	if SSDWasteNeg.Linearizable() {
-		t.Error("SSD waste reported linearizable")
+	in := []Objective{NodeUtil, BBUtil, ExtraUtil(0), SSDUtil, SSDWasteNeg}
+	got := LinearObjectives(in)
+	if len(got) != len(in) {
+		t.Fatalf("LinearObjectives = %v, want %v", got, in)
 	}
-	got := LinearObjectives([]Objective{NodeUtil, BBUtil, ExtraUtil(0), SSDUtil, SSDWasteNeg})
-	want := []Objective{NodeUtil, BBUtil, ExtraUtil(0), SSDUtil}
-	if len(got) != len(want) {
-		t.Fatalf("LinearObjectives = %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("LinearObjectives = %v, want %v", got, want)
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("LinearObjectives = %v, want %v", got, in)
 		}
 	}
 }
@@ -149,13 +149,14 @@ func (fakeLinearSolver) Capabilities() solver.Capabilities {
 }
 
 // TestVetoSolverOnNonLinearObjectives checks configuration-time
-// rejection: a linear-only backend over a waste-bearing scalarization
-// must fail at SetSolver vetting, not at the first scheduling pass.
+// vetting: with the §5 waste term's build-time linearization, the
+// four-objective scalarizations and the waste-target constrained method
+// accept linear-only backends instead of vetoing them.
 func TestVetoSolverOnNonLinearObjectives(t *testing.T) {
 	lin := fakeLinearSolver{fakeSolver{name: "linonly"}}
 	w := NewWeightedFor("W4", FourObjectives(), moo.DefaultGAConfig())
-	if err := w.VetoSolver(lin); err == nil {
-		t.Error("four-objective Weighted accepted a linear-only backend")
+	if err := w.VetoSolver(lin); err != nil {
+		t.Errorf("four-objective Weighted vetoed a linear-only backend: %v", err)
 	}
 	if err := w.VetoSolver(fakeSolver{name: "any"}); err != nil {
 		t.Errorf("non-linear backend vetoed: %v", err)
@@ -165,8 +166,8 @@ func TestVetoSolverOnNonLinearObjectives(t *testing.T) {
 		t.Errorf("two-objective Weighted vetoed a linear backend: %v", err)
 	}
 	c := &Constrained{MethodName: "C", Target: SSDWasteNeg, GA: moo.DefaultGAConfig()}
-	if err := c.VetoSolver(lin); err == nil {
-		t.Error("waste-target Constrained accepted a linear-only backend")
+	if err := c.VetoSolver(lin); err != nil {
+		t.Errorf("waste-target Constrained vetoed a linear-only backend: %v", err)
 	}
 }
 

@@ -77,8 +77,9 @@ func (pf *Portfolio) Solve(p moo.Problem, opts Options) ([]moo.Solution, error) 
 	for i, m := range pf.Members {
 		go func(i int, m Solver) {
 			front, err := m.Solve(moo.NewEvaluator(p), Options{
-				Rand:   opts.Rand.SplitIndex(uint64(i)),
-				Memory: opts.Memory,
+				Rand:    opts.Rand.SplitIndex(uint64(i)),
+				Memory:  opts.Memory,
+				Workers: opts.Workers,
 			})
 			results <- outcome{member: i, front: front, err: err}
 		}(i, m)

@@ -145,6 +145,28 @@ func TestPortfolioDeterministic(t *testing.T) {
 	}
 }
 
+// TestPortfolioParallelMatchesSerial pins that Options.Workers — passed
+// through to every racing member on its own split of the invocation
+// stream — never changes the fixed-seed result. The window is past the
+// LP's parallel threshold, so the lp member actually pools its PDHG
+// products and the ga member runs its batch evaluation; both must stay
+// bit-identical to the serial race.
+func TestPortfolioParallelMatchesSerial(t *testing.T) {
+	p := windowProblem(t, 1200, 123)
+	pf := solver.NewPortfolio(0, members()...)
+	serial, err := pf.Solve(moo.NewEvaluator(p), solver.Options{Rand: rng.New(9), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := pf.Solve(moo.NewEvaluator(p), solver.Options{Rand: rng.New(9), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial[0].Genome.Equal(parallel[0].Genome) || serial[0].Objectives[0] != parallel[0].Objectives[0] {
+		t.Fatal("worker-pooled portfolio race diverged from the serial race")
+	}
+}
+
 // TestPortfolioCapabilities pins the race's capability surface: it keeps
 // one best solution (no Pareto front — BBSched must veto it) and only
 // needs the linear form when every member does.
