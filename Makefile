@@ -44,7 +44,7 @@ bench-solver:
 # -require fails the parse if any bench silently dropped out (e.g. its
 # package failed to build inside the { ...; } pipeline, whose exit
 # status is the last command's).
-BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveLP/warm/,BenchmarkSolveLP/w=1024/,BenchmarkSolveLP/w=2048/,BenchmarkSolveLP/w=4096/,BenchmarkSolveLP/w=8192/,BenchmarkSolveLP/warm/w=1024/,BenchmarkSolveLP/warm/w=8192/,BenchmarkSolveGAWindow/,BenchmarkSolvePortfolio/,BenchmarkCheckpoint/
+BENCH_REQUIRE = BenchmarkSimThroughput/materialized,BenchmarkSimThroughput/stream-1M,BenchmarkSolveGA/,BenchmarkSolveLP/,BenchmarkSolveLP/warm/,BenchmarkSolveLP/w=1024/,BenchmarkSolveLP/w=2048/,BenchmarkSolveLP/w=4096/,BenchmarkSolveLP/w=8192/,BenchmarkSolveLP/warm/w=1024/,BenchmarkSolveLP/warm/w=8192/,BenchmarkSolveGAWindow/,BenchmarkSolvePortfolio/,BenchmarkCheckpoint/,BenchmarkFarm/
 
 bench-json:
 	{ $(GO) test -bench '^BenchmarkSimThroughput(Reference)?$$/^materialized-20k$$' -benchtime=3x -run '^$$' ./internal/sim ; \
@@ -52,7 +52,8 @@ bench-json:
 	  $(GO) test -bench '^BenchmarkCheckpoint$$' -benchtime=10x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
 	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; \
-	  $(GO) test -bench '^BenchmarkSolvePortfolio$$' -benchtime=20x -run '^$$' ./internal/lp ; } | \
+	  $(GO) test -bench '^BenchmarkSolvePortfolio$$' -benchtime=20x -run '^$$' ./internal/lp ; \
+	  $(GO) test -bench '^BenchmarkFarm$$' -benchtime=3x -run '^$$' ./internal/farm ; } | \
 		$(GO) run ./cmd/benchjson -out BENCH_sim.json -require '$(BENCH_REQUIRE)'
 
 # Regression gate: re-run the benches and fail if a rate metric
@@ -66,7 +67,8 @@ bench-check:
 	  $(GO) test -bench '^BenchmarkCheckpoint$$' -benchtime=10x -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench '^BenchmarkSolveGA$$' -benchtime=20x -run '^$$' ./internal/moo ; \
 	  $(GO) test -bench '^BenchmarkSolve(LP|GAWindow)$$' -benchtime=5s -run '^$$' ./internal/lp ; \
-	  $(GO) test -bench '^BenchmarkSolvePortfolio$$' -benchtime=20x -run '^$$' ./internal/lp ; } | \
+	  $(GO) test -bench '^BenchmarkSolvePortfolio$$' -benchtime=20x -run '^$$' ./internal/lp ; \
+	  $(GO) test -bench '^BenchmarkFarm$$' -benchtime=3x -run '^$$' ./internal/farm ; } | \
 		$(GO) run ./cmd/benchjson -check BENCH_sim.json -max-regress 0.20 -require '$(BENCH_REQUIRE)'
 
 # Guard the parallel RunSweep driver against races and nondeterminism:
@@ -77,10 +79,12 @@ sweep-smoke:
 # Distributed-farm smoke under -race: an in-process coordinator, three
 # HTTP workers, and two injected crashes (one pre-checkpoint, one
 # post-checkpoint) must still assemble a grid identical to serial
-# RunSweep; plus the checkpoint golden-equivalence and version-skew
-# tests.
+# RunSweep — now also covering speculative duplicate leases
+# (first-result-wins), checkpoint-relay segment assembly, journal
+# crash/replay, and content-addressed cache hits; plus the checkpoint
+# golden-equivalence and version-skew tests.
 farm-smoke:
-	$(GO) test -race -short -run '^TestFarm' ./internal/farm
+	$(GO) test -race -short -run '^TestFarm|^TestRecipeKey$$' ./internal/farm
 	$(GO) test -race -short -run '^TestGoldenCheckpointEquivalence$$|^TestCheckpointRoundTrip' ./internal/sim
 	$(GO) test -race -run '^TestDecodeVersionSkew$$|^TestEncodeDecodeRoundTrip$$' ./internal/checkpoint
 

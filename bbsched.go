@@ -433,10 +433,13 @@ var (
 	NewSliceSource = trace.NewSliceSource
 	SourceOf       = trace.SourceOf
 	CollectSource  = trace.Collect
-	// OpenSWF / OpenCSV stream trace files; NewSWFSource / NewCSVSource
-	// wrap an arbitrary reader; NewTraceCSVWriter writes incrementally.
+	// OpenSWF / OpenCSV stream trace files, transparently gunzipping
+	// paths ending in .gz; OpenTrace picks the parser from the
+	// extension (.swf[.gz] vs CSV); NewSWFSource / NewCSVSource wrap an
+	// arbitrary reader; NewTraceCSVWriter writes incrementally.
 	OpenSWF           = trace.OpenSWF
 	OpenCSV           = trace.OpenCSV
+	OpenTrace         = trace.OpenTrace
 	NewSWFSource      = trace.NewSWFSource
 	NewCSVSource      = trace.NewCSVSource
 	NewTraceCSVWriter = trace.NewCSVWriter
@@ -559,8 +562,13 @@ type (
 	FarmCoordinator = farm.Coordinator
 	// FarmWorker leases and executes cells against a coordinator URL.
 	FarmWorker = farm.Worker
-	// FarmStats counts coordinator-side recovery events.
+	// FarmStats counts coordinator-side recovery and throughput events
+	// (expiries, retries, steals, relay segments, cache dedups,
+	// journal replays).
 	FarmStats = farm.Stats
+	// FarmWorkerStats counts worker-side events: leases, completions,
+	// cache hits/stores, terminal relay segments, lease retries.
+	FarmWorkerStats = farm.WorkerStats
 	// FarmCoordinatorOption configures NewFarmCoordinator.
 	FarmCoordinatorOption = farm.CoordinatorOption
 )
@@ -572,6 +580,16 @@ var (
 	// uploads renew it); WithFarmMaxAttempts bounds retries per cell.
 	WithFarmLeaseTTL    = farm.WithLeaseTTL
 	WithFarmMaxAttempts = farm.WithMaxAttempts
+	// WithFarmSpeculation toggles straggler work-stealing: idle workers
+	// duplicate the oldest in-flight cell from its latest checkpoint,
+	// first result wins (on by default).
+	WithFarmSpeculation = farm.WithSpeculation
+	// WithFarmJournal persists completed cells and relay segments to an
+	// append-only log a replacement coordinator replays after a crash.
+	WithFarmJournal = farm.WithJournal
+	// FarmRecipeKey is the canonical content address of a cell — the
+	// SHA-256 under which its result is cached (FarmWorker.CacheDir).
+	FarmRecipeKey = farm.RecipeKey
 )
 
 // Run simulates a workload under a scheduling method: the legacy one-shot

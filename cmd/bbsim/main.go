@@ -294,20 +294,16 @@ func baseOptions(window, starve, solverWorkers int, dynWindow, noBackfill bool) 
 }
 
 // openStream opens path as a streaming job source — SWF or CSV by
-// extension — caps it at maxJobs, and layers the requested variant and
-// stage-out transforms on top. It returns the wrapped source and the
-// system model the variant targets.
+// extension, gzip-compressed files (".gz") transparently — caps it at
+// maxJobs, and layers the requested variant and stage-out transforms on
+// top. It returns the wrapped source and the system model the variant
+// targets.
 func openStream(path, system string, scale int, variant string, maxJobs int, seed uint64, drainGBps float64) (trace.JobSource, trace.SystemModel, error) {
 	sys, err := systemModel(system, scale)
 	if err != nil {
 		return nil, trace.SystemModel{}, err
 	}
-	var src trace.JobSource
-	if strings.HasSuffix(strings.ToLower(path), ".swf") {
-		src, err = trace.OpenSWF(path, trace.SWFOptions{})
-	} else {
-		src, err = trace.OpenCSV(path)
-	}
+	src, err := trace.OpenTrace(path, trace.SWFOptions{})
 	if err != nil {
 		return nil, trace.SystemModel{}, err
 	}

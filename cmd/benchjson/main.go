@@ -271,14 +271,27 @@ func higherIsBetter(unit string) bool {
 // memory ceiling (peak live heap of the stream-1M bench): it is bounded
 // by queue depth plus look-ahead, so any O(trace-length) regression —
 // retaining finished jobs, preloading arrivals, unbounded metrics —
-// blows far past the tolerance.
+// blows far past the tolerance. makespan-ms is the farm benches'
+// grid-makespan (lower is better, per the suffix rule): it gates the
+// coordinator's tail behavior — losing work-stealing or cache hits shows
+// up as a multiple, not a percentage.
 var gatedMetrics = map[string]bool{
 	"jobs/sec":     true,
 	"solves/sec":   true,
 	"allocs/event": true,
 	"allocs/op":    true,
 	"peak-B":       true,
+	"makespan-ms":  true,
 }
+
+// absSlack is the minimum absolute worsening, per unit, before a
+// lower-is-better metric counts as regressed. Millisecond-scale
+// makespans (the cache-warm farm bench completes its whole grid in a
+// few ms) jitter by single milliseconds on a loaded CI box; a pure
+// ratio gate over such a baseline would flag timer noise. The failures
+// this gate exists for — a lost lever — show up as multiples of the
+// slack.
+var absSlack = map[string]float64{"makespan-ms": 10}
 
 // Compare reports per-benchmark metric deltas and whether every gated
 // metric stayed within the tolerated regression.
@@ -322,7 +335,7 @@ func Compare(base, cur *File, maxRegress float64) (string, bool) {
 			if higherIsBetter(u) {
 				regressed = was > 0 && now < was*(1-maxRegress)
 			} else {
-				regressed = now > was*(1+maxRegress) && now-was > 1e-9
+				regressed = now > was*(1+maxRegress) && now-was > 1e-9 && now-was >= absSlack[u]
 			}
 			if regressed {
 				if gated {

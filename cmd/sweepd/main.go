@@ -48,9 +48,12 @@ func main() {
 		out         = flag.String("out", "", "results JSON file (default stdout)")
 		workers     = flag.Int("workers", 0, "in-process workers to run alongside the coordinator")
 		leaseTTL    = flag.Duration("lease-ttl", 60*time.Second, "worker lease duration; checkpoint uploads renew it")
-		maxAttempts = flag.Int("max-attempts", 3, "attempts per cell before the sweep fails")
+		maxAttempts = flag.Int("max-attempts", 3, "failed attempts per cell before the sweep fails")
 		coordinator = flag.String("coordinator", "", "coordinator URL (worker mode)")
 		id          = flag.String("id", "", "worker name (worker mode; default host:pid)")
+		cacheDir    = flag.String("cache", "", "content-addressed result cache directory (workers answer repeat cells without simulating)")
+		journal     = flag.String("journal", "", "coordinator journal file: completed cells and relay segments are logged and replayed on restart")
+		steal       = flag.Bool("steal", true, "speculative tail work-stealing: duplicate in-flight leases onto idle workers")
 		printGrid   = flag.Bool("print-grid", false, "print a grid template and exit")
 	)
 	flag.Parse()
@@ -65,9 +68,9 @@ func main() {
 	var err error
 	switch {
 	case *coordinator != "":
-		err = runWorker(ctx, *coordinator, *id)
+		err = runWorker(ctx, *coordinator, *id, *cacheDir)
 	case *gridPath != "":
-		err = runCoordinator(ctx, *gridPath, *addr, *out, *workers, *leaseTTL, *maxAttempts)
+		err = runCoordinator(ctx, *gridPath, *addr, *out, *workers, *leaseTTL, *maxAttempts, *cacheDir, *journal, *steal)
 	default:
 		err = fmt.Errorf("need -grid (coordinator mode) or -coordinator (worker mode); see -h")
 	}
@@ -77,7 +80,7 @@ func main() {
 	}
 }
 
-func runCoordinator(ctx context.Context, gridPath, addr, out string, workers int, ttl time.Duration, attempts int) error {
+func runCoordinator(ctx context.Context, gridPath, addr, out string, workers int, ttl time.Duration, attempts int, cacheDir, journal string, steal bool) error {
 	raw, err := os.ReadFile(gridPath)
 	if err != nil {
 		return err
@@ -88,10 +91,19 @@ func runCoordinator(ctx context.Context, gridPath, addr, out string, workers int
 	if err := dec.Decode(&grid); err != nil {
 		return fmt.Errorf("parsing %s: %w", gridPath, err)
 	}
-	coord, err := farm.NewCoordinator(grid, farm.WithLeaseTTL(ttl), farm.WithMaxAttempts(attempts))
+	copts := []farm.CoordinatorOption{
+		farm.WithLeaseTTL(ttl),
+		farm.WithMaxAttempts(attempts),
+		farm.WithSpeculation(steal),
+	}
+	if journal != "" {
+		copts = append(copts, farm.WithJournal(journal))
+	}
+	coord, err := farm.NewCoordinator(grid, copts...)
 	if err != nil {
 		return err
 	}
+	defer coord.Close()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -106,7 +118,7 @@ func runCoordinator(ctx context.Context, gridPath, addr, out string, workers int
 	defer stopWorkers()
 	var wg sync.WaitGroup
 	for i := range workers {
-		w := &farm.Worker{Coordinator: "http://" + ln.Addr().String(), ID: fmt.Sprintf("local-%d", i)}
+		w := &farm.Worker{Coordinator: "http://" + ln.Addr().String(), ID: fmt.Sprintf("local-%d", i), CacheDir: cacheDir}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -135,13 +147,14 @@ func runCoordinator(ctx context.Context, gridPath, addr, out string, workers int
 	return sweepErr
 }
 
-func runWorker(ctx context.Context, url, id string) error {
+func runWorker(ctx context.Context, url, id, cacheDir string) error {
 	if id == "" {
 		host, _ := os.Hostname()
 		id = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
-	w := &farm.Worker{Coordinator: url, ID: id}
+	w := &farm.Worker{Coordinator: url, ID: id, CacheDir: cacheDir}
 	err := w.Run(ctx)
+	fmt.Fprintf(os.Stderr, "sweepd: worker %s stats %+v\n", id, w.Stats())
 	if ctx.Err() != nil {
 		return nil // interrupted: abandoned leases expire and get retried
 	}

@@ -1,0 +1,164 @@
+package farm
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"bbsched/internal/sim"
+	"bbsched/internal/trace"
+)
+
+// matGrid is a cheap materialized-only grid: one 40-job workload swept
+// under two heuristic methods for the given seeds.
+func matGrid(seeds ...uint64) Grid {
+	sys := trace.Scale(trace.Cori(), 128)
+	return Grid{
+		Workloads: []WorkloadSpec{
+			{Name: "farm-mat", Gen: trace.GenConfig{System: sys, Jobs: 40, Seed: 5}},
+		},
+		Methods: []MethodSpec{
+			{Name: "Baseline", GA: testGA()},
+			{Name: "Bin_Packing", GA: testGA()},
+		},
+		Seeds:            seeds,
+		Opts:             RunOptions{Window: 5, StarvationBound: 50, Measure: "full"},
+		CheckpointEvents: 5,
+	}
+}
+
+// runFarm serves coord and drives the workers until the sweep drains,
+// failing the test on a sweep error or any worker transport error.
+func runFarm(t *testing.T, coord *Coordinator, workers []*Worker, timeout time.Duration) []sim.SweepRun {
+	t.Helper()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		w.Coordinator = srv.URL
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.Run(context.Background())
+		}(i, w)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	runs, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	return runs
+}
+
+// TestRecipeKey: the content address is stable, collision-free across a
+// grid, and sensitive to every recipe axis.
+func TestRecipeKey(t *testing.T) {
+	cells := testGrid().Cells()
+	k0, err := RecipeKey(cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k0) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", k0)
+	}
+	if again, _ := RecipeKey(cells[0]); again != k0 {
+		t.Fatalf("key not stable: %s vs %s", k0, again)
+	}
+	seen := map[string]bool{k0: true}
+	for _, c := range cells[1:] {
+		k, err := RecipeKey(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[k] {
+			t.Fatalf("distinct cells share key %s", k)
+		}
+		seen[k] = true
+	}
+	mut := cells[0]
+	mut.Seed++
+	if k, _ := RecipeKey(mut); k == k0 {
+		t.Fatal("seed change did not change the key")
+	}
+	mut = cells[0]
+	mut.Opts.Window++
+	if k, _ := RecipeKey(mut); k == k0 {
+		t.Fatal("run-option change did not change the key")
+	}
+	mut = cells[0]
+	mut.Solver = "greedy"
+	if k, _ := RecipeKey(mut); k == k0 {
+		t.Fatal("solver change did not change the key")
+	}
+}
+
+// TestFarmCacheHitsBitIdentical: a second farm run over the same grid
+// with a shared cache directory answers every cell from disk — no
+// simulation — and the assembled results are bit-identical to the run
+// that stored them, wall-clock fields included.
+func TestFarmCacheHitsBitIdentical(t *testing.T) {
+	g := matGrid(3)
+	want := serialReference(t, g)
+	dir := t.TempDir()
+	cells := len(g.Cells())
+
+	coord1, err := NewCoordinator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := &Worker{ID: "cold", Poll: 5 * time.Millisecond, CacheDir: dir}
+	first := runFarm(t, coord1, []*Worker{cold}, 2*time.Minute)
+	if st := cold.Stats(); st.CacheHits != 0 || st.CacheStores != cells {
+		t.Fatalf("cold run stats %+v, want 0 hits and %d stores", st, cells)
+	}
+	compareRuns(t, first, want)
+
+	coord2, err := NewCoordinator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := &Worker{ID: "warm", Poll: 5 * time.Millisecond, CacheDir: dir}
+	second := runFarm(t, coord2, []*Worker{warm}, 2*time.Minute)
+	if st := warm.Stats(); st.CacheHits != cells || st.CacheStores != 0 {
+		t.Fatalf("warm run stats %+v, want %d hits and 0 stores", st, cells)
+	}
+	compareRuns(t, second, want)
+	for i := range first {
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Errorf("cell %d (%s/%s): cache-hit Result differs from the run that stored it",
+				i, first[i].Workload, first[i].Method)
+		}
+	}
+}
+
+// TestFarmDuplicateCellsLeasedOnce: cells sharing a recipe key within
+// one grid are simulated once; the coordinator fans the result out to
+// the aliases instead of leasing them.
+func TestFarmDuplicateCellsLeasedOnce(t *testing.T) {
+	g := matGrid(3, 3) // duplicate seed axis: 4 cells, 2 distinct recipes
+	want := serialReference(t, g)
+	coord, err := NewCoordinator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Worker{ID: "solo", Poll: 5 * time.Millisecond}
+	got := runFarm(t, coord, []*Worker{w}, 2*time.Minute)
+	if st := coord.Stats(); st.Deduped != 2 {
+		t.Fatalf("Deduped = %d, want 2", st.Deduped)
+	}
+	if st := w.Stats(); st.Leases != 2 || st.Completed != 2 {
+		t.Fatalf("worker stats %+v: duplicate cells must be leased exactly once", st)
+	}
+	compareRuns(t, got, want)
+}

@@ -43,14 +43,23 @@ type LeaseResponse struct {
 	CheckpointEvents int    `json:"checkpoint_events,omitempty"`
 	Checkpoint       []byte `json:"checkpoint,omitempty"`
 	LeaseMillis      int64  `json:"lease_millis,omitempty"`
+	// SegmentEnd, when positive, makes this a relay-segment lease: run
+	// until at least SegmentEnd jobs have been pulled from the source,
+	// then upload a terminal checkpoint instead of a result (unless the
+	// stream drains first, which completes the cell normally). Zero means
+	// run to drain.
+	SegmentEnd int `json:"segment_end,omitempty"`
 }
 
 // CheckpointMsg uploads a mid-run snapshot; accepting it renews the lease.
+// Terminal marks a relay segment's boundary snapshot: accepting it
+// finishes the segment and makes the next one leasable immediately.
 type CheckpointMsg struct {
-	Cell    int    `json:"cell"`
-	Attempt int    `json:"attempt"`
-	Worker  string `json:"worker"`
-	Data    []byte `json:"data"`
+	Cell     int    `json:"cell"`
+	Attempt  int    `json:"attempt"`
+	Worker   string `json:"worker"`
+	Data     []byte `json:"data"`
+	Terminal bool   `json:"terminal,omitempty"`
 }
 
 // ResultMsg reports a completed cell.
@@ -72,13 +81,14 @@ type FailMsg struct {
 
 // Ack is the coordinator's reply to checkpoint/result/fail posts. Stale
 // is true when the message referenced a lease the coordinator no longer
-// honors (expired and re-issued, or the cell already completed); a stale
-// worker should abandon the cell and lease fresh work.
+// honors (expired and re-issued, the cell already completed, or a
+// speculative twin won); a stale worker should abandon the cell and lease
+// fresh work.
 type Ack struct {
 	Stale bool `json:"stale,omitempty"`
 }
 
-// Stats counts coordinator-side recovery events.
+// Stats counts coordinator-side recovery and recompute-avoidance events.
 type Stats struct {
 	// Retries counts re-leases of a cell after a failed or expired
 	// attempt; Resumes counts the subset that carried a checkpoint.
@@ -86,33 +96,78 @@ type Stats struct {
 	// Expired counts leases reaped by deadline (silent worker death or
 	// hang); Failed counts explicit failure reports.
 	Expired, Failed int
+	// Steals counts speculative duplicate leases issued in the grid tail;
+	// StealWins counts the cells and relay segments a speculative attempt
+	// finished first.
+	Steals, StealWins int
+	// Segments counts relay-segment terminal snapshots accepted.
+	Segments int
+	// Deduped counts grid cells completed by copying another cell's
+	// result because both share one recipe key (in-grid memoization).
+	Deduped int
+	// Replayed counts cells restored from the coordinator journal at
+	// construction instead of being re-run.
+	Replayed int
+}
+
+// lease is one live grant of a cell (or relay segment) to a worker. With
+// speculation a cell can carry two concurrent leases; the first accepted
+// result or terminal snapshot wins and the loser's messages go stale.
+type lease struct {
+	attempt  int
+	worker   string
+	started  time.Time
+	deadline time.Time
+	steal    bool
+	segEnd   int
 }
 
 type cellRun struct {
-	spec       Cell
-	state      int
-	attempt    int
-	worker     string
-	deadline   time.Time
+	spec Cell
+	// key is the cell's content-addressed recipe key; aliasOf is the
+	// lowest grid index sharing it (== own index for the canonical copy).
+	// Aliases are never leased — they complete when the canonical cell
+	// does, so duplicate cells in one grid simulate exactly once.
+	key     string
+	aliasOf int
+	state   int
+	// attempt is the monotone lease counter (attempt IDs gate stale
+	// messages); failures counts failed or expired attempts and is what
+	// MaxAttempts bounds — relay segments and speculative twins inflate
+	// attempt, never failures.
+	attempt  int
+	failures int
+	requeued bool
+	leases   []lease
+	// checkpoint is the latest uploaded snapshot; for relay cells, the
+	// last segment boundary. segDone counts completed relay segments.
 	checkpoint []byte
+	relay      bool
+	segDone    int
 	result     *sim.Result
 	lastErr    error
 }
 
 // Coordinator owns a grid sweep: it leases cells to workers, collects
 // checkpoints and results, requeues failed or expired attempts (resuming
-// from the last checkpoint), and assembles the grid-ordered results.
+// from the last checkpoint), duplicates tail leases onto idle workers,
+// relays giant stream cells segment by segment, and assembles the
+// grid-ordered results.
 type Coordinator struct {
 	grid        Grid
 	leaseTTL    time.Duration
 	maxAttempts int
+	speculate   bool
+	journalPath string
 
 	mu       sync.Mutex
 	cells    []cellRun
 	open     int // cells not yet done
 	stats    Stats
 	failErr  error
+	journal  *journal
 	finished chan struct{}
+	wake     chan struct{}
 	once     sync.Once
 }
 
@@ -125,13 +180,33 @@ func WithLeaseTTL(d time.Duration) CoordinatorOption {
 	return func(c *Coordinator) { c.leaseTTL = d }
 }
 
-// WithMaxAttempts bounds attempts per cell before the sweep fails.
-// Default 3.
+// WithMaxAttempts bounds failed attempts per cell before the sweep
+// fails. Default 3.
 func WithMaxAttempts(n int) CoordinatorOption {
 	return func(c *Coordinator) { c.maxAttempts = n }
 }
 
-// NewCoordinator validates the grid and prepares the sweep.
+// WithSpeculation toggles tail work-stealing: when a worker asks for
+// work and every runnable cell is already leased, the coordinator
+// duplicates the oldest single-leased cell onto the idle worker, seeded
+// from the latest checkpoint. Determinism makes the duplicate harmless —
+// both attempts compute the same answer and the first one in wins — so
+// speculation only moves the tail off stragglers. Default on.
+func WithSpeculation(enabled bool) CoordinatorOption {
+	return func(c *Coordinator) { c.speculate = enabled }
+}
+
+// WithJournal persists terminal cell state (results and relay-segment
+// snapshots) to an append-only JSONL log at path, replayed by the next
+// NewCoordinator over the same grid and path — so a crashed coordinator
+// restarts without re-running completed work. The file is created if
+// absent and must belong to this exact grid otherwise.
+func WithJournal(path string) CoordinatorOption {
+	return func(c *Coordinator) { c.journalPath = path }
+}
+
+// NewCoordinator validates the grid, dedups cells by recipe key, replays
+// the journal when one is configured, and prepares the sweep.
 func NewCoordinator(g Grid, opts ...CoordinatorOption) (*Coordinator, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -140,7 +215,9 @@ func NewCoordinator(g Grid, opts ...CoordinatorOption) (*Coordinator, error) {
 		grid:        g,
 		leaseTTL:    60 * time.Second,
 		maxAttempts: 3,
+		speculate:   true,
 		finished:    make(chan struct{}),
+		wake:        make(chan struct{}, 1),
 	}
 	for _, apply := range opts {
 		apply(c)
@@ -159,30 +236,99 @@ func NewCoordinator(g Grid, opts ...CoordinatorOption) (*Coordinator, error) {
 		method, solver, clusterName string
 	}
 	incompat := map[pairing]error{}
-	for _, cell := range g.Cells() {
-		cr := cellRun{spec: cell}
-		key := pairing{cell.Method.Name, cell.Solver, cell.Workload.Gen.System.Cluster.Name}
-		skip, probed := incompat[key]
+	keyOwner := map[string]int{}
+	for idx, cell := range g.Cells() {
+		cr := cellRun{spec: cell, aliasOf: idx}
+		rkey, err := RecipeKey(cell)
+		if err != nil {
+			return nil, err
+		}
+		cr.key = rkey
+		pkey := pairing{cell.Method.Name, cell.Solver, cell.Workload.Gen.System.Cluster.Name}
+		skip, probed := incompat[pkey]
 		if !probed {
 			if _, err := cell.Method.Build(cell.Workload.Gen.System.Cluster, cell.Solver); errors.Is(err, registry.ErrIncompatibleSolver) {
 				skip = err
 			}
-			incompat[key] = skip
+			incompat[pkey] = skip
 		}
 		if skip != nil {
 			cr.state = cellSkipped
 			cr.lastErr = skip
 		}
-		c.cells = append(c.cells, cr)
 		if cr.state == cellPending {
+			if owner, dup := keyOwner[rkey]; dup {
+				cr.aliasOf = owner
+			} else {
+				keyOwner[rkey] = idx
+			}
+			cr.relay = g.relayCell(cell.Workload)
 			c.open++
 		}
+		c.cells = append(c.cells, cr)
+	}
+	if err := c.replayJournal(); err != nil {
+		return nil, err
 	}
 	if c.open == 0 {
-		// Every cell skipped: the sweep is trivially drained.
+		// Every cell skipped (or replayed): the sweep is trivially drained.
 		c.once.Do(func() { close(c.finished) })
 	}
 	return c, nil
+}
+
+// replayJournal opens the configured journal, restores completed cells
+// and relay-segment progress from a previous coordinator's records, and
+// fans replayed results out to in-grid aliases.
+func (c *Coordinator) replayJournal() error {
+	if c.journalPath == "" {
+		return nil
+	}
+	j, recs, err := openJournal(c.journalPath, gridSHA(c.grid))
+	if err != nil {
+		return err
+	}
+	c.journal = j
+	for _, rec := range recs {
+		if rec.Cell < 0 || rec.Cell >= len(c.cells) {
+			return fmt.Errorf("farm: journal %s: cell %d out of range", c.journalPath, rec.Cell)
+		}
+		cell := &c.cells[rec.Cell]
+		switch rec.Kind {
+		case "result":
+			if cell.state != cellPending || cell.aliasOf != rec.Cell {
+				continue
+			}
+			var res sim.Result
+			if err := json.Unmarshal(rec.Result, &res); err != nil {
+				return fmt.Errorf("farm: journal %s: cell %d result: %w", c.journalPath, rec.Cell, err)
+			}
+			c.stats.Replayed++
+			c.completeLocked(rec.Cell, &res, false)
+		case "segment":
+			if cell.state != cellPending || rec.SegDone <= cell.segDone {
+				continue
+			}
+			cell.segDone = rec.SegDone
+			cell.checkpoint = rec.Checkpoint
+		default:
+			return fmt.Errorf("farm: journal %s: unknown record kind %q", c.journalPath, rec.Kind)
+		}
+	}
+	return nil
+}
+
+// Close releases the coordinator journal, if any. The coordinator itself
+// needs no teardown.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	j := c.journal
+	c.journal = nil
+	return j.close()
 }
 
 // Handler returns the coordinator's HTTP API:
@@ -242,7 +388,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// lease reaps expired leases and grants the lowest-indexed pending cell.
+// lease reaps expired leases and grants the lowest-indexed runnable
+// pending cell. When nothing is pending but work is still in flight —
+// the grid tail — it speculatively duplicates the oldest single-leased
+// cell onto the idle worker instead of sending it away empty-handed.
 func (c *Coordinator) lease(worker string) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -252,105 +401,267 @@ func (c *Coordinator) lease(worker string) LeaseResponse {
 	}
 	for i := range c.cells {
 		cell := &c.cells[i]
-		if cell.state != cellPending {
+		if cell.state != cellPending || cell.aliasOf != i {
 			continue
 		}
-		cell.state = cellLeased
-		cell.attempt++
-		cell.worker = worker
-		cell.deadline = time.Now().Add(c.leaseTTL)
-		if cell.attempt > 1 {
-			c.stats.Retries++
-			if len(cell.checkpoint) > 0 {
-				c.stats.Resumes++
-			}
-		}
-		return LeaseResponse{
-			Cell:             i,
-			Attempt:          cell.attempt,
-			Spec:             cell.spec,
-			CheckpointEvents: c.grid.CheckpointEvents,
-			Checkpoint:       cell.checkpoint,
-			LeaseMillis:      c.leaseTTL.Milliseconds(),
+		return c.grantLocked(i, worker, false)
+	}
+	if c.speculate {
+		if i := c.stealCandidateLocked(worker); i >= 0 {
+			c.stats.Steals++
+			return c.grantLocked(i, worker, true)
 		}
 	}
 	return LeaseResponse{Cell: -1}
 }
 
-// current reports whether the message references the live attempt.
-func (c *Coordinator) currentLocked(cell, attempt int) bool {
-	return cell >= 0 && cell < len(c.cells) &&
-		c.cells[cell].state == cellLeased && c.cells[cell].attempt == attempt
+// grantLocked issues a lease on cell i. A speculative grant duplicates
+// the primary lease's segment target and resumes from the latest
+// checkpoint; a normal grant on a relay cell targets the next segment
+// boundary.
+func (c *Coordinator) grantLocked(i int, worker string, steal bool) LeaseResponse {
+	cell := &c.cells[i]
+	cell.attempt++
+	segEnd := 0
+	if steal {
+		segEnd = cell.leases[0].segEnd
+	} else if cell.relay {
+		segEnd = (cell.segDone + 1) * c.grid.RelayJobs
+	}
+	now := time.Now()
+	cell.leases = append(cell.leases, lease{
+		attempt:  cell.attempt,
+		worker:   worker,
+		started:  now,
+		deadline: now.Add(c.leaseTTL),
+		steal:    steal,
+		segEnd:   segEnd,
+	})
+	cell.state = cellLeased
+	if !steal && cell.requeued {
+		c.stats.Retries++
+		if len(cell.checkpoint) > 0 {
+			c.stats.Resumes++
+		}
+		cell.requeued = false
+	}
+	return LeaseResponse{
+		Cell:             i,
+		Attempt:          cell.attempt,
+		Spec:             cell.spec,
+		CheckpointEvents: c.grid.CheckpointEvents,
+		Checkpoint:       cell.checkpoint,
+		LeaseMillis:      c.leaseTTL.Milliseconds(),
+		SegmentEnd:       segEnd,
+	}
+}
+
+// maxCellLeases caps concurrent attempts per cell: one primary plus up
+// to two speculative twins. Enough for a small fleet to gang up on the
+// last straggling cell (or one giant relay segment) without letting a
+// large fleet burn itself redundantly on a single lease.
+const maxCellLeases = 3
+
+// stealCandidateLocked picks the in-flight cell with the oldest primary
+// lease that still has twin capacity and no lease held by the requesting
+// worker, or -1.
+func (c *Coordinator) stealCandidateLocked(worker string) int {
+	best := -1
+	var bestStart time.Time
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.state != cellLeased || len(cell.leases) >= maxCellLeases {
+			continue
+		}
+		mine := false
+		for _, l := range cell.leases {
+			if l.worker == worker {
+				mine = true
+				break
+			}
+		}
+		if mine {
+			continue
+		}
+		if start := cell.leases[0].started; best < 0 || start.Before(bestStart) {
+			best, bestStart = i, start
+		}
+	}
+	return best
+}
+
+// leaseIndexLocked resolves (cell, attempt) to the index of the live
+// lease it references, or -1 when the message is stale.
+func (c *Coordinator) leaseIndexLocked(cell, attempt int) int {
+	if cell < 0 || cell >= len(c.cells) || c.cells[cell].state != cellLeased {
+		return -1
+	}
+	for li, l := range c.cells[cell].leases {
+		if l.attempt == attempt {
+			return li
+		}
+	}
+	return -1
 }
 
 func (c *Coordinator) acceptCheckpoint(msg CheckpointMsg) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.currentLocked(msg.Cell, msg.Attempt) || len(msg.Data) == 0 {
+	li := c.leaseIndexLocked(msg.Cell, msg.Attempt)
+	if li < 0 || len(msg.Data) == 0 {
 		return false
 	}
 	cell := &c.cells[msg.Cell]
+	if msg.Terminal {
+		if !cell.relay {
+			return false
+		}
+		steal := cell.leases[li].steal
+		cell.checkpoint = msg.Data
+		cell.segDone++
+		// Every lease on the old segment — including a speculative twin
+		// still running it — is now stale; the next segment is leasable
+		// immediately, by anyone.
+		cell.leases = nil
+		cell.state = cellPending
+		c.stats.Segments++
+		if steal {
+			c.stats.StealWins++
+		}
+		if c.journal != nil {
+			_ = c.journal.append(journalRec{Kind: "segment", Cell: msg.Cell, SegDone: cell.segDone, Checkpoint: msg.Data})
+		}
+		c.signalWake()
+		return true
+	}
 	cell.checkpoint = msg.Data
-	cell.deadline = time.Now().Add(c.leaseTTL)
+	cell.leases[li].deadline = time.Now().Add(c.leaseTTL)
 	return true
 }
 
 func (c *Coordinator) acceptResult(msg ResultMsg) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.currentLocked(msg.Cell, msg.Attempt) {
+	li := c.leaseIndexLocked(msg.Cell, msg.Attempt)
+	if li < 0 {
 		return false
 	}
-	cell := &c.cells[msg.Cell]
+	if c.cells[msg.Cell].leases[li].steal {
+		c.stats.StealWins++
+	}
+	c.completeLocked(msg.Cell, msg.Result, true)
+	return true
+}
+
+// completeLocked marks cell i done with res, journals it, and fans the
+// result out to the cell's in-grid aliases (duplicate recipe keys), which
+// were never leased.
+func (c *Coordinator) completeLocked(i int, res *sim.Result, journal bool) {
+	cell := &c.cells[i]
 	cell.state = cellDone
-	cell.result = msg.Result
+	cell.result = res
+	cell.leases = nil
 	cell.checkpoint = nil
 	c.open--
+	if journal && c.journal != nil {
+		if data, err := json.Marshal(res); err == nil {
+			_ = c.journal.append(journalRec{Kind: "result", Cell: i, Result: data})
+		}
+	}
+	for j := range c.cells {
+		alias := &c.cells[j]
+		if j == i || alias.aliasOf != i || alias.state != cellPending {
+			continue
+		}
+		alias.state = cellDone
+		alias.result = res
+		c.open--
+		c.stats.Deduped++
+	}
 	if c.open == 0 {
 		c.once.Do(func() { close(c.finished) })
 	}
-	return true
+	c.signalWake()
 }
 
 func (c *Coordinator) acceptFailure(msg FailMsg) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.currentLocked(msg.Cell, msg.Attempt) {
+	li := c.leaseIndexLocked(msg.Cell, msg.Attempt)
+	if li < 0 {
 		return false
 	}
 	c.stats.Failed++
-	c.requeueLocked(msg.Cell, fmt.Errorf("worker %s: %s", msg.Worker, msg.Error))
+	cell := &c.cells[msg.Cell]
+	cell.failures++
+	cause := fmt.Errorf("worker %s: %s", msg.Worker, msg.Error)
+	cell.leases = append(cell.leases[:li], cell.leases[li+1:]...)
+	if len(cell.leases) == 0 {
+		c.requeueLocked(msg.Cell, cause)
+	} else {
+		// A twin attempt is still running; it may yet complete the cell.
+		cell.lastErr = cause
+	}
 	return true
 }
 
-// reapLocked requeues every leased cell whose deadline has passed.
+// reapLocked drops every lease whose deadline has passed and requeues
+// cells left with no live attempt.
 func (c *Coordinator) reapLocked(now time.Time) {
 	for i := range c.cells {
 		cell := &c.cells[i]
-		if cell.state == cellLeased && now.After(cell.deadline) {
-			c.stats.Expired++
-			c.requeueLocked(i, fmt.Errorf("worker %s: lease expired", cell.worker))
+		if cell.state != cellLeased {
+			continue
+		}
+		var cause error
+		kept := cell.leases[:0]
+		for _, l := range cell.leases {
+			if now.After(l.deadline) {
+				c.stats.Expired++
+				cell.failures++
+				cause = fmt.Errorf("worker %s: lease expired", l.worker)
+				continue
+			}
+			kept = append(kept, l)
+		}
+		cell.leases = kept
+		if cause != nil {
+			cell.lastErr = cause
+			if len(cell.leases) == 0 {
+				c.requeueLocked(i, cause)
+			}
 		}
 	}
 }
 
 // requeueLocked returns a cell to the pending pool for another attempt —
 // keeping its last checkpoint so the retry resumes instead of restarting
-// — or fails the sweep when attempts are exhausted.
+// — or fails the sweep when failed attempts are exhausted.
 func (c *Coordinator) requeueLocked(i int, cause error) {
 	cell := &c.cells[i]
 	cell.lastErr = cause
-	if cell.attempt >= c.maxAttempts {
+	cell.leases = nil
+	if cell.failures >= c.maxAttempts {
 		cell.state = cellFailed
 		if c.failErr == nil {
 			c.failErr = fmt.Errorf("farm: cell %d (%s/%s/seed %d) failed %d attempts: %w",
-				i, cell.spec.Workload.Name, cell.spec.Method.Name, cell.spec.Seed, cell.attempt, cause)
+				i, cell.spec.Workload.Name, cell.spec.Method.Name, cell.spec.Seed, cell.failures, cause)
 		}
 		c.once.Do(func() { close(c.finished) })
 		return
 	}
 	cell.state = cellPending
-	cell.worker = ""
+	cell.requeued = true
+	c.signalWake()
+}
+
+// signalWake nudges Wait without blocking (the channel holds one pending
+// wakeup; a second signal while one is queued is redundant anyway).
+func (c *Coordinator) signalWake() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Progress returns completed and total cell counts.
@@ -368,11 +679,15 @@ func (c *Coordinator) Stats() Stats {
 }
 
 // Wait blocks until the sweep drains, a cell exhausts its attempts, or
-// ctx is cancelled, reaping expired leases in the background throughout.
-// Like sim.RunSweep, it always returns the full grid in grid order:
-// completed cells carry their Result, incompatible method×solver cells
-// their identity with Skipped set, and unfinished cells their identity
-// with Canceled set, so an interrupted sweep keeps its completed work.
+// ctx is cancelled. Completion and failure are event-driven (results,
+// failures, and terminal segments signal a wakeup channel, and draining
+// closes finished), so drain latency does not depend on the lease TTL;
+// the ticker survives only as the reaping fallback that catches workers
+// that died without saying goodbye. Like sim.RunSweep, Wait always
+// returns the full grid in grid order: completed cells carry their
+// Result, incompatible method×solver cells their identity with Skipped
+// set, and unfinished cells their identity with Canceled set, so an
+// interrupted sweep keeps its completed work.
 func (c *Coordinator) Wait(ctx context.Context) ([]sim.SweepRun, error) {
 	tick := c.leaseTTL / 4
 	if tick < 10*time.Millisecond {
@@ -389,15 +704,15 @@ func (c *Coordinator) Wait(ctx context.Context) ([]sim.SweepRun, error) {
 			err := c.failErr
 			c.mu.Unlock()
 			return c.assemble(), err
+		case <-c.wake:
+			// State moved (result, failure, requeue, terminal segment);
+			// terminal outcomes close finished, so there is nothing to
+			// re-check here — the select just re-arms without waiting out
+			// the ticker.
 		case now := <-ticker.C:
 			c.mu.Lock()
 			c.reapLocked(now)
-			failed := c.failErr != nil
 			c.mu.Unlock()
-			if failed {
-				// finished was closed by requeueLocked; loop to drain it.
-				continue
-			}
 		}
 	}
 }

@@ -48,6 +48,24 @@ type WorkloadSpec struct {
 	// retry and checkpoint resume) instead of materializing the trace,
 	// and the run uses bounded-memory streaming metrics.
 	Stream bool `json:"stream,omitempty"`
+	// TracePath streams jobs from an on-disk trace instead of the
+	// generator: ".swf" decodes as an SWF archive log, anything else as
+	// the repository CSV format, and a ".gz" suffix decompresses
+	// transparently. Stream must be true; Gen.System still names the
+	// machine model. Every worker must see the identical file at this
+	// path — the recipe key covers the path, not the bytes.
+	TracePath string `json:"trace_path,omitempty"`
+	// MaxJobs caps a TracePath stream (0 = the whole file).
+	MaxJobs int `json:"max_jobs,omitempty"`
+}
+
+// jobCount returns the spec's expected job count, 0 when unknown (an
+// uncapped trace file).
+func (ws WorkloadSpec) jobCount() int {
+	if ws.TracePath != "" {
+		return ws.MaxJobs
+	}
+	return ws.Gen.Jobs
 }
 
 // Build materializes the spec into a workload (Stream must be false).
@@ -79,7 +97,19 @@ func (ws WorkloadSpec) Open() (trace.Workload, trace.JobSource, error) {
 	if !ws.Stream {
 		return trace.Workload{}, nil, fmt.Errorf("farm: workload %q is materialized; use Build", ws.Name)
 	}
-	src := trace.GenSource(ws.Gen)
+	var src trace.JobSource
+	if ws.TracePath != "" {
+		opened, err := trace.OpenTrace(ws.TracePath, trace.SWFOptions{MaxJobs: ws.MaxJobs})
+		if err != nil {
+			return trace.Workload{}, nil, fmt.Errorf("farm: workload %q: %w", ws.Name, err)
+		}
+		if ws.MaxJobs > 0 {
+			opened = trace.LimitSource(opened, ws.MaxJobs)
+		}
+		src = opened
+	} else {
+		src = trace.GenSource(ws.Gen)
+	}
 	src, sys, name, err := trace.ApplyVariantSource(src, ws.Gen.System, ws.Variant, ws.VariantSeed)
 	if err != nil {
 		return trace.Workload{}, nil, fmt.Errorf("farm: workload %q: %w", ws.Name, err)
@@ -177,6 +207,29 @@ type Grid struct {
 	// and bounding lost work on failure to N instants. Zero disables
 	// mid-run checkpoints (failed cells restart from scratch).
 	CheckpointEvents int `json:"checkpoint_events,omitempty"`
+	// RelayJobs enables checkpoint-relay sharding of giant stream cells:
+	// a stream cell expected to exceed RelayJobs jobs runs as sequential
+	// segments of RelayJobs source jobs each, chained by terminal
+	// snapshots — segment k+1 is leasable (by any worker) the moment
+	// segment k's boundary snapshot uploads, so one giant cell pipelines
+	// across the fleet and migrates off slow workers at every boundary.
+	// Segment splits are bit-exact: the snapshot records the source
+	// position, so the assembled result is identical to an unsharded run.
+	// Zero disables relaying; positive values must be at least 512 (well
+	// above the engine's source look-ahead, so every segment makes
+	// progress).
+	RelayJobs int `json:"relay_jobs,omitempty"`
+}
+
+// relayCell reports whether a workload's cells run as relay segments:
+// stream-backed and expected to exceed the relay threshold (an uncapped
+// trace file has unknown length and is assumed giant).
+func (g Grid) relayCell(ws WorkloadSpec) bool {
+	if g.RelayJobs <= 0 || !ws.Stream {
+		return false
+	}
+	n := ws.jobCount()
+	return n == 0 || n > g.RelayJobs
 }
 
 // Cell identifies one grid cell and its resolved specs — the unit of
@@ -231,8 +284,18 @@ func (g Grid) Validate() error {
 	if _, err := g.Opts.Options(); err != nil {
 		return err
 	}
+	if g.RelayJobs != 0 && g.RelayJobs < 512 {
+		return fmt.Errorf("farm: relay segment size %d too small (want >= 512, well above the source look-ahead)", g.RelayJobs)
+	}
 	for _, ws := range g.Workloads {
-		if ws.Gen.Jobs <= 0 {
+		if ws.TracePath != "" {
+			if !ws.Stream {
+				return fmt.Errorf("farm: workload %q: trace_path requires stream (trace files replay through the streaming path)", ws.Name)
+			}
+			if ws.MaxJobs < 0 {
+				return fmt.Errorf("farm: workload %q: negative max_jobs %d", ws.Name, ws.MaxJobs)
+			}
+		} else if ws.Gen.Jobs <= 0 {
 			return fmt.Errorf("farm: workload %q generates %d jobs", ws.Name, ws.Gen.Jobs)
 		}
 		if !validVariant(ws.Variant) {

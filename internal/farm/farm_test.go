@@ -155,7 +155,10 @@ func TestFarmSweepWithFaultInjection(t *testing.T) {
 	g := testGrid()
 	want := serialReference(t, g)
 
-	coord, err := NewCoordinator(g, WithLeaseTTL(400*time.Millisecond))
+	// Speculation off: this test pins the lease-expiry recovery path, and
+	// a speculative twin would legitimately rescue a crashed cell before
+	// its lease expires (TestFarmStragglerSpeculation covers that path).
+	coord, err := NewCoordinator(g, WithLeaseTTL(400*time.Millisecond), WithSpeculation(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +299,7 @@ func TestFarmStaleAttemptsRejected(t *testing.T) {
 	}
 	// The worker dies; the coordinator reaps and re-issues.
 	coord.mu.Lock()
-	coord.cells[0].deadline = time.Now().Add(-time.Second)
+	coord.cells[0].leases[0].deadline = time.Now().Add(-time.Second)
 	coord.mu.Unlock()
 	lease2 := coord.lease("w2")
 	if lease2.Cell != 0 || lease2.Attempt != 2 {

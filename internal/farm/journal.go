@@ -1,0 +1,134 @@
+package farm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The coordinator journal is an append-only JSONL cell-state log that
+// lets the coordinator itself crash and resume: completed cells and
+// finished relay segments are recorded as they are accepted, and a new
+// coordinator constructed over the same grid and journal path replays
+// them before leasing anything, so a restarted sweep recomputes only the
+// cells that were genuinely in flight.
+//
+// Only terminal state is journaled — results and relay-segment boundary
+// snapshots — never mid-run checkpoints, so the file grows with completed
+// work, not with checkpoint cadence. The first record pins the SHA-256 of
+// the grid; replaying a journal against a different grid is an error, not
+// a silent mismatch.
+
+// journalRec is one JSONL record.
+type journalRec struct {
+	// Kind discriminates: "grid" (header), "result", "segment".
+	Kind string `json:"kind"`
+	// GridSHA pins the grid on the header record.
+	GridSHA string `json:"grid_sha,omitempty"`
+	// Cell is the grid-order cell index for result/segment records.
+	Cell int `json:"cell"`
+	// Result carries a completed cell's result.
+	Result json.RawMessage `json:"result,omitempty"`
+	// SegDone and Checkpoint carry a relay cell's completed-segment count
+	// and the terminal snapshot the next segment resumes from.
+	SegDone    int    `json:"seg_done,omitempty"`
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+}
+
+// journal is the open append handle. Appends happen under the
+// coordinator's mutex, so it needs no locking of its own.
+type journal struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+// gridSHA is the canonical grid identity the journal header pins.
+func gridSHA(g Grid) string {
+	data, _ := json.Marshal(g)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// openJournal opens (or creates) the journal at path for the grid with
+// the given SHA, returning the replayable records of a previous run. A
+// partial trailing line — the signature of a crash mid-append — is
+// dropped and truncated away; a corrupt record anywhere earlier is an
+// error.
+func openJournal(path, sha string) (*journal, []journalRec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	var recs []journalRec
+	valid := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Unterminated tail: a crash interrupted the last append.
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			valid += nl + 1
+			continue
+		}
+		var rec journalRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if len(data) == 0 {
+				break // corrupt final line: same crash signature, drop it
+			}
+			return nil, nil, fmt.Errorf("farm: journal %s: corrupt record %d: %w", path, len(recs)+1, err)
+		}
+		if len(recs) == 0 {
+			if rec.Kind != "grid" {
+				return nil, nil, fmt.Errorf("farm: journal %s: missing grid header", path)
+			}
+			if rec.GridSHA != sha {
+				return nil, nil, fmt.Errorf("farm: journal %s: grid mismatch (journal %s, grid %s) — the journal belongs to a different sweep", path, rec.GridSHA[:12], sha[:12])
+			}
+		}
+		recs = append(recs, rec)
+		valid += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	j := &journal{f: f, enc: json.NewEncoder(f)}
+	if len(recs) == 0 {
+		if err := j.append(journalRec{Kind: "grid", GridSHA: sha}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	} else {
+		recs = recs[1:] // header consumed
+	}
+	return j, recs, nil
+}
+
+// append writes one record and syncs it to disk before the accept that
+// triggered it is acknowledged.
+func (j *journal) append(rec journalRec) error {
+	if err := j.enc.Encode(rec); err != nil {
+		return fmt.Errorf("farm: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("farm: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (j *journal) close() error { return j.f.Close() }

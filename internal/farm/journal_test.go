@@ -1,0 +1,84 @@
+package farm
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFarmJournalReplay: a coordinator crash mid-grid loses nothing —
+// the replacement replays completed cells from the append-only journal
+// (tolerating a record cut mid-append by the crash), leases only the
+// remainder, and still assembles the grid identical to the serial
+// sweep. A journal written for a different grid is refused.
+func TestFarmJournalReplay(t *testing.T) {
+	g := matGrid(3, 4) // 4 cells
+	want := serialReference(t, g)
+	jpath := filepath.Join(t.TempDir(), "journal.jsonl")
+
+	// Phase 1: run until at least two cells complete, then kill the
+	// worker and throw the coordinator away.
+	coord1, err := NewCoordinator(g, WithJournal(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(coord1.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		w := &Worker{Coordinator: srv1.URL, ID: "doomed", Poll: 2 * time.Millisecond}
+		done <- w.Run(ctx)
+	}()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if d, _ := coord1.Progress(); d >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker made no progress before the injected crash")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	survived, total := coord1.Progress()
+	coord1.Close()
+	srv1.Close()
+
+	// Crash signature: the final journal append was cut mid-record.
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"result","cell":3,"resu`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh coordinator on the same journal replays the
+	// survivors and the sweep finishes from where the first one died.
+	coord2, err := NewCoordinator(g, WithJournal(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	if got := coord2.Stats().Replayed; got != survived {
+		t.Fatalf("Replayed = %d, want %d", got, survived)
+	}
+	w2 := &Worker{ID: "resumer", Poll: 2 * time.Millisecond}
+	got := runFarm(t, coord2, []*Worker{w2}, time.Minute)
+	if leased := w2.Stats().Leases; leased != total-survived {
+		t.Errorf("resumed run leased %d cells, want %d (replayed cells must not re-run)", leased, total-survived)
+	}
+	compareRuns(t, got, want)
+
+	// The journal is bound to its grid: a different sweep must refuse it.
+	if _, err := NewCoordinator(matGrid(9), WithJournal(jpath)); err == nil {
+		t.Fatal("journal belonging to a different sweep accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"bbsched/internal/trace"
+)
+
+// relayGrid is a single stream-backed cell big enough to shard:
+// jobs generated jobs relayed in relayJobs-sized segments.
+func relayGrid(jobs, relayJobs int) Grid {
+	sys := trace.Scale(trace.Cori(), 128)
+	return Grid{
+		Workloads: []WorkloadSpec{
+			{Name: "relay-stream", Gen: trace.GenConfig{System: sys, Jobs: jobs, Seed: 6, TargetLoad: 0.9}, Stream: true},
+		},
+		Methods:          []MethodSpec{{Name: "Baseline", GA: testGA()}},
+		Seeds:            []uint64{3},
+		Opts:             RunOptions{Window: 5, StarvationBound: 50, Measure: "full"},
+		CheckpointEvents: 64,
+		RelayJobs:        relayJobs,
+	}
+}
+
+// TestFarmRelayMatchesSerial: a stream cell sharded into checkpoint-relay
+// segments across three workers assembles bit-identical to the unsharded
+// serial sweep, with each segment's terminal snapshot accepted exactly
+// once no matter how many speculative twins raced it.
+func TestFarmRelayMatchesSerial(t *testing.T) {
+	g := relayGrid(3000, 1000)
+	want := serialReference(t, g)
+	coord, err := NewCoordinator(g, WithLeaseTTL(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []*Worker{
+		{ID: "w1", Poll: 5 * time.Millisecond},
+		{ID: "w2", Poll: 5 * time.Millisecond},
+		{ID: "w3", Poll: 5 * time.Millisecond},
+	}
+	got := runFarm(t, coord, workers, 2*time.Minute)
+
+	st := coord.Stats()
+	if st.Segments < 2 {
+		t.Errorf("Segments = %d, want >= 2 (3000 jobs at RelayJobs=1000 must relay)", st.Segments)
+	}
+	won := 0
+	for _, w := range workers {
+		won += w.Stats().Segments
+	}
+	if won != st.Segments {
+		t.Errorf("workers recorded %d terminal segments, coordinator %d: a segment win must be accepted exactly once", won, st.Segments)
+	}
+	compareRuns(t, got, want)
+}
+
+// TestFarmRelay1M is the fleet-scale acceptance run: a single
+// million-job stream cell relayed across three workers — every worker
+// holds at least one lease thanks to speculative twins — finishing
+// identical to the serial single-process sweep.
+func TestFarmRelay1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-job relay cell runs in the full suite only")
+	}
+	sys := trace.Scale(trace.Theta(), 32)
+	g := Grid{
+		Workloads: []WorkloadSpec{
+			{Name: "theta-1m", Gen: trace.GenConfig{System: sys, Jobs: 1_000_000, Seed: 42, TargetLoad: 0.95}, Stream: true},
+		},
+		Methods:          []MethodSpec{{Name: "Baseline", GA: testGA()}},
+		Seeds:            []uint64{1},
+		Opts:             RunOptions{Window: 5, StarvationBound: 50, Measure: "full"},
+		CheckpointEvents: 20_000,
+		RelayJobs:        300_000,
+	}
+	want := serialReference(t, g)
+	coord, err := NewCoordinator(g, WithLeaseTTL(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []*Worker{
+		{ID: "w1", Poll: 10 * time.Millisecond},
+		{ID: "w2", Poll: 10 * time.Millisecond},
+		{ID: "w3", Poll: 10 * time.Millisecond},
+	}
+	got := runFarm(t, coord, workers, 15*time.Minute)
+
+	st := coord.Stats()
+	if st.Segments != 3 {
+		t.Errorf("Segments = %d, want 3 (terminal snapshots at 300k/600k/900k)", st.Segments)
+	}
+	won := 0
+	for _, w := range workers {
+		ws := w.Stats()
+		won += ws.Segments
+		if ws.Leases == 0 {
+			t.Errorf("worker %s never held a lease; the relay must fan out across the fleet", w.ID)
+		}
+	}
+	if won != st.Segments {
+		t.Errorf("workers recorded %d terminal segments, coordinator %d", won, st.Segments)
+	}
+	compareRuns(t, got, want)
+}

@@ -685,6 +685,36 @@ func (s *Simulator) Step() (bool, error) {
 	return true, nil
 }
 
+// SourcePulled returns how many jobs have been pulled from the streaming
+// source so far (0 for materialized runs). Together with RunUntilPulled
+// it is the farm's relay-sharding hook: a snapshot taken when SourcePulled
+// reaches a segment boundary records the exact source position, so the
+// next segment resumes bit-exactly on any worker.
+func (s *Simulator) SourcePulled() int { return s.pulled }
+
+// RunUntilPulled advances a source-driven simulation until at least n
+// jobs have been pulled from the source or the run drains, whichever
+// comes first. Like RunUntil it never stops mid-instant, so the state
+// afterwards is always checkpointable. The stop point overshoots n by at
+// most one look-ahead refill — deterministically, since fills depend only
+// on simulation state — which is what makes segment boundaries bit-exact
+// across workers.
+func (s *Simulator) RunUntilPulled(n int) error {
+	if s.source == nil {
+		return fmt.Errorf("sim: RunUntilPulled requires a source-driven run (WithSource)")
+	}
+	for s.pulled < n {
+		more, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+	return nil
+}
+
 // RunUntil advances the simulation through every event instant at or
 // before time t (it never stops mid-instant, so the state afterwards is
 // always consistent). The clock does not advance past the last processed

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bbsched/internal/job"
+)
+
+// TestOpenTraceGzip: the streaming openers decompress ".gz" traces
+// transparently, and OpenTrace dispatches on the pre-compression
+// extension — "theta.swf.gz" streams as SWF, "trace.csv.gz" as CSV,
+// plain files unchanged.
+func TestOpenTraceGzip(t *testing.T) {
+	dir := t.TempDir()
+	writeGz := func(name string, raw []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw := gzip.NewWriter(f)
+		if _, err := zw.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	drain := func(src JobSource, err error) []*job.Job {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, ok := src.(io.Closer); ok {
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return jobs
+	}
+
+	w := Generate(GenConfig{System: testStreamSystem(), Jobs: 30, Seed: 7, DependencyFraction: 0.1})
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, w.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := ReadCSV(bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvGz := writeGz("trace.csv.gz", csv.Bytes())
+	if got := drain(OpenCSV(csvGz)); !reflect.DeepEqual(got, wantCSV) {
+		t.Fatal("OpenCSV on a .gz trace differs from plain ReadCSV")
+	}
+	if got := drain(OpenTrace(csvGz, SWFOptions{})); !reflect.DeepEqual(got, wantCSV) {
+		t.Fatal("OpenTrace on trace.csv.gz differs from plain ReadCSV")
+	}
+
+	swf := []byte("; header\n" +
+		"1 0 -1 100 64 -1 2048 64 200 4096 1 3 -1 -1 -1 -1 -1 -1\n" +
+		"2 50 -1 60 8 -1 -1 8 60 -1 1 4 -1 -1 -1 -1 -1 -1\n")
+	wantSWF, err := ReadSWF(bytes.NewReader(swf), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swfGz := writeGz("log.swf.gz", swf)
+	if got := drain(OpenSWF(swfGz, SWFOptions{})); !reflect.DeepEqual(got, wantSWF) {
+		t.Fatal("OpenSWF on a .gz log differs from plain ReadSWF")
+	}
+	if got := drain(OpenTrace(swfGz, SWFOptions{})); !reflect.DeepEqual(got, wantSWF) {
+		t.Fatal("OpenTrace on log.swf.gz differs from plain ReadSWF")
+	}
+
+	// Uncompressed paths keep working through the same entry point.
+	plain := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(plain, csv.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(OpenTrace(plain, SWFOptions{})); !reflect.DeepEqual(got, wantCSV) {
+		t.Fatal("OpenTrace on a plain CSV differs from ReadCSV")
+	}
+
+	// Garbage under a .gz suffix must fail at open, not stream as empty.
+	bad := filepath.Join(dir, "bad.csv.gz")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCSV(bad); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}

@@ -186,6 +186,15 @@ func (l *limitSource) Next() (*job.Job, error) {
 	return j, nil
 }
 
+// Close implements Closer by forwarding to the wrapped source: early
+// abandonment of a capped file stream must release the file.
+func (l *limitSource) Close() error {
+	if c, ok := l.src.(Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // mapSource applies a per-job transform. Transforms never change submit
 // times, so a known horizon passes through.
 type mapSource struct {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -56,14 +57,64 @@ func NewSWFSource(r io.Reader, opts SWFOptions) *SWFSource {
 	return s
 }
 
-// OpenSWF opens path as a streaming SWF source; the file is closed when
-// the stream drains, fails, or Close is called.
+// OpenSWF opens path as a streaming SWF source, transparently
+// decompressing a ".gz" suffix (Parallel Workloads Archive logs ship
+// gzipped); the file is closed when the stream drains, fails, or Close is
+// called.
 func OpenSWF(path string, opts SWFOptions) (*SWFSource, error) {
+	r, err := openTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewSWFSource(r, opts), nil
+}
+
+// gzipReadCloser decompresses through to the underlying file and closes
+// both ends.
+type gzipReadCloser struct {
+	gz    *gzip.Reader
+	under io.Closer
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.gz.Read(p) }
+
+func (g *gzipReadCloser) Close() error {
+	err := g.gz.Close()
+	if uerr := g.under.Close(); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// openTraceFile opens path for streaming, wrapping a gzip decompressor
+// when the name ends in ".gz".
+func openTraceFile(path string) (io.ReadCloser, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	return NewSWFSource(f, opts), nil
+	if !strings.HasSuffix(strings.ToLower(path), ".gz") {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &gzipReadCloser{gz: gz, under: f}, nil
+}
+
+// OpenTrace opens path as a streaming source, dispatching on the file
+// extension: ".swf" decodes as an SWF archive log, anything else as the
+// repository CSV format. A trailing ".gz" is stripped before the
+// extension check and decompressed transparently, so "theta.swf.gz" and
+// "trace.csv.gz" both stream without an unpack step.
+func OpenTrace(path string, opts SWFOptions) (JobSource, error) {
+	base := strings.TrimSuffix(strings.ToLower(path), ".gz")
+	if strings.HasSuffix(base, ".swf") {
+		return OpenSWF(path, opts)
+	}
+	return OpenCSV(path)
 }
 
 // Next implements JobSource.
@@ -162,16 +213,17 @@ func NewCSVSource(r io.Reader) (*CSVSource, error) {
 	return s, nil
 }
 
-// OpenCSV opens path as a streaming CSV source; the file is closed when
-// the stream drains, fails, or Close is called.
+// OpenCSV opens path as a streaming CSV source, transparently
+// decompressing a ".gz" suffix; the file is closed when the stream
+// drains, fails, or Close is called.
 func OpenCSV(path string) (*CSVSource, error) {
-	f, err := os.Open(path)
+	r, err := openTraceFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		return nil, err
 	}
-	s, err := NewCSVSource(f)
+	s, err := NewCSVSource(r)
 	if err != nil {
-		f.Close()
+		r.Close()
 		return nil, err
 	}
 	return s, nil
